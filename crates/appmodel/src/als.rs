@@ -1,0 +1,277 @@
+//! The Application Level Specification: graph + QoS + implementations.
+
+use crate::error::AppModelError;
+use crate::kpn::{ProcessGraph, ProcessId};
+use crate::library::ImplementationLibrary;
+use crate::qos::QosSpec;
+use serde::{Deserialize, Serialize};
+
+/// Everything the spatial mapper needs to know about one application:
+/// the KPN with its QoS constraints (the ALS of §4.1) plus the
+/// implementation library (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplicationSpec {
+    /// Application name (e.g. `HIPERLAN/2 receiver`).
+    pub name: String,
+    /// The process network (Figure 1).
+    pub graph: ProcessGraph,
+    /// Throughput / latency constraints.
+    pub qos: QosSpec,
+    /// Available implementations per process (Table 1).
+    pub library: ImplementationLibrary,
+}
+
+impl ApplicationSpec {
+    /// Validates the specification:
+    ///
+    /// * every data-stream process has at least one implementation,
+    /// * every implementation's port counts match the process's channel
+    ///   degree,
+    /// * every implementation's per-cycle rates divide the channel traffic
+    ///   and imply one consistent phase-cycle count per period,
+    /// * the data-stream graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, as an [`AppModelError`].
+    pub fn validate(&self) -> Result<(), AppModelError> {
+        self.graph.topological_order()?;
+        for (pid, process) in self.graph.stream_processes() {
+            let impls = self.library.impls_for(pid);
+            if impls.is_empty() {
+                return Err(AppModelError::NoImplementation {
+                    process: process.name.clone(),
+                });
+            }
+            let in_channels = self.graph.inputs_of(pid);
+            let out_channels = self.graph.outputs_of(pid);
+            for implementation in impls {
+                if implementation.inputs.len() != in_channels.len() {
+                    return Err(AppModelError::PortMismatch {
+                        implementation: implementation.name.clone(),
+                        direction: "input",
+                        has: implementation.inputs.len(),
+                        expected: in_channels.len(),
+                    });
+                }
+                if implementation.outputs.len() != out_channels.len() {
+                    return Err(AppModelError::PortMismatch {
+                        implementation: implementation.name.clone(),
+                        direction: "output",
+                        has: implementation.outputs.len(),
+                        expected: out_channels.len(),
+                    });
+                }
+                if !implementation.phases_consistent() {
+                    return Err(AppModelError::RateMismatch {
+                        implementation: implementation.name.clone(),
+                        detail: "rate vector phase counts differ from WCET phases".into(),
+                    });
+                }
+                // One consistent cycles-per-period across all ports.
+                let mut cycles: Option<u64> = None;
+                for (port, ch) in in_channels.iter().enumerate() {
+                    let tokens = self.graph.channel(*ch).tokens_per_period;
+                    let c = implementation
+                        .cycles_per_period_in(port, tokens)
+                        .ok_or_else(|| AppModelError::RateMismatch {
+                            implementation: implementation.name.clone(),
+                            detail: format!(
+                                "input port {port}: {} tokens/cycle does not divide \
+                                 {tokens} tokens/period",
+                                implementation.tokens_in_per_cycle(port)
+                            ),
+                        })?;
+                    if *cycles.get_or_insert(c) != c {
+                        return Err(AppModelError::RateMismatch {
+                            implementation: implementation.name.clone(),
+                            detail: "ports imply different cycle counts".into(),
+                        });
+                    }
+                }
+                for (port, ch) in out_channels.iter().enumerate() {
+                    let tokens = self.graph.channel(*ch).tokens_per_period;
+                    let per_cycle = implementation.tokens_out_per_cycle(port);
+                    if per_cycle == 0 || !tokens.is_multiple_of(per_cycle) {
+                        return Err(AppModelError::RateMismatch {
+                            implementation: implementation.name.clone(),
+                            detail: format!(
+                                "output port {port}: {per_cycle} tokens/cycle does not \
+                                 divide {tokens} tokens/period"
+                            ),
+                        });
+                    }
+                    let c = tokens / per_cycle;
+                    if *cycles.get_or_insert(c) != c {
+                        return Err(AppModelError::RateMismatch {
+                            implementation: implementation.name.clone(),
+                            detail: "ports imply different cycle counts".into(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase-cycles per period of `implementation` when serving `process` —
+    /// derived from the first port (validation guarantees all ports agree).
+    /// Falls back to 1 for processes without data channels.
+    pub fn cycles_per_period(
+        &self,
+        process: ProcessId,
+        implementation: &crate::implementation::Implementation,
+    ) -> u64 {
+        let inputs = self.graph.inputs_of(process);
+        if let Some(first) = inputs.first() {
+            let tokens = self.graph.channel(*first).tokens_per_period;
+            if let Some(c) = implementation.cycles_per_period_in(0, tokens) {
+                return c;
+            }
+        }
+        let outputs = self.graph.outputs_of(process);
+        if let Some(first) = outputs.first() {
+            let tokens = self.graph.channel(*first).tokens_per_period;
+            let per_cycle = implementation.tokens_out_per_cycle(0);
+            if per_cycle > 0 && tokens.is_multiple_of(per_cycle) {
+                return tokens / per_cycle;
+            }
+        }
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implementation::Implementation;
+    use crate::kpn::Endpoint;
+    use rtsm_dataflow::PhaseVec;
+    use rtsm_platform::TileKind;
+
+    fn spec() -> ApplicationSpec {
+        let mut graph = ProcessGraph::new();
+        let p = graph.add_process("work");
+        graph
+            .add_channel(Endpoint::StreamInput, Endpoint::Process(p), 8)
+            .unwrap();
+        graph
+            .add_channel(Endpoint::Process(p), Endpoint::StreamOutput, 8)
+            .unwrap();
+        let mut library = ImplementationLibrary::new();
+        library.register(
+            p,
+            Implementation::simple(
+                "work @ ARM",
+                TileKind::Arm,
+                PhaseVec::single(10),
+                PhaseVec::single(2),
+                PhaseVec::single(2),
+                1000,
+                64,
+            ),
+        );
+        ApplicationSpec {
+            name: "test".into(),
+            graph,
+            qos: QosSpec::with_period(1_000_000),
+            library,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert_eq!(spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn missing_implementation_reported() {
+        let mut s = spec();
+        s.library = ImplementationLibrary::new();
+        assert!(matches!(
+            s.validate(),
+            Err(AppModelError::NoImplementation { .. })
+        ));
+    }
+
+    #[test]
+    fn non_dividing_rate_reported() {
+        let mut s = spec();
+        let p = s.graph.process_by_name("work").unwrap();
+        let mut lib = ImplementationLibrary::new();
+        lib.register(
+            p,
+            Implementation::simple(
+                "bad",
+                TileKind::Arm,
+                PhaseVec::single(10),
+                PhaseVec::single(3), // 3 does not divide 8
+                PhaseVec::single(2),
+                1000,
+                64,
+            ),
+        );
+        s.library = lib;
+        assert!(matches!(
+            s.validate(),
+            Err(AppModelError::RateMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn port_count_mismatch_reported() {
+        let mut s = spec();
+        let p = s.graph.process_by_name("work").unwrap();
+        let mut lib = ImplementationLibrary::new();
+        lib.register(
+            p,
+            Implementation {
+                name: "two-in".into(),
+                tile_kind: TileKind::Arm,
+                wcet: PhaseVec::single(1),
+                inputs: vec![PhaseVec::single(1), PhaseVec::single(1)],
+                outputs: vec![PhaseVec::single(1)],
+                energy_pj_per_period: 1,
+                memory_bytes: 1,
+            },
+        );
+        s.library = lib;
+        assert!(matches!(
+            s.validate(),
+            Err(AppModelError::PortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_per_period_derived() {
+        let s = spec();
+        let p = s.graph.process_by_name("work").unwrap();
+        let implementation = &s.library.impls_for(p)[0];
+        // 8 tokens/period ÷ 2 tokens/cycle = 4 cycles/period.
+        assert_eq!(s.cycles_per_period(p, implementation), 4);
+    }
+
+    #[test]
+    fn inconsistent_port_cycles_reported() {
+        let mut s = spec();
+        let p = s.graph.process_by_name("work").unwrap();
+        let mut lib = ImplementationLibrary::new();
+        lib.register(
+            p,
+            Implementation::simple(
+                "skewed",
+                TileKind::Arm,
+                PhaseVec::single(10),
+                PhaseVec::single(2), // 4 cycles/period
+                PhaseVec::single(4), // 2 cycles/period — inconsistent
+                1000,
+                64,
+            ),
+        );
+        s.library = lib;
+        assert!(matches!(
+            s.validate(),
+            Err(AppModelError::RateMismatch { .. })
+        ));
+    }
+}

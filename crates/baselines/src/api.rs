@@ -1,0 +1,223 @@
+//! Common interface of all mapping algorithms.
+
+use rtsm_app::ApplicationSpec;
+use rtsm_core::claims::{claim_for, reservation_of};
+use rtsm_core::step3::route_channels;
+use rtsm_core::step4::{check_constraints, Step4Config};
+use rtsm_core::{Mapping, MapperConfig, SpatialMapper};
+use rtsm_platform::{EnergyModel, Platform, PlatformState};
+
+/// A finished baseline mapping, scored like the heuristic's results.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The mapping (assignments and routes).
+    pub mapping: Mapping,
+    /// Total energy per period in picojoules.
+    pub energy_pj: u64,
+    /// Σ channel Manhattan hops (the paper's step-2 cost).
+    pub communication_hops: u32,
+    /// Whether step 4's dataflow analysis accepted the mapping.
+    pub feasible: bool,
+    /// Search effort: algorithm-specific count of evaluated assignments.
+    pub evaluated: u64,
+}
+
+/// A spatial-mapping algorithm under benchmark.
+pub trait MappingAlgorithm {
+    /// Display name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Maps `spec` onto `platform` over occupancy `base`; `None` when the
+    /// algorithm finds no feasible mapping.
+    fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Option<BaselineResult>;
+}
+
+/// Routes and feasibility-checks an assignment-only mapping, producing a
+/// scored [`BaselineResult`]. Returns `None` if the tile claims do not fit
+/// `base` (non-adherent input), if routing fails, or if step 4 rejects it.
+///
+/// This is the shared back-end that makes baseline scores comparable with
+/// the heuristic's: identical routing and identical dataflow analysis.
+pub fn finalize_assignment(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    base: &PlatformState,
+    mut mapping: Mapping,
+    evaluated: u64,
+) -> Option<BaselineResult> {
+    // Rebuild the working state from the assignments.
+    let mut working = base.clone();
+    for (pid, assignment) in mapping.assignments() {
+        let implementation = spec.library.impls_for(pid).get(assignment.impl_index)?;
+        let claim = claim_for(spec, pid, implementation);
+        if !working.fits_tile(platform, assignment.tile, &claim) {
+            return None;
+        }
+        working
+            .claim_tile(platform, assignment.tile, &reservation_of(&claim))
+            .ok()?;
+    }
+    route_channels(spec, platform, &mut mapping, &mut working).ok()?;
+    let step4 = check_constraints(spec, platform, &mapping, &working, &Step4Config::default());
+    if !step4.feasible {
+        return None;
+    }
+    let energy_pj = mapping.energy_pj(spec, platform, &EnergyModel::default());
+    let communication_hops = mapping.communication_hops(spec, platform);
+    Some(BaselineResult {
+        mapping,
+        energy_pj,
+        communication_hops,
+        feasible: true,
+        evaluated,
+    })
+}
+
+/// All `(impl_index, tile)` options of `process` that fit `working`:
+/// the shared candidate enumeration of the search-based baselines.
+pub fn viable_options(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    working: &PlatformState,
+    process: rtsm_app::ProcessId,
+) -> Vec<(usize, rtsm_platform::TileId)> {
+    let mut out = Vec::new();
+    for (ix, implementation) in spec.library.impls_for(process).iter().enumerate() {
+        let claim = claim_for(spec, process, implementation);
+        for (tile, _) in platform.tiles_of_kind(implementation.tile_kind) {
+            if working.fits_tile(platform, tile, &claim) {
+                out.push((ix, tile));
+            }
+        }
+    }
+    out
+}
+
+/// Claims `(impl_index, tile)` for `process` on `working` (reservation
+/// part only, NI is routing's concern) — shared by the search baselines.
+/// Returns `false` if it does not fit.
+pub fn claim_option(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    working: &mut PlatformState,
+    process: rtsm_app::ProcessId,
+    impl_index: usize,
+    tile: rtsm_platform::TileId,
+) -> bool {
+    let implementation = &spec.library.impls_for(process)[impl_index];
+    let claim = claim_for(spec, process, implementation);
+    if !working.fits_tile(platform, tile, &claim) {
+        return false;
+    }
+    working
+        .claim_tile(platform, tile, &reservation_of(&claim))
+        .expect("fits_tile just checked");
+    true
+}
+
+/// Releases what [`claim_option`] reserved.
+pub fn release_option(
+    spec: &ApplicationSpec,
+    working: &mut PlatformState,
+    process: rtsm_app::ProcessId,
+    impl_index: usize,
+    tile: rtsm_platform::TileId,
+) {
+    let implementation = &spec.library.impls_for(process)[impl_index];
+    let claim = claim_for(spec, process, implementation);
+    working
+        .release_tile(tile, &reservation_of(&claim))
+        .expect("releasing a claim made by claim_option");
+}
+
+/// The paper's four-step heuristic, adapted to [`MappingAlgorithm`].
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicMapper {
+    /// Mapper configuration (defaults to the paper's settings).
+    pub config: MapperConfig,
+}
+
+impl MappingAlgorithm for HeuristicMapper {
+    fn name(&self) -> &'static str {
+        "hierarchical heuristic (paper)"
+    }
+
+    fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Option<BaselineResult> {
+        let result = SpatialMapper::new(self.config).map(spec, platform, base).ok()?;
+        Some(BaselineResult {
+            energy_pj: result.energy_pj,
+            communication_hops: result.communication_hops,
+            feasible: result.feasible,
+            evaluated: result
+                .trace
+                .attempts
+                .iter()
+                .map(|a| a.step2.events.len() as u64 + 1)
+                .sum(),
+            mapping: result.mapping,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    #[test]
+    fn heuristic_through_trait_matches_direct_call() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let result = HeuristicMapper::default()
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        assert!(result.feasible);
+        assert_eq!(result.communication_hops, 7);
+    }
+
+    #[test]
+    fn finalize_rejects_nonadherent_input() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut m = Mapping::new();
+        let p = |n: &str| spec.graph.process_by_name(n).unwrap();
+        let t = |n: &str| platform.tile_by_name(n).unwrap();
+        // All four processes on one MONTIUM: does not fit.
+        for name in [
+            "Prefix removal",
+            "Freq. off. correction",
+            "Inverse OFDM",
+            "Remainder",
+        ] {
+            m.assign(p(name), 1, t("MONTIUM1"));
+        }
+        assert!(finalize_assignment(&spec, &platform, &platform.initial_state(), m, 1).is_none());
+    }
+
+    #[test]
+    fn finalize_accepts_paper_mapping() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut m = Mapping::new();
+        let p = |n: &str| spec.graph.process_by_name(n).unwrap();
+        let t = |n: &str| platform.tile_by_name(n).unwrap();
+        m.assign(p("Prefix removal"), 0, t("ARM2"));
+        m.assign(p("Freq. off. correction"), 0, t("ARM1"));
+        m.assign(p("Inverse OFDM"), 1, t("MONTIUM2"));
+        m.assign(p("Remainder"), 1, t("MONTIUM1"));
+        let r = finalize_assignment(&spec, &platform, &platform.initial_state(), m, 1).unwrap();
+        assert!(r.feasible);
+        assert_eq!(r.communication_hops, 7);
+    }
+}

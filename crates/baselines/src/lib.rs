@@ -1,0 +1,37 @@
+//! Baseline spatial-mapping algorithms.
+//!
+//! The DATE 2008 paper observes that "no benchmarks exist to compare
+//! spatial mappings quantitatively" (§5). This crate supplies the
+//! comparators its evaluation lacks:
+//!
+//! * [`ExhaustiveMapper`] — branch-and-bound over all (implementation,
+//!   tile) assignments: the **optimal-energy reference** for small
+//!   instances.
+//! * [`AnnealingMapper`] — simulated annealing: a strong but slow
+//!   design-time-style optimiser.
+//! * [`RandomMapper`] — best of N random adherent mappings: the sanity
+//!   floor.
+//! * [`GreedyMapper`] — the paper's step 1 only (no local search): the
+//!   ablation for step 2.
+//! * [`HeuristicMapper`] — the paper's full four-step mapper, wrapped in
+//!   the same [`MappingAlgorithm`] interface for apples-to-apples benches.
+//!
+//! Every algorithm returns mappings that are *adherent by construction*
+//! (claims are checked during search) and *feasibility-checked* with the
+//! same step-3 routing and step-4 dataflow analysis the heuristic uses, so
+//! energy comparisons are like-for-like.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annealing;
+pub mod api;
+pub mod exhaustive;
+pub mod greedy;
+pub mod random;
+
+pub use annealing::AnnealingMapper;
+pub use api::{finalize_assignment, BaselineResult, HeuristicMapper, MappingAlgorithm};
+pub use exhaustive::ExhaustiveMapper;
+pub use greedy::GreedyMapper;
+pub use random::RandomMapper;

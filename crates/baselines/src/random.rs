@@ -1,0 +1,138 @@
+//! Best-of-N random adherent mappings: the sanity floor.
+
+use crate::api::{
+    claim_option, finalize_assignment, viable_options, BaselineResult, MappingAlgorithm,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use rtsm_app::ApplicationSpec;
+use rtsm_core::Mapping;
+use rtsm_platform::{EnergyModel, Platform, PlatformState};
+
+/// Samples `samples` random adherent mappings and returns the best
+/// feasible one by energy.
+#[derive(Debug, Clone)]
+pub struct RandomMapper {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of samples to draw.
+    pub samples: u32,
+    /// Energy model for scoring.
+    pub energy_model: EnergyModel,
+}
+
+impl Default for RandomMapper {
+    fn default() -> Self {
+        RandomMapper {
+            seed: 0x5EED,
+            samples: 32,
+            energy_model: EnergyModel::default(),
+        }
+    }
+}
+
+impl RandomMapper {
+    fn sample(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+        rng: &mut StdRng,
+    ) -> Option<Mapping> {
+        let mut order: Vec<_> = spec
+            .graph
+            .stream_processes()
+            .map(|(pid, _)| pid)
+            .collect();
+        order.shuffle(rng);
+        let mut working = base.clone();
+        let mut mapping = Mapping::new();
+        for pid in order {
+            let options = viable_options(spec, platform, &working, pid);
+            if options.is_empty() {
+                return None;
+            }
+            let (impl_index, tile) = options[rng.random_range(0..options.len())];
+            claim_option(spec, platform, &mut working, pid, impl_index, tile);
+            mapping.assign(pid, impl_index, tile);
+        }
+        Some(mapping)
+    }
+}
+
+impl MappingAlgorithm for RandomMapper {
+    fn name(&self) -> &'static str {
+        "random (best of N)"
+    }
+
+    fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Option<BaselineResult> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<BaselineResult> = None;
+        let mut evaluated = 0u64;
+        for _ in 0..self.samples {
+            let Some(mapping) = self.sample(spec, platform, base, &mut rng) else {
+                continue;
+            };
+            evaluated += 1;
+            if let Some(result) = finalize_assignment(spec, platform, base, mapping, evaluated) {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| result.energy_pj < b.energy_pj);
+                if better {
+                    best = Some(result);
+                }
+            }
+        }
+        best.map(|mut b| {
+            b.evaluated = evaluated;
+            b
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    #[test]
+    fn random_finds_a_feasible_mapping_on_paper_case() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let result = RandomMapper::default()
+            .map(&spec, &platform, &platform.initial_state())
+            .expect("32 samples hit a feasible mapping");
+        assert!(result.feasible);
+    }
+
+    #[test]
+    fn random_no_better_than_heuristic_needs_not_hold_but_energy_positive() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let result = RandomMapper::default()
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        // Structural sanity: at least the MONTIUM processing energy.
+        assert!(result.energy_pj >= 341_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let a = RandomMapper::default()
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        let b = RandomMapper::default()
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        assert_eq!(a.energy_pj, b.energy_pj);
+    }
+}

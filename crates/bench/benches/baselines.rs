@@ -1,0 +1,83 @@
+//! E7 — run-time cost of the heuristic against the baselines: the paper's
+//! core claim is that exhaustive search "requires far too much time" at
+//! run time while the heuristic stays in the millisecond class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtsm_baselines::{
+    AnnealingMapper, ExhaustiveMapper, GreedyMapper, HeuristicMapper, MappingAlgorithm,
+    RandomMapper,
+};
+use rtsm_platform::TileKind;
+use rtsm_workloads::{mesh_platform, synthetic_app, GraphShape, SyntheticConfig};
+use std::hint::black_box;
+
+fn algorithms(c: &mut Criterion) {
+    let spec = synthetic_app(&SyntheticConfig {
+        seed: 21,
+        n_processes: 6,
+        shape: GraphShape::Chain,
+        ..SyntheticConfig::default()
+    });
+    let platform = mesh_platform(
+        21 ^ 0xA5A5,
+        4,
+        4,
+        &[(TileKind::Montium, 4), (TileKind::Arm, 5)],
+    );
+    let state = platform.initial_state();
+
+    let mut group = c.benchmark_group("baselines/chain6_mesh4x4");
+
+    let heuristic = HeuristicMapper::default();
+    group.bench_function("heuristic", |b| {
+        b.iter(|| black_box(heuristic.map(&spec, &platform, &state).map(|r| r.energy_pj)))
+    });
+
+    let greedy = GreedyMapper;
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy.map(&spec, &platform, &state).map(|r| r.energy_pj)))
+    });
+
+    let random = RandomMapper {
+        samples: 8,
+        ..RandomMapper::default()
+    };
+    group.bench_function("random8", |b| {
+        b.iter(|| black_box(random.map(&spec, &platform, &state).map(|r| r.energy_pj)))
+    });
+
+    let annealing = AnnealingMapper {
+        iterations: 500,
+        ..AnnealingMapper::default()
+    };
+    group.bench_function("annealing500", |b| {
+        b.iter(|| black_box(annealing.map(&spec, &platform, &state).map(|r| r.energy_pj)))
+    });
+
+    let exhaustive = ExhaustiveMapper {
+        max_nodes: 100_000,
+        ..ExhaustiveMapper::default()
+    };
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(exhaustive.map(&spec, &platform, &state).map(|r| r.energy_pj)))
+    });
+
+    group.finish();
+}
+
+
+/// Short, stable measurement settings so the whole suite completes in
+/// minutes while keeping variance low enough for shape comparisons.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E6 — mapper run time (§4.5) and its scaling with application and
+//! platform size (the paper claims run-time capability; this bench
+//! quantifies it on the paper case and on growing synthetic instances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+use rtsm_core::{MapperConfig, SpatialMapper};
+use rtsm_platform::paper::paper_platform;
+use rtsm_platform::TileKind;
+use rtsm_workloads::{mesh_platform, synthetic_app, GraphShape, SyntheticConfig};
+use std::hint::black_box;
+
+fn paper_case(c: &mut Criterion) {
+    let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+    let platform = paper_platform();
+    let state = platform.initial_state();
+    let mapper = SpatialMapper::new(MapperConfig::default());
+    c.bench_function("map/hiperlan2_paper_platform", |b| {
+        b.iter(|| {
+            let r = mapper
+                .map(black_box(&spec), black_box(&platform), black_box(&state))
+                .expect("feasible");
+            black_box(r.energy_pj)
+        })
+    });
+}
+
+fn synthetic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map/synthetic_chain");
+    for &n in &[4usize, 6, 8, 10] {
+        let spec = synthetic_app(&SyntheticConfig {
+            seed: 42,
+            n_processes: n,
+            shape: GraphShape::Chain,
+            ..SyntheticConfig::default()
+        });
+        let platform = mesh_platform(
+            7,
+            5,
+            5,
+            &[(TileKind::Montium, 8), (TileKind::Arm, 8)],
+        );
+        let state = platform.initial_state();
+        let mapper = SpatialMapper::new(MapperConfig::default());
+        // Skip sizes the platform cannot host.
+        if mapper.map(&spec, &platform, &state).is_err() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = mapper.map(black_box(&spec), &platform, &state);
+                black_box(r.map(|x| x.energy_pj).unwrap_or(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn platform_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map/mesh_size");
+    for &side in &[3u16, 4, 6, 8] {
+        let spec = synthetic_app(&SyntheticConfig {
+            seed: 5,
+            n_processes: 6,
+            ..SyntheticConfig::default()
+        });
+        let platform = mesh_platform(
+            11,
+            side,
+            side,
+            &[
+                (TileKind::Montium, (side as usize * side as usize) / 3),
+                (TileKind::Arm, (side as usize * side as usize) / 3),
+            ],
+        );
+        let state = platform.initial_state();
+        let mapper = SpatialMapper::new(MapperConfig::default());
+        if mapper.map(&spec, &platform, &state).is_err() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| {
+                let r = mapper.map(black_box(&spec), &platform, &state);
+                black_box(r.map(|x| x.communication_hops).unwrap_or(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Short, stable measurement settings so the whole suite completes in
+/// minutes while keeping variance low enough for shape comparisons.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = paper_case, synthetic_scaling, platform_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Step-3 substrate benches: capacity-constrained routing on larger
+//! meshes, with allocation/release round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsm_platform::routing::{allocate, release, route};
+use rtsm_platform::TileKind;
+use rtsm_workloads::mesh_platform;
+use std::hint::black_box;
+
+fn shortest_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/route_corner_to_corner");
+    for &side in &[4u16, 8, 12] {
+        let platform = mesh_platform(
+            3,
+            side,
+            side,
+            &[(TileKind::Arm, side as usize * side as usize)],
+        );
+        let state = platform.initial_state();
+        let tiles: Vec<_> = platform.tiles().map(|(id, _)| id).collect();
+        let from = *tiles.first().unwrap();
+        let to = *tiles.last().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| black_box(route(&platform, &state, from, to, 1_000_000).unwrap().hops()))
+        });
+    }
+    group.finish();
+}
+
+fn allocate_release(c: &mut Criterion) {
+    let platform = mesh_platform(4, 8, 8, &[(TileKind::Arm, 62)]);
+    let tiles: Vec<_> = platform.tiles().map(|(id, _)| id).collect();
+    let from = *tiles.first().unwrap();
+    let to = *tiles.last().unwrap();
+    c.bench_function("routing/allocate_release_roundtrip", |b| {
+        let mut state = platform.initial_state();
+        b.iter(|| {
+            let path = route(&platform, &state, from, to, 1_000_000).unwrap();
+            allocate(&platform, &mut state, &path).unwrap();
+            release(&platform, &mut state, &path).unwrap();
+            black_box(path.hops())
+        })
+    });
+}
+
+fn congestion_avoidance(c: &mut Criterion) {
+    // Saturate a corridor and measure detouring route search.
+    let platform = mesh_platform(5, 8, 8, &[(TileKind::Arm, 62)]);
+    let tiles: Vec<_> = platform.tiles().map(|(id, _)| id).collect();
+    let from = *tiles.first().unwrap();
+    let to = *tiles.last().unwrap();
+    let mut state = platform.initial_state();
+    // Pre-allocate a batch of routes to create congestion.
+    for _ in 0..8 {
+        let path = route(&platform, &state, from, to, 20_000_000).unwrap();
+        allocate(&platform, &mut state, &path).unwrap();
+    }
+    c.bench_function("routing/route_under_congestion", |b| {
+        b.iter(|| black_box(route(&platform, &state, from, to, 20_000_000).map(|p| p.hops())))
+    });
+}
+
+
+/// Short, stable measurement settings so the whole suite completes in
+/// minutes while keeping variance low enough for shape comparisons.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = shortest_path, allocate_release, congestion_avoidance
+}
+criterion_main!(benches);

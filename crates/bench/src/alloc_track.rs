@@ -1,0 +1,95 @@
+//! A peak-tracking global allocator for the §4.5 memory measurement.
+//!
+//! The paper reports 110 kB peak data memory for its C implementation on an
+//! ARM926. To compare shape (not absolute numbers — different language,
+//! different machine), the `repro perf` command installs [`PeakAlloc`] and
+//! reports the peak live allocation during a mapping run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Byte-counting wrapper around the system allocator.
+///
+/// Install with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: rtsm_bench::alloc_track::PeakAlloc = rtsm_bench::alloc_track::PeakAlloc::new();
+/// ```
+pub struct PeakAlloc {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl PeakAlloc {
+    /// A fresh counter.
+    pub const fn new() -> Self {
+        PeakAlloc {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Currently live heap bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Peak live heap bytes since the last [`PeakAlloc::reset_peak`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current live size.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn add(&self, size: usize) {
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn sub(&self, size: usize) {
+        self.live.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+impl Default for PeakAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates directly to `System`, only adding relaxed counter
+// updates; layout handling is unchanged.
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim to the system allocator.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            self.add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim to the system allocator.
+        unsafe { System.dealloc(ptr, layout) };
+        self.sub(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim to the system allocator.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                self.add(new_size - layout.size());
+            } else {
+                self.sub(layout.size() - new_size);
+            }
+        }
+        p
+    }
+}

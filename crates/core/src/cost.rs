@@ -1,0 +1,94 @@
+//! Pluggable cost models for steps 1–2.
+//!
+//! The paper's Table 2 uses the plain sum of channel Manhattan distances;
+//! the overall objective is energy. Both are provided, plus a
+//! traffic-weighted middle ground, so ablation benches can compare them.
+
+use crate::mapping::Mapping;
+use rtsm_app::ApplicationSpec;
+use rtsm_platform::{EnergyModel, Platform};
+use serde::{Deserialize, Serialize};
+
+/// How step 2 scores a (complete) tile assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum CostModel {
+    /// Σ channel Manhattan distance — the paper's Table 2 cost.
+    #[default]
+    HopCount,
+    /// Σ channel Manhattan distance × tokens/period.
+    TrafficWeighted,
+    /// Full energy objective (processing + estimated communication).
+    Energy(EnergyModel),
+}
+
+
+impl CostModel {
+    /// Cost of `mapping`; lower is better. Units depend on the model (hops,
+    /// token-hops, or picojoules).
+    pub fn cost(&self, mapping: &Mapping, spec: &ApplicationSpec, platform: &Platform) -> u64 {
+        match self {
+            CostModel::HopCount => u64::from(mapping.communication_hops(spec, platform)),
+            CostModel::TrafficWeighted => spec
+                .graph
+                .stream_channels()
+                .filter_map(|(_, ch)| {
+                    let a = mapping.endpoint_tile(platform, ch.src)?;
+                    let b = mapping.endpoint_tile(platform, ch.dst)?;
+                    Some(u64::from(platform.manhattan(a, b)) * ch.tokens_per_period)
+                })
+                .sum(),
+            CostModel::Energy(model) => mapping.energy_pj(spec, platform, model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    fn paper_initial() -> (ApplicationSpec, Platform, Mapping) {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut m = Mapping::new();
+        let p = |n: &str| spec.graph.process_by_name(n).unwrap();
+        let t = |n: &str| platform.tile_by_name(n).unwrap();
+        m.assign(p("Prefix removal"), 0, t("ARM1"));
+        m.assign(p("Freq. off. correction"), 0, t("ARM2"));
+        m.assign(p("Inverse OFDM"), 1, t("MONTIUM1"));
+        m.assign(p("Remainder"), 1, t("MONTIUM2"));
+        (spec, platform, m)
+    }
+
+    #[test]
+    fn hop_count_matches_table2() {
+        let (spec, platform, m) = paper_initial();
+        assert_eq!(CostModel::HopCount.cost(&m, &spec, &platform), 11);
+    }
+
+    #[test]
+    fn traffic_weighted_counts_tokens() {
+        let (spec, platform, m) = paper_initial();
+        // A/D→Pfx: 1 hop × 80; Pfx→Frq: 2 × 64; Frq→iOFDM: 3 × 64;
+        // iOFDM→Rem: 2 × 52; Rem→Sink: 3 × 24.
+        let expected = 80 + 128 + 192 + 104 + 72;
+        assert_eq!(
+            CostModel::TrafficWeighted.cost(&m, &spec, &platform),
+            expected
+        );
+    }
+
+    #[test]
+    fn energy_cost_includes_processing() {
+        let (spec, platform, m) = paper_initial();
+        let cost = CostModel::Energy(EnergyModel::default()).cost(&m, &spec, &platform);
+        assert!(cost >= 60_000 + 62_000 + 143_000 + 76_000);
+    }
+
+    #[test]
+    fn default_is_paper_mode() {
+        assert_eq!(CostModel::default(), CostModel::HopCount);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type of the spatial mapper.
+
+use crate::feedback::Feedback;
+use std::fmt;
+
+/// Errors terminating a mapping attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The application specification failed validation.
+    InvalidSpec(rtsm_app::AppModelError),
+    /// The platform has no stream-input (`AdcSource`) or stream-output
+    /// (`Sink`) tile but the application uses stream endpoints.
+    NoStreamEndpoint {
+        /// Which endpoint kind is missing.
+        which: &'static str,
+    },
+    /// No feasible mapping was found within the refinement budget.
+    NoFeasibleMapping {
+        /// Refinement attempts performed.
+        attempts: usize,
+        /// Feedback of the final failed attempt.
+        last_feedback: Vec<Feedback>,
+    },
+    /// A process has no viable implementation under the current constraints
+    /// (step 1 dead end with no remaining alternatives to exclude).
+    Unmappable {
+        /// Name of the process that could not be placed.
+        process: String,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::InvalidSpec(e) => write!(f, "invalid application specification: {e}"),
+            MapError::NoStreamEndpoint { which } => {
+                write!(f, "platform lacks a {which} tile for the stream endpoint")
+            }
+            MapError::NoFeasibleMapping {
+                attempts,
+                last_feedback,
+            } => write!(
+                f,
+                "no feasible mapping after {attempts} refinement attempts \
+                 ({} feedback items)",
+                last_feedback.len()
+            ),
+            MapError::Unmappable { process } => {
+                write!(f, "process `{process}` has no viable implementation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapError::InvalidSpec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rtsm_app::AppModelError> for MapError {
+    fn from(e: rtsm_app::AppModelError) -> Self {
+        MapError::InvalidSpec(e)
+    }
+}

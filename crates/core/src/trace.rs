@@ -1,0 +1,96 @@
+//! Structured traces of the mapping steps — what the paper's Table 2 is
+//! printed from, and what debugging hooks into.
+
+use crate::feedback::Feedback;
+use rtsm_app::ProcessId;
+use rtsm_platform::TileId;
+use serde::{Deserialize, Serialize};
+
+/// One step-1 decision: a process received an implementation and a tile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step1Event {
+    /// The process assigned in this iteration.
+    pub process: ProcessId,
+    /// Chosen implementation (index into the process's list).
+    pub impl_index: usize,
+    /// First-fit tile.
+    pub tile: TileId,
+    /// Desirability at the moment of choice (`u64::MAX` when the process
+    /// had a single remaining option).
+    pub desirability: u64,
+    /// Number of options the process still had.
+    pub options: usize,
+}
+
+/// The kind of reassignment step 2 evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step2Move {
+    /// Move `process` to the free tile `to`.
+    Move {
+        /// The process moved.
+        process: ProcessId,
+        /// Destination tile.
+        to: TileId,
+    },
+    /// Swap the tiles of `a` and `b` (same tile type).
+    Swap {
+        /// First process.
+        a: ProcessId,
+        /// Second process.
+        b: ProcessId,
+    },
+}
+
+/// One step-2 iteration: a candidate was evaluated and kept or reverted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step2Event {
+    /// What was tried.
+    pub candidate: Step2Move,
+    /// Cost of the mapping *with the candidate applied*.
+    pub cost: u64,
+    /// Whether the candidate was kept (strict improvement) or reverted.
+    pub kept: bool,
+    /// The evaluated assignment: `(process, tile)` pairs in process order —
+    /// the row content of Table 2.
+    pub assignment: Vec<(ProcessId, TileId)>,
+}
+
+/// Trace of one complete step-2 run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step2Trace {
+    /// Cost of the initial (greedy, step-1) assignment.
+    pub initial_cost: u64,
+    /// The initial assignment (Table 2's first row).
+    pub initial_assignment: Vec<(ProcessId, TileId)>,
+    /// Evaluated candidates in order.
+    pub events: Vec<Step2Event>,
+    /// Final cost after the search.
+    pub final_cost: u64,
+}
+
+/// Trace of one refinement attempt (steps 1–4 once through).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttemptTrace {
+    /// Step-1 decisions in order.
+    pub step1: Vec<Step1Event>,
+    /// Step-2 search trace.
+    pub step2: Step2Trace,
+    /// Feedback produced by the attempt (empty on success).
+    pub feedback: Vec<Feedback>,
+    /// Whether the attempt produced a feasible mapping.
+    pub feasible: bool,
+}
+
+/// Trace of a whole mapping run (all refinement attempts).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapTrace {
+    /// One entry per refinement attempt.
+    pub attempts: Vec<AttemptTrace>,
+}
+
+impl MapTrace {
+    /// The trace of the successful (last) attempt, if any attempt succeeded.
+    pub fn successful_attempt(&self) -> Option<&AttemptTrace> {
+        self.attempts.iter().rev().find(|a| a.feasible)
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by all dataflow analyses.
+
+use std::fmt;
+
+/// Errors produced while building or analysing CSDF graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// A channel endpoint refers to an actor that does not exist.
+    UnknownActor(usize),
+    /// A rate vector's phase count does not match its actor's phase count.
+    PhaseMismatch {
+        /// Actor whose phase count was violated.
+        actor: String,
+        /// Phase count of the actor.
+        actor_phases: usize,
+        /// Phase count of the offending rate vector.
+        rate_phases: usize,
+    },
+    /// The graph is not sample-rate consistent (balance equations have no
+    /// non-trivial solution).
+    Inconsistent {
+        /// Human-readable description of the first violated balance equation.
+        detail: String,
+    },
+    /// The graph deadlocks before reaching a periodic steady state.
+    Deadlock {
+        /// Simulation time at which no actor could make progress.
+        at_time: u64,
+        /// Total firings completed before the deadlock.
+        firings: u64,
+    },
+    /// A simulation guard (maximum firings or maximum time) was exhausted
+    /// before the analysis could conclude.
+    GuardExhausted {
+        /// Description of the exhausted guard.
+        guard: String,
+    },
+    /// An empty graph (or empty phase vector) was given where a non-empty one
+    /// is required.
+    Empty(&'static str),
+    /// A numeric overflow occurred during analysis.
+    Overflow(&'static str),
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::UnknownActor(ix) => write!(f, "unknown actor index {ix}"),
+            DataflowError::PhaseMismatch {
+                actor,
+                actor_phases,
+                rate_phases,
+            } => write!(
+                f,
+                "rate vector has {rate_phases} phases but actor `{actor}` has {actor_phases}"
+            ),
+            DataflowError::Inconsistent { detail } => {
+                write!(f, "graph is not sample-rate consistent: {detail}")
+            }
+            DataflowError::Deadlock { at_time, firings } => write!(
+                f,
+                "graph deadlocked at time {at_time} after {firings} firings"
+            ),
+            DataflowError::GuardExhausted { guard } => {
+                write!(f, "simulation guard exhausted: {guard}")
+            }
+            DataflowError::Empty(what) => write!(f, "empty {what}"),
+            DataflowError::Overflow(what) => write!(f, "numeric overflow in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}

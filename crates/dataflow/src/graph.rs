@@ -1,0 +1,532 @@
+//! The CSDF graph: actors, channels, initial tokens, and capacities.
+
+use crate::error::DataflowError;
+use crate::phase::PhaseVec;
+use crate::rational::Ratio;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an actor inside a [`CsdfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// Index of this actor in the graph's actor list.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifier of a channel inside a [`CsdfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelId(pub(crate) usize);
+
+impl ChannelId {
+    /// Index of this channel in the graph's channel list.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A CSDF actor: a name, per-phase worst-case execution times, and a clock
+/// period translating cycles into time units.
+///
+/// Actors are sequential (no auto-concurrency): a firing must complete before
+/// the next may start, matching a processing element executing one
+/// implementation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActorSpec {
+    /// Human-readable name (used in traces, DOT output and error messages).
+    pub name: String,
+    /// Worst-case execution time per phase, in clock cycles.
+    pub wcet: PhaseVec,
+    /// Duration of one clock cycle in abstract time units (e.g. picoseconds).
+    pub cycle_time: u64,
+}
+
+impl ActorSpec {
+    /// Number of phases in this actor's cyclo-static cycle.
+    pub fn n_phases(&self) -> usize {
+        self.wcet.len()
+    }
+
+    /// Execution time of phase `phase` in time units.
+    pub fn phase_duration(&self, phase: usize) -> u64 {
+        self.wcet.get(phase) * self.cycle_time
+    }
+
+    /// Total execution time of one full cyclo-static cycle in time units.
+    pub fn cycle_duration(&self) -> u64 {
+        self.wcet.total() * self.cycle_time
+    }
+}
+
+/// A point-to-point FIFO channel between two actors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Producing actor.
+    pub src: ActorId,
+    /// Consuming actor.
+    pub dst: ActorId,
+    /// Tokens produced by `src` per phase (length = `src` phase count).
+    pub prod: PhaseVec,
+    /// Tokens consumed by `dst` per phase (length = `dst` phase count).
+    pub cons: PhaseVec,
+    /// Tokens present on the channel before execution starts.
+    pub initial_tokens: u64,
+    /// Buffer capacity in tokens; `None` means unbounded.
+    ///
+    /// A bounded channel behaves like the paper's Figure 3 back-edges: the
+    /// producer blocks while the buffer lacks space for a phase's production.
+    pub capacity: Option<u64>,
+}
+
+/// A cyclo-static dataflow graph.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsdfGraph {
+    actors: Vec<ActorSpec>,
+    channels: Vec<Channel>,
+}
+
+impl CsdfGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        CsdfGraph::default()
+    }
+
+    /// Adds an actor with the given name, per-phase WCETs, and clock period
+    /// (time units per cycle), returning its id.
+    pub fn add_actor(&mut self, name: impl Into<String>, wcet: PhaseVec, cycle_time: u64) -> ActorId {
+        self.actors.push(ActorSpec {
+            name: name.into(),
+            wcet,
+            cycle_time,
+        });
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Adds an unbounded channel with no initial tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataflowError::PhaseMismatch`] if a rate vector's length does
+    /// not match its actor's phase count, or [`DataflowError::UnknownActor`]
+    /// for dangling endpoints.
+    pub fn add_channel(
+        &mut self,
+        src: ActorId,
+        dst: ActorId,
+        prod: PhaseVec,
+        cons: PhaseVec,
+    ) -> Result<ChannelId, DataflowError> {
+        self.add_channel_full(src, dst, prod, cons, 0, None)
+    }
+
+    /// Adds a channel with explicit initial tokens and capacity.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CsdfGraph::add_channel`].
+    pub fn add_channel_full(
+        &mut self,
+        src: ActorId,
+        dst: ActorId,
+        prod: PhaseVec,
+        cons: PhaseVec,
+        initial_tokens: u64,
+        capacity: Option<u64>,
+    ) -> Result<ChannelId, DataflowError> {
+        let src_spec = self
+            .actors
+            .get(src.0)
+            .ok_or(DataflowError::UnknownActor(src.0))?;
+        if prod.len() != src_spec.n_phases() {
+            return Err(DataflowError::PhaseMismatch {
+                actor: src_spec.name.clone(),
+                actor_phases: src_spec.n_phases(),
+                rate_phases: prod.len(),
+            });
+        }
+        let dst_spec = self
+            .actors
+            .get(dst.0)
+            .ok_or(DataflowError::UnknownActor(dst.0))?;
+        if cons.len() != dst_spec.n_phases() {
+            return Err(DataflowError::PhaseMismatch {
+                actor: dst_spec.name.clone(),
+                actor_phases: dst_spec.n_phases(),
+                rate_phases: cons.len(),
+            });
+        }
+        self.channels.push(Channel {
+            src,
+            dst,
+            prod,
+            cons,
+            initial_tokens,
+            capacity,
+        });
+        Ok(ChannelId(self.channels.len() - 1))
+    }
+
+    /// Number of actors.
+    pub fn n_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of channels.
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The actor with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an id of this graph.
+    pub fn actor(&self, id: ActorId) -> &ActorSpec {
+        &self.actors[id.0]
+    }
+
+    /// The channel with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an id of this graph.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.0]
+    }
+
+    /// Mutable access to a channel (e.g. to set capacities during buffer
+    /// sizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an id of this graph.
+    pub fn channel_mut(&mut self, id: ChannelId) -> &mut Channel {
+        &mut self.channels[id.0]
+    }
+
+    /// Iterates over `(id, actor)` pairs.
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &ActorSpec)> {
+        self.actors.iter().enumerate().map(|(i, a)| (ActorId(i), a))
+    }
+
+    /// Iterates over `(id, channel)` pairs.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId(i), c))
+    }
+
+    /// Looks an actor up by name (first match).
+    pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
+        self.actors.iter().position(|a| a.name == name).map(ActorId)
+    }
+
+    /// Channels whose consumer is `actor`.
+    pub fn inputs_of(&self, actor: ActorId) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels().filter(move |(_, c)| c.dst == actor)
+    }
+
+    /// Channels whose producer is `actor`.
+    pub fn outputs_of(&self, actor: ActorId) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels().filter(move |(_, c)| c.src == actor)
+    }
+
+    /// Computes the cycle-repetition vector: for each actor, the number of
+    /// full cyclo-static cycles it completes per graph iteration.
+    ///
+    /// The entries are the smallest positive integers solving the balance
+    /// equations `r_src · total(prod) = r_dst · total(cons)` for every
+    /// channel. Actors in different weakly-connected components are scaled
+    /// independently (each component's smallest entry set is minimal).
+    ///
+    /// # Errors
+    ///
+    /// * [`DataflowError::Empty`] for a graph without actors.
+    /// * [`DataflowError::Inconsistent`] if the balance equations only have
+    ///   the trivial solution.
+    pub fn repetition_vector(&self) -> Result<Vec<u64>, DataflowError> {
+        if self.actors.is_empty() {
+            return Err(DataflowError::Empty("graph"));
+        }
+        let n = self.actors.len();
+        let mut rate: Vec<Option<Ratio>> = vec![None; n];
+        // Adjacency over channels for BFS.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, ch) in self.channels.iter().enumerate() {
+            adj[ch.src.0].push(ci);
+            adj[ch.dst.0].push(ci);
+        }
+        for start in 0..n {
+            if rate[start].is_some() {
+                continue;
+            }
+            rate[start] = Some(Ratio::ONE);
+            let mut stack = vec![start];
+            let mut component = vec![start];
+            while let Some(a) = stack.pop() {
+                let ra = rate[a].expect("visited actors have rates");
+                for &ci in &adj[a] {
+                    let ch = &self.channels[ci];
+                    let prod = ch.prod.total() as i128;
+                    let cons = ch.cons.total() as i128;
+                    // Channels that move no tokens impose no constraint.
+                    if prod == 0 && cons == 0 {
+                        continue;
+                    }
+                    if prod == 0 || cons == 0 {
+                        return Err(DataflowError::Inconsistent {
+                            detail: format!(
+                                "channel {} ↦ {} moves tokens in one direction only \
+                                 (prod {prod}, cons {cons})",
+                                self.actors[ch.src.0].name, self.actors[ch.dst.0].name
+                            ),
+                        });
+                    }
+                    let (other, expected) = if ch.src.0 == a {
+                        // r_src * prod = r_dst * cons  =>  r_dst = r_src * prod / cons
+                        (ch.dst.0, ra.mul(Ratio::new(prod, cons)))
+                    } else {
+                        (ch.src.0, ra.mul(Ratio::new(cons, prod)))
+                    };
+                    match rate[other] {
+                        None => {
+                            rate[other] = Some(expected);
+                            stack.push(other);
+                            component.push(other);
+                        }
+                        Some(existing) if existing != expected => {
+                            return Err(DataflowError::Inconsistent {
+                                detail: format!(
+                                    "actor `{}` requires rate {existing} and {expected}",
+                                    self.actors[other].name
+                                ),
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            // Scale this component to smallest integers.
+            let mut denom_lcm: i128 = 1;
+            for &a in &component {
+                let r = rate[a].expect("component actors have rates");
+                denom_lcm = denom_lcm / gcd_i128(denom_lcm, r.denom()) * r.denom();
+            }
+            let mut numer_gcd: i128 = 0;
+            for &a in &component {
+                let r = rate[a].expect("component actors have rates");
+                let scaled = r.numer() * (denom_lcm / r.denom());
+                numer_gcd = gcd_i128(numer_gcd, scaled);
+            }
+            let numer_gcd = numer_gcd.max(1);
+            for &a in &component {
+                let r = rate[a].expect("component actors have rates");
+                let scaled = r.numer() * (denom_lcm / r.denom()) / numer_gcd;
+                rate[a] = Some(Ratio::integer(scaled));
+            }
+        }
+        rate.into_iter()
+            .map(|r| {
+                let r = r.expect("all actors visited");
+                u64::try_from(r.numer()).map_err(|_| DataflowError::Overflow("repetition vector"))
+            })
+            .collect()
+    }
+
+    /// Firing-repetition vector: cycle repetitions × phase counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CsdfGraph::repetition_vector`].
+    pub fn firing_repetition_vector(&self) -> Result<Vec<u64>, DataflowError> {
+        let cycles = self.repetition_vector()?;
+        Ok(cycles
+            .iter()
+            .zip(&self.actors)
+            .map(|(r, a)| r * a.n_phases() as u64)
+            .collect())
+    }
+
+    /// Checks structural sanity: every rate vector matches its actor's phase
+    /// count (guaranteed by construction) and the balance equations are
+    /// solvable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CsdfGraph::repetition_vector`].
+    pub fn validate(&self) -> Result<(), DataflowError> {
+        self.repetition_vector().map(|_| ())
+    }
+
+    /// Rewrites every bounded channel into an unbounded forward channel plus
+    /// an explicit reverse *space* channel with `capacity − initial_tokens`
+    /// initial tokens.
+    ///
+    /// The simulator's space-reservation semantics makes the rewritten graph
+    /// behaviourally identical to the original (the paper's Figure 3 models
+    /// buffers the same way); the rewrite is what HSDF/MCR analysis operates
+    /// on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a channel's capacity is smaller than its initial tokens.
+    #[must_use]
+    pub fn expand_capacities(&self) -> CsdfGraph {
+        let mut g = self.clone();
+        for ch in &mut g.channels {
+            ch.capacity = None;
+        }
+        for ch in &self.channels {
+            if let Some(cap) = ch.capacity {
+                assert!(
+                    cap >= ch.initial_tokens,
+                    "channel capacity {cap} below initial tokens {}",
+                    ch.initial_tokens
+                );
+                g.channels.push(Channel {
+                    src: ch.dst,
+                    dst: ch.src,
+                    prod: ch.cons.clone(),
+                    cons: ch.prod.clone(),
+                    initial_tokens: cap - ch.initial_tokens,
+                    capacity: None,
+                });
+            }
+        }
+        g
+    }
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_actor_graph(p: u64, c: u64) -> (CsdfGraph, ActorId, ActorId) {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("p", PhaseVec::single(1), 1);
+        let b = g.add_actor("c", PhaseVec::single(1), 1);
+        g.add_channel(a, b, PhaseVec::single(p), PhaseVec::single(c))
+            .unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn repetition_vector_sdf() {
+        let (g, a, b) = two_actor_graph(2, 3);
+        let r = g.repetition_vector().unwrap();
+        assert_eq!(r[a.index()], 3);
+        assert_eq!(r[b.index()], 2);
+    }
+
+    #[test]
+    fn repetition_vector_csdf_uses_cycle_totals() {
+        let mut g = CsdfGraph::new();
+        // a has 2 phases producing ⟨1,2⟩ = 3/cycle; b 1 phase consuming 1.
+        let a = g.add_actor("a", PhaseVec::from_slice(&[5, 5]), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        g.add_channel(a, b, PhaseVec::from_slice(&[1, 2]), PhaseVec::single(1))
+            .unwrap();
+        let r = g.repetition_vector().unwrap();
+        assert_eq!(r, vec![1, 3]);
+        let f = g.firing_repetition_vector().unwrap();
+        assert_eq!(f, vec![2, 3]);
+    }
+
+    #[test]
+    fn inconsistent_graph_detected() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(1), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        g.add_channel(a, b, PhaseVec::single(2), PhaseVec::single(1))
+            .unwrap();
+        g.add_channel(a, b, PhaseVec::single(1), PhaseVec::single(1))
+            .unwrap();
+        assert!(matches!(
+            g.repetition_vector(),
+            Err(DataflowError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn phase_mismatch_rejected() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::uniform(1, 2), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        let err = g
+            .add_channel(a, b, PhaseVec::single(1), PhaseVec::single(1))
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::PhaseMismatch { .. }));
+    }
+
+    #[test]
+    fn disconnected_components_scaled_independently() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(1), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        let c = g.add_actor("c", PhaseVec::single(1), 1);
+        let d = g.add_actor("d", PhaseVec::single(1), 1);
+        g.add_channel(a, b, PhaseVec::single(1), PhaseVec::single(1))
+            .unwrap();
+        g.add_channel(c, d, PhaseVec::single(4), PhaseVec::single(2))
+            .unwrap();
+        let r = g.repetition_vector().unwrap();
+        assert_eq!(r, vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn zero_rate_channel_rejected_when_one_sided() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(1), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        g.add_channel(a, b, PhaseVec::single(0), PhaseVec::single(1))
+            .unwrap();
+        assert!(g.repetition_vector().is_err());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let (g, a, b) = two_actor_graph(1, 1);
+        assert_eq!(g.actor_by_name("p"), Some(a));
+        assert_eq!(g.actor_by_name("missing"), None);
+        assert_eq!(g.inputs_of(b).count(), 1);
+        assert_eq!(g.outputs_of(a).count(), 1);
+        assert_eq!(g.inputs_of(a).count(), 0);
+    }
+
+    #[test]
+    fn self_loop_supported() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(1), 1);
+        g.add_channel_full(a, a, PhaseVec::single(1), PhaseVec::single(1), 1, None)
+            .unwrap();
+        assert_eq!(g.repetition_vector().unwrap(), vec![1]);
+    }
+}

@@ -1,0 +1,247 @@
+//! CSDF → HSDF (homogeneous SDF) expansion.
+//!
+//! Every actor `a` with firing-repetition count `q_a` becomes `q_a` nodes,
+//! one per firing within a graph iteration; inter-firing dependencies carry
+//! initial-token counts equal to their iteration distance. The expansion is
+//! used by [`crate::mcr`] to compute the maximum cycle ratio, which
+//! cross-validates the self-timed simulator: for a live, consistent graph
+//! the steady-state time per graph iteration equals the MCR.
+
+use crate::error::DataflowError;
+use crate::graph::{ActorId, CsdfGraph};
+
+/// A node of the expanded HSDF graph: firing `firing` of actor `actor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HsdfNode {
+    /// Originating CSDF actor.
+    pub actor: ActorId,
+    /// Firing index within one graph iteration (`0..q_actor`).
+    pub firing: u64,
+    /// Execution time of this firing in time units.
+    pub time: u64,
+}
+
+/// A dependency edge of the expanded HSDF graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HsdfEdge {
+    /// Source node index into [`HsdfGraph::nodes`].
+    pub from: usize,
+    /// Destination node index into [`HsdfGraph::nodes`].
+    pub to: usize,
+    /// Iteration distance (initial tokens on the edge).
+    pub tokens: u64,
+}
+
+/// The expanded homogeneous graph.
+#[derive(Debug, Clone, Default)]
+pub struct HsdfGraph {
+    /// One node per actor firing per iteration.
+    pub nodes: Vec<HsdfNode>,
+    /// Dependency edges with iteration distances.
+    pub edges: Vec<HsdfEdge>,
+}
+
+/// Smallest `p ≥ 0` such that `cum(p + 1) ≥ requirement`, where `cum` is the
+/// cumulative production of `prod` over firings; `total` is one-iteration
+/// production (`prod.total() × ?` — here per `q` firings).
+fn min_enabling_firing(
+    prod: &crate::phase::PhaseVec,
+    q: u64,
+    total_per_iteration: u64,
+    requirement: u64,
+) -> u64 {
+    debug_assert!(requirement >= 1);
+    debug_assert!(total_per_iteration >= 1);
+    // Whole iterations we can safely skip.
+    let skip_iters = (requirement - 1) / total_per_iteration;
+    let rem = requirement - skip_iters * total_per_iteration;
+    // rem in [1, total_per_iteration]: scan one iteration of firings.
+    let mut acc = 0u64;
+    for i in 0..q {
+        acc += prod.get((i % prod.len() as u64) as usize);
+        if acc >= rem {
+            return skip_iters * q + i;
+        }
+    }
+    unreachable!("one iteration moves total_per_iteration tokens");
+}
+
+/// Expands a CSDF graph into its HSDF equivalent.
+///
+/// Channel capacities must be expanded first
+/// ([`CsdfGraph::expand_capacities`]); bounded channels are rejected.
+///
+/// # Errors
+///
+/// * [`DataflowError::Inconsistent`] if the graph has no repetition vector
+///   or a consumer firing would depend on a *future* producer iteration
+///   (the graph is not live at iteration level).
+/// * [`DataflowError::Empty`] for an empty graph.
+pub fn expand(graph: &CsdfGraph) -> Result<HsdfGraph, DataflowError> {
+    for (_, ch) in graph.channels() {
+        if ch.capacity.is_some() {
+            return Err(DataflowError::Inconsistent {
+                detail: "expand_capacities() must be applied before HSDF expansion".into(),
+            });
+        }
+    }
+    let q = graph.firing_repetition_vector()?;
+    let mut nodes = Vec::new();
+    let mut node_base = vec![0usize; graph.n_actors()];
+    for (id, actor) in graph.actors() {
+        node_base[id.index()] = nodes.len();
+        let phases = actor.n_phases() as u64;
+        for f in 0..q[id.index()] {
+            nodes.push(HsdfNode {
+                actor: id,
+                firing: f,
+                time: actor.phase_duration((f % phases) as usize),
+            });
+        }
+    }
+
+    let mut edges = Vec::new();
+    // Sequential (no auto-concurrency) constraint per actor.
+    for (id, _) in graph.actors() {
+        let qa = q[id.index()];
+        let base = node_base[id.index()];
+        for f in 0..qa {
+            let next = (f + 1) % qa;
+            edges.push(HsdfEdge {
+                from: base + f as usize,
+                to: base + next as usize,
+                tokens: u64::from(next == 0),
+            });
+        }
+    }
+
+    // Data dependencies per channel.
+    for (_, ch) in graph.channels() {
+        let qs = q[ch.src.index()];
+        let qd = q[ch.dst.index()];
+        let total: u64 = (0..qs)
+            .map(|i| ch.prod.get((i % ch.prod.len() as u64) as usize))
+            .sum();
+        if total == 0 {
+            // Channel never carries tokens (all-zero rates): no constraint.
+            continue;
+        }
+        let delta = ch.initial_tokens;
+        let mut cons_cum = 0u64;
+        for j in 0..qd {
+            cons_cum += ch.cons.get((j % ch.cons.len() as u64) as usize);
+            // Requirement R may be covered by initial tokens for iteration 0,
+            // but the periodic constraint needs the dependence for a generic
+            // iteration m: shift by enough iterations to make it positive.
+            let m_shift = if cons_cum > delta {
+                0u64
+            } else {
+                (delta - cons_cum) / total + 1
+            };
+            let requirement = m_shift * total + cons_cum - delta;
+            let p = min_enabling_firing(&ch.prod, qs, total, requirement);
+            let firing = p % qs;
+            let producer_iteration = p / qs;
+            // Producer fires in iteration (m + m_shift - producer_iteration)
+            // relative to the consumer's iteration m... as a distance:
+            if producer_iteration > m_shift {
+                return Err(DataflowError::Inconsistent {
+                    detail: format!(
+                        "consumer firing depends on a future producer iteration \
+                         (channel {} → {})",
+                        graph.actor(ch.src).name,
+                        graph.actor(ch.dst).name
+                    ),
+                });
+            }
+            let tokens = m_shift - producer_iteration;
+            edges.push(HsdfEdge {
+                from: node_base[ch.src.index()] + firing as usize,
+                to: node_base[ch.dst.index()] + j as usize,
+                tokens,
+            });
+        }
+    }
+
+    Ok(HsdfGraph { nodes, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseVec;
+
+    #[test]
+    fn sdf_expansion_counts() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(2), 1);
+        let b = g.add_actor("b", PhaseVec::single(3), 1);
+        g.add_channel(a, b, PhaseVec::single(2), PhaseVec::single(3))
+            .unwrap();
+        let h = expand(&g).unwrap();
+        // q = [3, 2]: 5 nodes; 5 sequential edges + 2 data edges.
+        assert_eq!(h.nodes.len(), 5);
+        assert_eq!(h.edges.len(), 7);
+    }
+
+    #[test]
+    fn same_iteration_dependency_has_zero_tokens() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(1), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        g.add_channel(a, b, PhaseVec::single(1), PhaseVec::single(1))
+            .unwrap();
+        let h = expand(&g).unwrap();
+        let data_edge = h
+            .edges
+            .iter()
+            .find(|e| h.nodes[e.from].actor != h.nodes[e.to].actor)
+            .unwrap();
+        assert_eq!(data_edge.tokens, 0);
+    }
+
+    #[test]
+    fn initial_tokens_become_iteration_distance() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(1), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        g.add_channel_full(a, b, PhaseVec::single(1), PhaseVec::single(1), 2, None)
+            .unwrap();
+        let h = expand(&g).unwrap();
+        let data_edge = h
+            .edges
+            .iter()
+            .find(|e| h.nodes[e.from].actor != h.nodes[e.to].actor)
+            .unwrap();
+        assert_eq!(data_edge.tokens, 2);
+    }
+
+    #[test]
+    fn bounded_channel_rejected() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::single(1), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        g.add_channel_full(a, b, PhaseVec::single(1), PhaseVec::single(1), 0, Some(4))
+            .unwrap();
+        assert!(expand(&g).is_err());
+        assert!(expand(&g.expand_capacities()).is_ok());
+    }
+
+    #[test]
+    fn csdf_phases_expand_to_distinct_times() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", PhaseVec::from_slice(&[2, 7]), 1);
+        let b = g.add_actor("b", PhaseVec::single(1), 1);
+        g.add_channel(a, b, PhaseVec::from_slice(&[1, 1]), PhaseVec::single(2))
+            .unwrap();
+        let h = expand(&g).unwrap();
+        // q = [2, 1] (a fires 2 per iteration producing 2; b consumes 2).
+        let times: Vec<u64> = h
+            .nodes
+            .iter()
+            .filter(|n| n.actor == a)
+            .map(|n| n.time)
+            .collect();
+        assert_eq!(times, vec![2, 7]);
+    }
+}

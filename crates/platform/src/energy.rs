@@ -1,0 +1,81 @@
+//! Energy accounting: processing + NoC communication.
+//!
+//! The paper's objective is "to minimize the energy consumption of the
+//! entire application: processing (including memory requirements thereof)
+//! as well as interprocess communication" (§1.3). Processing energy comes
+//! from the implementation library (Table 1's nJ/symbol column); this module
+//! supplies the communication side: energy per token per hop, plus a
+//! per-router traversal overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the communication-energy model.
+///
+/// Defaults are representative 90 nm NoC figures (documented model
+/// parameters, not paper values — the paper does not quantify NoC energy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy to move one 32-bit token across one link, in picojoules.
+    pub link_pj_per_token: u64,
+    /// Energy to traverse one router (buffering + arbitration), in
+    /// picojoules per token.
+    pub router_pj_per_token: u64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            link_pj_per_token: 30,
+            router_pj_per_token: 20,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Communication energy for `tokens` tokens taking a path with `hops`
+    /// router-to-router links, in picojoules.
+    ///
+    /// A path with `h` hops traverses `h + 1` routers (Figure 3 draws a
+    /// router actor per traversed router).
+    pub fn channel_energy_pj(&self, tokens: u64, hops: u32) -> u64 {
+        if hops == 0 {
+            // Same-tile communication: through local memory, modelled free.
+            return 0;
+        }
+        let link = self.link_pj_per_token * u64::from(hops) * tokens;
+        let router = self.router_pj_per_token * (u64::from(hops) + 1) * tokens;
+        link + router
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_hops_is_free() {
+        let m = EnergyModel::default();
+        assert_eq!(m.channel_energy_pj(1000, 0), 0);
+    }
+
+    #[test]
+    fn energy_scales_linearly_in_tokens_and_hops() {
+        let m = EnergyModel {
+            link_pj_per_token: 10,
+            router_pj_per_token: 5,
+        };
+        // 1 hop: 10·1 + 5·2 = 20 pJ per token.
+        assert_eq!(m.channel_energy_pj(1, 1), 20);
+        assert_eq!(m.channel_energy_pj(3, 1), 60);
+        // 2 hops: 10·2 + 5·3 = 35 pJ per token.
+        assert_eq!(m.channel_energy_pj(1, 2), 35);
+    }
+
+    #[test]
+    fn more_hops_never_cheaper() {
+        let m = EnergyModel::default();
+        for h in 0..8u32 {
+            assert!(m.channel_energy_pj(10, h) <= m.channel_energy_pj(10, h + 1));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! ASCII rendering of the platform layout (Figure 2) and link loads.
+
+use crate::state::PlatformState;
+use crate::topology::{Coord, Platform};
+use std::fmt::Write as _;
+
+/// Renders the mesh as ASCII art: one cell per router, labelled with the
+/// attached tile's name (or `·` for bare routers).
+///
+/// ```text
+/// +----------+----------+----------+
+/// | OTHER1   | ARM1     | MONTIUM2 |
+/// +----------+----------+----------+
+/// | ARM2     | A/D      | OTHER2   |
+/// +----------+----------+----------+
+/// | OTHER3   | Sink     | MONTIUM1 |
+/// +----------+----------+----------+
+/// ```
+pub fn render_layout(platform: &Platform) -> String {
+    let cell_width = platform
+        .tiles()
+        .map(|(_, t)| t.name.len())
+        .max()
+        .unwrap_or(1)
+        .max(1)
+        + 2;
+    let mut out = String::new();
+    let horizontal = |out: &mut String| {
+        for _ in 0..platform.width() {
+            out.push('+');
+            out.push_str(&"-".repeat(cell_width));
+        }
+        out.push_str("+\n");
+    };
+    for y in 0..platform.height() {
+        horizontal(&mut out);
+        for x in 0..platform.width() {
+            let label = platform
+                .tile_at(Coord { x, y })
+                .map(|id| platform.tile(id).name.clone())
+                .unwrap_or_else(|| "·".to_string());
+            let _ = write!(out, "| {label:<width$}", width = cell_width - 1);
+        }
+        out.push_str("|\n");
+    }
+    horizontal(&mut out);
+    out
+}
+
+/// Renders per-link utilisation as `from -> to: used/capacity` lines,
+/// skipping idle links.
+pub fn render_link_loads(platform: &Platform, state: &PlatformState) -> String {
+    let mut out = String::new();
+    for (id, link) in platform.links() {
+        let residual = state.residual_link(platform, id);
+        let used = link.capacity - residual;
+        if used > 0 {
+            let _ = writeln!(
+                out,
+                "{} -> {}: {}/{} words/s",
+                link.from, link.to, used, link.capacity
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no link load)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_platform;
+
+    #[test]
+    fn layout_contains_all_tiles() {
+        let p = paper_platform();
+        let art = render_layout(&p);
+        for (_, t) in p.tiles() {
+            assert!(art.contains(&t.name), "missing {}", t.name);
+        }
+        // 3 rows of cells + 4 horizontal rules.
+        assert_eq!(art.lines().count(), 7);
+    }
+
+    #[test]
+    fn link_loads_reports_allocations() {
+        let p = paper_platform();
+        let mut s = p.initial_state();
+        assert!(render_link_loads(&p, &s).contains("no link load"));
+        let (lid, _) = p.links().next().unwrap();
+        s.allocate_link(&p, lid, 42).unwrap();
+        let report = render_link_loads(&p, &s);
+        assert!(report.contains("42/"), "{report}");
+    }
+}

@@ -1,0 +1,547 @@
+//! Capacity-constrained shortest-path routing — step 3's substrate.
+//!
+//! "In each iteration for a given channel, a shortest path between the
+//! source and destination tile of the channel has to be determined, where
+//! only those paths through the interconnect are taken into account which
+//! still have enough capacity for the throughput requirement of the current
+//! channel." (Section 3, step 3.)
+
+use crate::error::PlatformError;
+use crate::state::PlatformState;
+use crate::tile::TileId;
+use crate::topology::{Coord, LinkId, Platform};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// A routed guaranteed-throughput connection through the NoC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Source tile.
+    pub from: TileId,
+    /// Destination tile.
+    pub to: TileId,
+    /// Routers traversed, source router first (always ≥ 1 entries).
+    pub routers: Vec<Coord>,
+    /// Directed links traversed (`routers.len() - 1` entries).
+    pub links: Vec<LinkId>,
+    /// Reserved bandwidth in words/second.
+    pub demand: u64,
+}
+
+impl Path {
+    /// Number of router-to-router hops (= Manhattan distance for minimal
+    /// mesh routes).
+    pub fn hops(&self) -> u32 {
+        self.links.len() as u32
+    }
+
+    /// Number of routers traversed (the router actors of Figure 3).
+    pub fn router_count(&self) -> u32 {
+        self.routers.len() as u32
+    }
+}
+
+/// Finds a minimal-hop path from `from` to `to` using only links with at
+/// least `demand` words/second residual capacity, and with sufficient NI
+/// bandwidth at both endpoints.
+///
+/// Ties between equal-hop paths are broken deterministically (lexicographic
+/// router coordinates), so mapping runs are reproducible.
+///
+/// # Errors
+///
+/// [`PlatformError::NoRoute`] if no such path exists (including NI
+/// exhaustion) — the mapper turns this into step-3 feedback.
+pub fn route(
+    platform: &Platform,
+    state: &PlatformState,
+    from: TileId,
+    to: TileId,
+    demand: u64,
+) -> Result<Path, PlatformError> {
+    let no_route = || PlatformError::NoRoute { from, to, demand };
+    if state.residual_injection(platform, from) < demand
+        || state.residual_ejection(platform, to) < demand
+    {
+        return Err(no_route());
+    }
+    let start = platform.tile(from).position;
+    let goal = platform.tile(to).position;
+    if start == goal {
+        return Ok(Path {
+            from,
+            to,
+            routers: vec![start],
+            links: Vec::new(),
+            demand,
+        });
+    }
+
+    // Dijkstra over routers; cost = hops; deterministic tie-break on
+    // (cost, coord). Mesh sizes are small (≤ tens of routers).
+    let index = |c: Coord| (c.y as usize) * (platform.width() as usize) + c.x as usize;
+    let n = (platform.width() as usize) * (platform.height() as usize);
+    let mut best: Vec<u32> = vec![u32::MAX; n];
+    let mut prev: Vec<Option<Coord>> = vec![None; n];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, (u16, u16))>> = BinaryHeap::new();
+    best[index(start)] = 0;
+    heap.push(std::cmp::Reverse((0, (start.x, start.y))));
+    while let Some(std::cmp::Reverse((cost, (x, y)))) = heap.pop() {
+        let here = Coord { x, y };
+        if cost > best[index(here)] {
+            continue;
+        }
+        if here == goal {
+            break;
+        }
+        for next in platform.neighbours(here) {
+            let Some(link) = platform.link_between(here, next) else {
+                continue;
+            };
+            if state.residual_link(platform, link) < demand {
+                continue;
+            }
+            let ncost = cost + 1;
+            if ncost < best[index(next)] {
+                best[index(next)] = ncost;
+                prev[index(next)] = Some(here);
+                heap.push(std::cmp::Reverse((ncost, (next.x, next.y))));
+            }
+        }
+    }
+    if best[index(goal)] == u32::MAX {
+        return Err(no_route());
+    }
+
+    let mut routers = vec![goal];
+    let mut cursor = goal;
+    while let Some(p) = prev[index(cursor)] {
+        routers.push(p);
+        cursor = p;
+    }
+    routers.reverse();
+    let links = routers
+        .windows(2)
+        .map(|w| {
+            platform
+                .link_between(w[0], w[1])
+                .expect("consecutive routers are adjacent")
+        })
+        .collect();
+    Ok(Path {
+        from,
+        to,
+        routers,
+        links,
+        demand,
+    })
+}
+
+/// The path-search policy used when realising a channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Capacity-aware shortest path that may detour around congestion
+    /// ([`route`]) — the paper's step-3 behaviour.
+    #[default]
+    Adaptive,
+    /// Deterministic dimension-ordered XY routing ([`route_xy`]).
+    DimensionOrdered,
+}
+
+impl RoutingPolicy {
+    /// Routes with this policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::NoRoute`] as the underlying router reports.
+    pub fn route(
+        &self,
+        platform: &Platform,
+        state: &PlatformState,
+        from: TileId,
+        to: TileId,
+        demand: u64,
+    ) -> Result<Path, PlatformError> {
+        match self {
+            RoutingPolicy::Adaptive => route(platform, state, from, to, demand),
+            RoutingPolicy::DimensionOrdered => route_xy(platform, state, from, to, demand),
+        }
+    }
+}
+
+/// Dimension-ordered (XY) routing: first along X, then along Y — the
+/// classic deterministic policy of guaranteed-throughput mesh NoCs.
+///
+/// Unlike [`route`], XY cannot detour: if any link on *the* XY path lacks
+/// residual capacity, routing fails. The benches compare both policies
+/// under congestion.
+///
+/// # Errors
+///
+/// [`PlatformError::NoRoute`] if an XY-path link or an endpoint NI lacks
+/// capacity.
+pub fn route_xy(
+    platform: &Platform,
+    state: &PlatformState,
+    from: TileId,
+    to: TileId,
+    demand: u64,
+) -> Result<Path, PlatformError> {
+    let no_route = || PlatformError::NoRoute { from, to, demand };
+    if state.residual_injection(platform, from) < demand
+        || state.residual_ejection(platform, to) < demand
+    {
+        return Err(no_route());
+    }
+    let start = platform.tile(from).position;
+    let goal = platform.tile(to).position;
+    let mut routers = vec![start];
+    let mut cursor = start;
+    while cursor.x != goal.x {
+        let next = Coord {
+            x: if goal.x > cursor.x {
+                cursor.x + 1
+            } else {
+                cursor.x - 1
+            },
+            y: cursor.y,
+        };
+        routers.push(next);
+        cursor = next;
+    }
+    while cursor.y != goal.y {
+        let next = Coord {
+            x: cursor.x,
+            y: if goal.y > cursor.y {
+                cursor.y + 1
+            } else {
+                cursor.y - 1
+            },
+        };
+        routers.push(next);
+        cursor = next;
+    }
+    let mut links = Vec::with_capacity(routers.len().saturating_sub(1));
+    for w in routers.windows(2) {
+        let link = platform.link_between(w[0], w[1]).ok_or_else(no_route)?;
+        if state.residual_link(platform, link) < demand {
+            return Err(no_route());
+        }
+        links.push(link);
+    }
+    Ok(Path {
+        from,
+        to,
+        routers,
+        links,
+        demand,
+    })
+}
+
+fn ni_claims(path: &Path) -> [(TileId, crate::state::TileClaim); 2] {
+    let inject = crate::state::TileClaim {
+        slots: 0,
+        memory_bytes: 0,
+        cycles_per_second: 0,
+        injection: path.demand,
+        ejection: 0,
+    };
+    let eject = crate::state::TileClaim {
+        slots: 0,
+        memory_bytes: 0,
+        cycles_per_second: 0,
+        injection: 0,
+        ejection: path.demand,
+    };
+    [(path.from, inject), (path.to, eject)]
+}
+
+/// Reserves the path's bandwidth on every link plus NI injection at the
+/// source tile and NI ejection at the destination tile.
+///
+/// On failure the ledger is left exactly as found (all partial reservations
+/// are rolled back).
+///
+/// # Errors
+///
+/// [`PlatformError::LinkAccounting`] if any link lacks capacity, or
+/// [`PlatformError::InsufficientResource`] if an endpoint NI is exhausted.
+pub fn allocate(
+    platform: &Platform,
+    state: &mut PlatformState,
+    path: &Path,
+) -> Result<(), PlatformError> {
+    let mut done = Vec::with_capacity(path.links.len());
+    for &link in &path.links {
+        match state.allocate_link(platform, link, path.demand) {
+            Ok(()) => done.push(link),
+            Err(e) => {
+                for &undo in &done {
+                    state
+                        .release_link(undo, path.demand)
+                        .expect("rollback of a reservation just made");
+                }
+                return Err(e);
+            }
+        }
+    }
+    let [inject, eject] = ni_claims(path);
+    let rollback_links = |state: &mut PlatformState| {
+        for &undo in &done {
+            state
+                .release_link(undo, path.demand)
+                .expect("rollback of a reservation just made");
+        }
+    };
+    if let Err(e) = state.claim_tile(platform, inject.0, &inject.1) {
+        rollback_links(state);
+        return Err(e);
+    }
+    if let Err(e) = state.claim_tile(platform, eject.0, &eject.1) {
+        state
+            .release_tile(inject.0, &inject.1)
+            .expect("rollback of a claim just made");
+        rollback_links(state);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Releases a previously allocated path (links and endpoint NI).
+///
+/// # Errors
+///
+/// [`PlatformError::LinkAccounting`] / [`PlatformError::UnknownClaim`] if
+/// the path was not allocated.
+pub fn release(
+    _platform: &Platform,
+    state: &mut PlatformState,
+    path: &Path,
+) -> Result<(), PlatformError> {
+    for &link in &path.links {
+        state.release_link(link, path.demand)?;
+    }
+    let [inject, eject] = ni_claims(path);
+    state.release_tile(inject.0, &inject.1)?;
+    state.release_tile(eject.0, &eject.1)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileKind;
+    use crate::topology::{NocParams, PlatformBuilder};
+
+    fn platform_3x3() -> Platform {
+        PlatformBuilder::mesh(3, 3)
+            .noc(NocParams {
+                hop_latency_cycles: 4,
+                clock_mhz: 200,
+                link_capacity: 100,
+            })
+            .tile("a", TileKind::Arm, Coord { x: 0, y: 0 })
+            .tile("b", TileKind::Arm, Coord { x: 2, y: 2 })
+            .tile("c", TileKind::Arm, Coord { x: 2, y: 0 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shortest_path_has_manhattan_hops() {
+        let p = platform_3x3();
+        let s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        let path = route(&p, &s, a, b, 10).unwrap();
+        assert_eq!(path.hops(), 4);
+        assert_eq!(path.router_count(), 5);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let p = platform_3x3();
+        let s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let path = route(&p, &s, a, a, 10).unwrap();
+        assert_eq!(path.hops(), 0);
+        assert_eq!(path.router_count(), 1);
+    }
+
+    #[test]
+    fn saturated_links_are_avoided() {
+        let p = platform_3x3();
+        let mut s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let c = p.tile_by_name("c").unwrap();
+        // Saturate the direct row: (0,0)->(1,0) and (1,0)->(2,0).
+        for (from, to) in [((0, 0), (1, 0)), ((1, 0), (2, 0))] {
+            let l = p
+                .link_between(
+                    Coord {
+                        x: from.0,
+                        y: from.1,
+                    },
+                    Coord { x: to.0, y: to.1 },
+                )
+                .unwrap();
+            s.allocate_link(&p, l, 100).unwrap();
+        }
+        let path = route(&p, &s, a, c, 10).unwrap();
+        // Must detour: longer than the Manhattan distance of 2.
+        assert!(path.hops() > 2, "hops {}", path.hops());
+    }
+
+    #[test]
+    fn no_route_when_everything_saturated() {
+        let p = platform_3x3();
+        let mut s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        for (l, _) in p.links() {
+            s.allocate_link(&p, l, 100).unwrap();
+        }
+        assert!(matches!(
+            route(&p, &s, a, b, 10),
+            Err(PlatformError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn demand_above_link_capacity_unroutable() {
+        let p = platform_3x3();
+        let s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        // Links carry 100; NI carries the default (much larger).
+        assert!(route(&p, &s, a, b, 101).is_err());
+    }
+
+    #[test]
+    fn allocate_release_roundtrip() {
+        let p = platform_3x3();
+        let mut s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        let before = s.clone();
+        let path = route(&p, &s, a, b, 60).unwrap();
+        allocate(&p, &mut s, &path).unwrap();
+        // A second 60-demand route must avoid the allocated links or fail;
+        // capacity is 100 so the same links cannot fit both.
+        let second = route(&p, &s, a, b, 60).unwrap();
+        assert!(second.links.iter().all(|l| !path.links.contains(l)));
+        release(&p, &mut s, &path).unwrap();
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn allocation_failure_rolls_back() {
+        let p = platform_3x3();
+        let mut s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        let path = route(&p, &s, a, b, 60).unwrap();
+        // Saturate the LAST link of the path behind the router's back.
+        let last = *path.links.last().unwrap();
+        s.allocate_link(&p, last, 50).unwrap();
+        let snapshot = s.clone();
+        assert!(allocate(&p, &mut s, &path).is_err());
+        assert_eq!(s, snapshot, "partial allocation must roll back");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let p = platform_3x3();
+        let s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        let p1 = route(&p, &s, a, b, 10).unwrap();
+        let p2 = route(&p, &s, a, b, 10).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn xy_route_is_minimal_and_dimension_ordered() {
+        let p = platform_3x3();
+        let s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap(); // (0,0)
+        let b = p.tile_by_name("b").unwrap(); // (2,2)
+        let path = route_xy(&p, &s, a, b, 10).unwrap();
+        assert_eq!(path.hops(), 4);
+        // X first: the second router must be (1,0), not (0,1).
+        assert_eq!(path.routers[1], Coord { x: 1, y: 0 });
+        assert_eq!(path.routers[2], Coord { x: 2, y: 0 });
+    }
+
+    #[test]
+    fn xy_cannot_detour_but_adaptive_can() {
+        let p = platform_3x3();
+        let mut s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap(); // (0,0)
+        let c = p.tile_by_name("c").unwrap(); // (2,0)
+        // Saturate the direct X corridor.
+        for (from, to) in [((0, 0), (1, 0)), ((1, 0), (2, 0))] {
+            let l = p
+                .link_between(
+                    Coord {
+                        x: from.0,
+                        y: from.1,
+                    },
+                    Coord { x: to.0, y: to.1 },
+                )
+                .unwrap();
+            s.allocate_link(&p, l, 100).unwrap();
+        }
+        assert!(matches!(
+            route_xy(&p, &s, a, c, 10),
+            Err(PlatformError::NoRoute { .. })
+        ));
+        // The adaptive router detours around it.
+        assert!(route(&p, &s, a, c, 10).is_ok());
+    }
+
+    #[test]
+    fn xy_self_route_is_empty() {
+        let p = platform_3x3();
+        let s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let path = route_xy(&p, &s, a, a, 10).unwrap();
+        assert_eq!(path.hops(), 0);
+    }
+
+    #[test]
+    fn xy_and_adaptive_agree_on_empty_noc_hop_count() {
+        let p = platform_3x3();
+        let s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        let adaptive = route(&p, &s, a, b, 10).unwrap();
+        let xy = route_xy(&p, &s, a, b, 10).unwrap();
+        assert_eq!(adaptive.hops(), xy.hops());
+    }
+
+    #[test]
+    fn ni_exhaustion_blocks_route() {
+        let p = platform_3x3();
+        let mut s = p.initial_state();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        let inj = p.tile(a).ni_injection;
+        s.claim_tile(
+            &p,
+            a,
+            &crate::state::TileClaim {
+                slots: 0,
+                memory_bytes: 0,
+                cycles_per_second: 0,
+                injection: inj,
+                ejection: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            route(&p, &s, a, b, 1),
+            Err(PlatformError::NoRoute { .. })
+        ));
+    }
+}

@@ -1,0 +1,349 @@
+//! The run-time occupancy ledger.
+//!
+//! The DATE 2008 paper's central argument is that resource availability is
+//! only known when an application is started. [`PlatformState`] is that
+//! knowledge: which compute slots, memory, NI bandwidth and link bandwidth
+//! are in use. The spatial mapper works against a `PlatformState`, and
+//! multi-application scenarios thread one ledger through a sequence of
+//! mapping requests.
+
+use crate::error::PlatformError;
+use crate::tile::TileId;
+use crate::topology::{LinkId, Platform};
+use serde::{Deserialize, Serialize};
+
+/// A claim of tile-local resources by one process implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileClaim {
+    /// Compute slots taken (normally 1).
+    pub slots: u32,
+    /// Data memory taken, in bytes.
+    pub memory_bytes: u64,
+    /// Processor time taken, in cycles per second (WCET cycles per period ÷
+    /// period).
+    pub cycles_per_second: u64,
+    /// NI injection bandwidth taken, in words per second.
+    pub injection: u64,
+    /// NI ejection bandwidth taken, in words per second.
+    pub ejection: u64,
+}
+
+/// Mutable resource usage of a [`Platform`].
+///
+/// All mutating operations are exact inverses of each other
+/// (`claim_tile`/`release_tile`, `allocate_link`/`release_link`), a property
+/// the test-suite checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformState {
+    used_slots: Vec<u32>,
+    used_memory: Vec<u64>,
+    used_cycles: Vec<u64>,
+    used_injection: Vec<u64>,
+    used_ejection: Vec<u64>,
+    used_links: Vec<u64>,
+}
+
+impl PlatformState {
+    /// An empty ledger for `platform`.
+    pub fn new(platform: &Platform) -> Self {
+        let n = platform.n_tiles();
+        let m = platform.n_links();
+        PlatformState {
+            used_slots: vec![0; n],
+            used_memory: vec![0; n],
+            used_cycles: vec![0; n],
+            used_injection: vec![0; n],
+            used_ejection: vec![0; n],
+            used_links: vec![0; m],
+        }
+    }
+
+    /// True if `claim` fits on `tile` given current usage.
+    pub fn fits_tile(&self, platform: &Platform, tile: TileId, claim: &TileClaim) -> bool {
+        let t = platform.tile(tile);
+        let i = tile.index();
+        let cycle_budget = u64::from(t.clock_mhz) * 1_000_000;
+        self.used_slots[i] + claim.slots <= t.compute_slots
+            && self.used_memory[i] + claim.memory_bytes <= t.memory_bytes
+            && self.used_cycles[i] + claim.cycles_per_second <= cycle_budget
+            && self.used_injection[i] + claim.injection <= t.ni_injection
+            && self.used_ejection[i] + claim.ejection <= t.ni_ejection
+    }
+
+    /// Claims `claim` on `tile`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::InsufficientResource`] if the claim does not fit;
+    /// the ledger is unchanged in that case.
+    pub fn claim_tile(
+        &mut self,
+        platform: &Platform,
+        tile: TileId,
+        claim: &TileClaim,
+    ) -> Result<(), PlatformError> {
+        if !self.fits_tile(platform, tile, claim) {
+            return Err(PlatformError::InsufficientResource {
+                tile,
+                resource: self.first_missing(platform, tile, claim),
+            });
+        }
+        let i = tile.index();
+        self.used_slots[i] += claim.slots;
+        self.used_memory[i] += claim.memory_bytes;
+        self.used_cycles[i] += claim.cycles_per_second;
+        self.used_injection[i] += claim.injection;
+        self.used_ejection[i] += claim.ejection;
+        Ok(())
+    }
+
+    /// Releases a claim previously made with [`PlatformState::claim_tile`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownClaim`] if the release would drive any
+    /// counter negative (the claim was never made); the ledger is unchanged.
+    pub fn release_tile(&mut self, tile: TileId, claim: &TileClaim) -> Result<(), PlatformError> {
+        let i = tile.index();
+        if self.used_slots[i] < claim.slots
+            || self.used_memory[i] < claim.memory_bytes
+            || self.used_cycles[i] < claim.cycles_per_second
+            || self.used_injection[i] < claim.injection
+            || self.used_ejection[i] < claim.ejection
+        {
+            return Err(PlatformError::UnknownClaim);
+        }
+        self.used_slots[i] -= claim.slots;
+        self.used_memory[i] -= claim.memory_bytes;
+        self.used_cycles[i] -= claim.cycles_per_second;
+        self.used_injection[i] -= claim.injection;
+        self.used_ejection[i] -= claim.ejection;
+        Ok(())
+    }
+
+    fn first_missing(
+        &self,
+        platform: &Platform,
+        tile: TileId,
+        claim: &TileClaim,
+    ) -> &'static str {
+        let t = platform.tile(tile);
+        let i = tile.index();
+        if self.used_slots[i] + claim.slots > t.compute_slots {
+            "compute slots"
+        } else if self.used_memory[i] + claim.memory_bytes > t.memory_bytes {
+            "memory"
+        } else if self.used_cycles[i] + claim.cycles_per_second
+            > u64::from(t.clock_mhz) * 1_000_000
+        {
+            "processor cycles"
+        } else if self.used_injection[i] + claim.injection > t.ni_injection {
+            "NI injection bandwidth"
+        } else {
+            "NI ejection bandwidth"
+        }
+    }
+
+    /// Residual capacity of `link` in words/second.
+    pub fn residual_link(&self, platform: &Platform, link: LinkId) -> u64 {
+        platform.link(link).capacity - self.used_links[link.index()]
+    }
+
+    /// Reserves `demand` words/second on `link`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::LinkAccounting`] if the link lacks capacity.
+    pub fn allocate_link(
+        &mut self,
+        platform: &Platform,
+        link: LinkId,
+        demand: u64,
+    ) -> Result<(), PlatformError> {
+        if self.residual_link(platform, link) < demand {
+            return Err(PlatformError::LinkAccounting {
+                detail: format!(
+                    "link {:?} has {} words/s free, {} requested",
+                    platform.link(link),
+                    self.residual_link(platform, link),
+                    demand
+                ),
+            });
+        }
+        self.used_links[link.index()] += demand;
+        Ok(())
+    }
+
+    /// Releases `demand` words/second on `link`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::LinkAccounting`] if more is released than allocated.
+    pub fn release_link(&mut self, link: LinkId, demand: u64) -> Result<(), PlatformError> {
+        if self.used_links[link.index()] < demand {
+            return Err(PlatformError::LinkAccounting {
+                detail: format!("releasing {demand} words/s exceeds allocation"),
+            });
+        }
+        self.used_links[link.index()] -= demand;
+        Ok(())
+    }
+
+    /// Used compute slots of `tile`.
+    pub fn used_slots(&self, tile: TileId) -> u32 {
+        self.used_slots[tile.index()]
+    }
+
+    /// Used memory of `tile`, in bytes.
+    pub fn used_memory(&self, tile: TileId) -> u64 {
+        self.used_memory[tile.index()]
+    }
+
+    /// Free compute slots of `tile`.
+    pub fn free_slots(&self, platform: &Platform, tile: TileId) -> u32 {
+        platform.tile(tile).compute_slots - self.used_slots[tile.index()]
+    }
+
+    /// Residual NI injection bandwidth of `tile`, in words/second.
+    pub fn residual_injection(&self, platform: &Platform, tile: TileId) -> u64 {
+        platform.tile(tile).ni_injection - self.used_injection[tile.index()]
+    }
+
+    /// Residual NI ejection bandwidth of `tile`, in words/second.
+    pub fn residual_ejection(&self, platform: &Platform, tile: TileId) -> u64 {
+        platform.tile(tile).ni_ejection - self.used_ejection[tile.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileKind;
+    use crate::topology::{Coord, PlatformBuilder};
+
+    fn platform() -> Platform {
+        PlatformBuilder::mesh(2, 1)
+            .tile_defaults(200, 2, 1000, 1_000_000)
+            .tile("a", TileKind::Arm, Coord { x: 0, y: 0 })
+            .tile("b", TileKind::Arm, Coord { x: 1, y: 0 })
+            .build()
+            .unwrap()
+    }
+
+    fn claim() -> TileClaim {
+        TileClaim {
+            slots: 1,
+            memory_bytes: 400,
+            cycles_per_second: 50_000_000,
+            injection: 100_000,
+            ejection: 100_000,
+        }
+    }
+
+    #[test]
+    fn claim_release_roundtrip() {
+        let p = platform();
+        let t = p.tile_by_name("a").unwrap();
+        let mut s = p.initial_state();
+        let before = s.clone();
+        s.claim_tile(&p, t, &claim()).unwrap();
+        assert_eq!(s.used_slots(t), 1);
+        s.release_tile(t, &claim()).unwrap();
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn overcommit_rejected_without_mutation() {
+        let p = platform();
+        let t = p.tile_by_name("a").unwrap();
+        let mut s = p.initial_state();
+        let big = TileClaim {
+            memory_bytes: 900,
+            ..claim()
+        };
+        s.claim_tile(&p, t, &big).unwrap();
+        let snapshot = s.clone();
+        let err = s.claim_tile(&p, t, &big).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::InsufficientResource {
+                resource: "memory",
+                ..
+            }
+        ));
+        assert_eq!(s, snapshot);
+    }
+
+    #[test]
+    fn slot_exhaustion_reported() {
+        let p = platform();
+        let t = p.tile_by_name("a").unwrap();
+        let mut s = p.initial_state();
+        let slim = TileClaim {
+            memory_bytes: 0,
+            cycles_per_second: 0,
+            injection: 0,
+            ejection: 0,
+            slots: 1,
+        };
+        s.claim_tile(&p, t, &slim).unwrap();
+        s.claim_tile(&p, t, &slim).unwrap();
+        let err = s.claim_tile(&p, t, &slim).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::InsufficientResource {
+                resource: "compute slots",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unbalanced_release_rejected() {
+        let p = platform();
+        let t = p.tile_by_name("a").unwrap();
+        let mut s = p.initial_state();
+        assert!(matches!(
+            s.release_tile(t, &claim()),
+            Err(PlatformError::UnknownClaim)
+        ));
+    }
+
+    #[test]
+    fn link_allocate_release_roundtrip() {
+        let p = platform();
+        let (lid, _) = p.links().next().unwrap();
+        let mut s = p.initial_state();
+        let cap = p.link(lid).capacity;
+        s.allocate_link(&p, lid, cap).unwrap();
+        assert_eq!(s.residual_link(&p, lid), 0);
+        assert!(s.allocate_link(&p, lid, 1).is_err());
+        s.release_link(lid, cap).unwrap();
+        assert_eq!(s.residual_link(&p, lid), cap);
+        assert!(s.release_link(lid, 1).is_err());
+    }
+
+    #[test]
+    fn cycle_budget_enforced() {
+        let p = platform();
+        let t = p.tile_by_name("a").unwrap();
+        let mut s = p.initial_state();
+        // 200 MHz tile = 200e6 cycles/s budget.
+        let heavy = TileClaim {
+            cycles_per_second: 150_000_000,
+            memory_bytes: 0,
+            injection: 0,
+            ejection: 0,
+            slots: 1,
+        };
+        s.claim_tile(&p, t, &heavy).unwrap();
+        let err = s.claim_tile(&p, t, &heavy).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::InsufficientResource {
+                resource: "processor cycles",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,157 @@
+//! Tiles: heterogeneous processing elements with their NoC interface.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of processing element on a tile.
+///
+/// The paper's case study uses ARM general-purpose cores and MONTIUM
+/// coarse-grained reconfigurable cores; `Dsp`/`Fpga` widen the palette for
+/// synthetic workloads and [`TileKind::Other`] gives an open namespace.
+/// `AdcSource` and `Sink` model the fixed stream endpoints of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TileKind {
+    /// General-purpose embedded core (paper: ARM926 with cache).
+    Arm,
+    /// Coarse-grained reconfigurable core (paper: MONTIUM).
+    Montium,
+    /// Dedicated DSP core (synthetic workloads).
+    Dsp,
+    /// Fine-grained reconfigurable fabric (synthetic workloads).
+    Fpga,
+    /// Analog-to-digital stream source (the paper's `A/D` tile).
+    AdcSource,
+    /// Stream sink (the paper's `Sink` tile).
+    Sink,
+    /// Any other tile type, distinguished by tag.
+    Other(u8),
+}
+
+impl TileKind {
+    /// True for tile kinds that execute application processes (as opposed to
+    /// fixed stream endpoints).
+    pub fn is_processing(&self) -> bool {
+        !matches!(self, TileKind::AdcSource | TileKind::Sink)
+    }
+}
+
+impl fmt::Display for TileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileKind::Arm => write!(f, "ARM"),
+            TileKind::Montium => write!(f, "MONTIUM"),
+            TileKind::Dsp => write!(f, "DSP"),
+            TileKind::Fpga => write!(f, "FPGA"),
+            TileKind::AdcSource => write!(f, "A/D"),
+            TileKind::Sink => write!(f, "Sink"),
+            TileKind::Other(tag) => write!(f, "T{tag}"),
+        }
+    }
+}
+
+/// Identifier of a tile within a [`crate::Platform`].
+///
+/// Tile ids are dense indices in insertion order; the mapper's first-fit
+/// packing (step 1) iterates tiles in this order, which is why the paper
+/// instance inserts `ARM1, ARM2, MONTIUM1, MONTIUM2, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileId(pub(crate) usize);
+
+impl TileId {
+    /// Index of this tile in the platform's tile list.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Builds a `TileId` from a raw index. The caller must ensure the index
+    /// belongs to the intended platform.
+    pub fn from_index(index: usize) -> Self {
+        TileId(index)
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A tile: a processing element plus its network interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    /// Human-readable name (e.g. `ARM1`).
+    pub name: String,
+    /// Processing-element type.
+    pub kind: TileKind,
+    /// Position of the tile's router in the mesh.
+    pub position: crate::topology::Coord,
+    /// Clock frequency in MHz (cycle time = `1e6/clock_mhz` ps).
+    pub clock_mhz: u32,
+    /// Maximum number of processes this tile can host simultaneously.
+    pub compute_slots: u32,
+    /// Data memory available for implementation state and stream buffers,
+    /// in bytes.
+    pub memory_bytes: u64,
+    /// Network-interface injection bandwidth (words/second).
+    pub ni_injection: u64,
+    /// Network-interface ejection bandwidth (words/second).
+    pub ni_ejection: u64,
+}
+
+impl Tile {
+    /// Cycle time in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_mhz` is zero.
+    pub fn cycle_time_ps(&self) -> u64 {
+        assert!(self.clock_mhz > 0, "tile clock must be positive");
+        1_000_000 / u64::from(self.clock_mhz)
+    }
+
+    /// Clock cycles available in `period_ps` picoseconds (floor).
+    pub fn cycles_per_period(&self, period_ps: u64) -> u64 {
+        period_ps / self.cycle_time_ps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Coord;
+
+    fn tile(kind: TileKind) -> Tile {
+        Tile {
+            name: "t".into(),
+            kind,
+            position: Coord { x: 0, y: 0 },
+            clock_mhz: 200,
+            compute_slots: 1,
+            memory_bytes: 64 * 1024,
+            ni_injection: 200_000_000,
+            ni_ejection: 200_000_000,
+        }
+    }
+
+    #[test]
+    fn cycle_time_from_clock() {
+        assert_eq!(tile(TileKind::Arm).cycle_time_ps(), 5_000);
+        // 4 µs period at 200 MHz = 800 cycles (the paper-instance budget).
+        assert_eq!(tile(TileKind::Arm).cycles_per_period(4_000_000), 800);
+    }
+
+    #[test]
+    fn processing_predicate() {
+        assert!(tile(TileKind::Arm).kind.is_processing());
+        assert!(tile(TileKind::Montium).kind.is_processing());
+        assert!(!TileKind::AdcSource.is_processing());
+        assert!(!TileKind::Sink.is_processing());
+        assert!(TileKind::Other(3).is_processing());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TileKind::Montium.to_string(), "MONTIUM");
+        assert_eq!(TileKind::Other(7).to_string(), "T7");
+    }
+}

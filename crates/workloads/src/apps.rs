@@ -1,0 +1,345 @@
+//! Constructed realistic streaming-DSP applications.
+//!
+//! These are the "more complex real-life examples" the paper's §5 asks
+//! benchmarks for. Each is a pipeline in the same ALS format as the
+//! HIPERLAN/2 receiver: per stage a specialized (MONTIUM or DSP) and a
+//! general-purpose (ARM) implementation in a read–compute–write CSDF shape
+//! (like Table 1's ARM rows). Token counts follow the algorithms'
+//! block sizes; WCET and energy figures are *representative constructions*,
+//! not measurements — they preserve the paper's structure (specialized
+//! implementations ≈2× cheaper in energy, faster in cycles).
+
+use rtsm_app::{
+    ApplicationSpec, Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec,
+};
+use rtsm_dataflow::PhaseVec;
+use rtsm_platform::TileKind;
+
+/// One pipeline stage description.
+struct Stage {
+    name: &'static str,
+    short: &'static str,
+    /// Tokens produced towards the next stage (per period).
+    out_tokens: u64,
+    /// `(kind, wcet_cycles_per_period, energy_nj)` per implementation; the
+    /// first entry is the preferred one.
+    impls: &'static [(TileKind, u64, u64)],
+}
+
+/// Builds a chain application: `StreamInput -(in_tokens)-> s1 -> … -> sn
+/// -(last out_tokens)-> StreamOutput`.
+fn chain_app(
+    name: &str,
+    period_ps: u64,
+    in_tokens: u64,
+    stages: &[Stage],
+) -> ApplicationSpec {
+    let mut graph = ProcessGraph::new();
+    let ids: Vec<_> = stages
+        .iter()
+        .map(|s| graph.add_process_abbrev(s.name, s.short))
+        .collect();
+    let mut inputs = vec![in_tokens];
+    for s in stages.iter().take(stages.len() - 1) {
+        inputs.push(s.out_tokens);
+    }
+    graph
+        .add_channel(Endpoint::StreamInput, Endpoint::Process(ids[0]), in_tokens)
+        .expect("valid endpoints");
+    for (i, pair) in ids.windows(2).enumerate() {
+        graph
+            .add_channel(
+                Endpoint::Process(pair[0]),
+                Endpoint::Process(pair[1]),
+                stages[i].out_tokens,
+            )
+            .expect("valid endpoints");
+    }
+    graph
+        .add_channel(
+            Endpoint::Process(ids[ids.len() - 1]),
+            Endpoint::StreamOutput,
+            stages[stages.len() - 1].out_tokens,
+        )
+        .expect("valid endpoints");
+
+    let mut library = ImplementationLibrary::new();
+    for (i, stage) in stages.iter().enumerate() {
+        let t_in = inputs[i];
+        let t_out = stage.out_tokens;
+        for &(kind, wcet, energy_nj) in stage.impls {
+            // Read–compute–write: ⟨in,0,0⟩ / ⟨0,0,out⟩ with the WCET split
+            // 10% / 80% / 10% (at least 1 cycle per phase).
+            let read = (wcet / 10).max(1);
+            let write = (wcet / 10).max(1);
+            let compute = wcet.saturating_sub(read + write).max(1);
+            library.register(
+                ids[i],
+                Implementation::simple(
+                    format!("{} @ {kind}", stage.name),
+                    kind,
+                    PhaseVec::from_slice(&[read, compute, write]),
+                    PhaseVec::from_slice(&[t_in, 0, 0]),
+                    PhaseVec::from_slice(&[0, 0, t_out]),
+                    energy_nj * 1000,
+                    match kind {
+                        TileKind::Arm => 8 * 1024,
+                        _ => 2 * 1024,
+                    },
+                ),
+            );
+        }
+    }
+
+    ApplicationSpec {
+        name: name.to_string(),
+        graph,
+        qos: QosSpec::with_period(period_ps),
+        library,
+    }
+}
+
+/// An IEEE 802.11a OFDM transmitter: scrambler → convolutional encoder →
+/// interleaver → QPSK mapper → IFFT → cyclic-prefix insertion. One OFDM
+/// symbol every 4 µs.
+pub fn wlan_tx() -> ApplicationSpec {
+    const M: TileKind = TileKind::Montium;
+    const A: TileKind = TileKind::Arm;
+    chain_app(
+        "802.11a transmitter",
+        4_000_000,
+        12, // 48 data bytes per symbol at QPSK½, as 32-bit words
+        &[
+            Stage {
+                name: "Scrambler",
+                short: "Scrm.",
+                out_tokens: 12,
+                impls: &[(M, 40, 18), (A, 90, 35)],
+            },
+            Stage {
+                name: "Conv. encoder",
+                short: "Enc.",
+                out_tokens: 24,
+                impls: &[(M, 80, 30), (A, 200, 60)],
+            },
+            Stage {
+                name: "Interleaver",
+                short: "Intl.",
+                out_tokens: 24,
+                impls: &[(M, 60, 22), (A, 150, 45)],
+            },
+            Stage {
+                name: "QPSK mapper",
+                short: "Map.",
+                out_tokens: 48,
+                impls: &[(M, 70, 26), (A, 160, 50)],
+            },
+            Stage {
+                name: "IFFT-64",
+                short: "IFFT",
+                out_tokens: 64,
+                impls: &[(M, 290, 140), (A, 760, 270)],
+            },
+            Stage {
+                name: "Cyclic prefix",
+                short: "CP",
+                out_tokens: 80,
+                impls: &[(M, 90, 30), (A, 180, 55)],
+            },
+        ],
+    )
+}
+
+/// A (scaled) DVB-T inner receiver: symbol sync → FFT → channel equalizer →
+/// symbol demapper → inner deinterleaver → Viterbi decoder. One (scaled)
+/// OFDM symbol every 224 µs; token counts scaled 1:8 from the 2k mode to
+/// keep analyses fast (documented substitution).
+pub fn dvbt_rx() -> ApplicationSpec {
+    const M: TileKind = TileKind::Montium;
+    const A: TileKind = TileKind::Arm;
+    const D: TileKind = TileKind::Dsp;
+    chain_app(
+        "DVB-T inner receiver (2k/8 scale)",
+        224_000_000,
+        256,
+        &[
+            Stage {
+                name: "Symbol sync",
+                short: "Sync",
+                out_tokens: 256,
+                impls: &[(M, 1200, 110), (A, 2600, 240)],
+            },
+            Stage {
+                name: "FFT-256",
+                short: "FFT",
+                out_tokens: 256,
+                impls: &[(M, 2100, 420), (D, 2600, 500), (A, 6400, 950)],
+            },
+            Stage {
+                name: "Equalizer",
+                short: "Eq.",
+                out_tokens: 192,
+                impls: &[(M, 1500, 260), (A, 3400, 520)],
+            },
+            Stage {
+                name: "Demapper",
+                short: "Dmap",
+                out_tokens: 96,
+                impls: &[(M, 900, 150), (A, 2000, 310)],
+            },
+            Stage {
+                name: "Deinterleaver",
+                short: "Dint",
+                out_tokens: 96,
+                impls: &[(A, 1400, 180), (D, 800, 95)],
+            },
+            Stage {
+                name: "Viterbi",
+                short: "Vit.",
+                out_tokens: 48,
+                impls: &[(D, 5200, 800), (A, 16000, 2400)],
+            },
+        ],
+    )
+}
+
+/// An MP3 decoder back-end: Huffman decode → requantize → stereo → IMDCT →
+/// synthesis filterbank. One granule every 13.06 ms; 1:3-scaled token
+/// counts (192 of 576 samples) keep analyses fast.
+pub fn mp3_decoder() -> ApplicationSpec {
+    const A: TileKind = TileKind::Arm;
+    const D: TileKind = TileKind::Dsp;
+    chain_app(
+        "MP3 decoder (1/3 scale)",
+        13_060_000_000,
+        64,
+        &[
+            Stage {
+                name: "Huffman decode",
+                short: "Huff",
+                out_tokens: 192,
+                impls: &[(A, 9000, 700)], // inherently control-heavy: ARM only
+            },
+            Stage {
+                name: "Requantize",
+                short: "Rq.",
+                out_tokens: 192,
+                impls: &[(D, 4000, 380), (A, 9500, 760)],
+            },
+            Stage {
+                name: "Stereo",
+                short: "St.",
+                out_tokens: 192,
+                impls: &[(D, 2200, 210), (A, 5200, 430)],
+            },
+            Stage {
+                name: "IMDCT",
+                short: "IMDCT",
+                out_tokens: 192,
+                impls: &[(D, 7800, 900), (A, 21000, 2300)],
+            },
+            Stage {
+                name: "Synthesis filterbank",
+                short: "Syn.",
+                out_tokens: 192,
+                impls: &[(D, 10200, 1200), (A, 27000, 3100)],
+            },
+        ],
+    )
+}
+
+/// A JPEG encoder pipeline: colour conversion → 8×8 DCT → quantization →
+/// zig-zag + RLE → Huffman coding, one 8×8 block (64 words) per 50 µs.
+pub fn jpeg_encoder() -> ApplicationSpec {
+    const M: TileKind = TileKind::Montium;
+    const A: TileKind = TileKind::Arm;
+    chain_app(
+        "JPEG encoder",
+        50_000_000,
+        64,
+        &[
+            Stage {
+                name: "Colour conversion",
+                short: "CC",
+                out_tokens: 64,
+                impls: &[(M, 400, 60), (A, 900, 120)],
+            },
+            Stage {
+                name: "DCT-8x8",
+                short: "DCT",
+                out_tokens: 64,
+                impls: &[(M, 1100, 210), (A, 3100, 520)],
+            },
+            Stage {
+                name: "Quantizer",
+                short: "Q",
+                out_tokens: 64,
+                impls: &[(M, 300, 45), (A, 700, 95)],
+            },
+            Stage {
+                name: "ZigZag+RLE",
+                short: "ZZ",
+                out_tokens: 32,
+                impls: &[(A, 800, 100), (M, 500, 55)],
+            },
+            Stage {
+                name: "Huffman coding",
+                short: "Huff",
+                out_tokens: 16,
+                impls: &[(A, 1500, 190)],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_constructed_apps_validate() {
+        for (app, stages) in [
+            (wlan_tx(), 6),
+            (dvbt_rx(), 6),
+            (mp3_decoder(), 5),
+            (jpeg_encoder(), 5),
+        ] {
+            assert_eq!(app.validate(), Ok(()), "{}", app.name);
+            assert_eq!(app.graph.stream_processes().count(), stages, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn specialized_implementations_are_cheaper() {
+        let app = wlan_tx();
+        for (pid, _) in app.graph.stream_processes() {
+            let impls = app.library.impls_for(pid);
+            if impls.len() >= 2 {
+                assert!(impls[0].energy_pj_per_period < impls[1].energy_pj_per_period);
+            }
+        }
+    }
+
+    #[test]
+    fn wlan_tx_fits_montium_budget() {
+        // All MONTIUM implementations fit the 800-cycle 4 µs budget.
+        let app = wlan_tx();
+        for (pid, _) in app.graph.stream_processes() {
+            if let Some(m) = app.library.impl_for(pid, TileKind::Montium) {
+                let cycles = app.cycles_per_period(pid, m);
+                assert!(m.wcet_per_period(cycles) <= 800, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn token_ladders_match_block_sizes() {
+        let jpeg = jpeg_encoder();
+        let traffic: Vec<u64> = jpeg
+            .graph
+            .stream_channels()
+            .map(|(_, c)| c.tokens_per_period)
+            .collect();
+        assert_eq!(traffic, vec![64, 64, 64, 64, 32, 16]);
+    }
+}

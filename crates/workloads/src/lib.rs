@@ -1,0 +1,28 @@
+//! Workload suite for the run-time spatial mapper.
+//!
+//! The paper's future-work section (§5) calls for benchmarks with "far more
+//! complex real-life examples than the HIPERLAN/2 case … and synthetic
+//! cases based on the class of applications that can reasonably be expected
+//! for MPSOCs in the future". This crate provides both:
+//!
+//! * [`synthetic`] — seeded random streaming applications (chains and
+//!   fork-join graphs with per-tile-type implementation libraries) and
+//! * [`platforms`] — seeded mesh platforms with configurable tile mixes;
+//! * [`apps`] — constructed realistic DSP applications (802.11a
+//!   transmitter, DVB-T receiver, MP3 decoder, JPEG encoder) in the same
+//!   ALS format as the paper's HIPERLAN/2 receiver;
+//! * [`scenario`] — multi-application run-time scenarios: applications
+//!   arrive and depart on a shared platform, exercising the occupancy
+//!   ledger that motivates run-time mapping (§1.3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod platforms;
+pub mod scenario;
+pub mod synthetic;
+
+pub use platforms::mesh_platform;
+pub use scenario::{run_scenario, AppEvent, ScenarioOutcome};
+pub use synthetic::{synthetic_app, GraphShape, SyntheticConfig};

@@ -1,0 +1,101 @@
+//! Seeded mesh-platform generator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rtsm_platform::{Coord, NocParams, Platform, PlatformBuilder, TileKind};
+
+/// Builds a `width × height` mesh with the given tile mix.
+///
+/// One `AdcSource` and one `Sink` tile are always included (stream
+/// endpoints); the remaining positions receive the requested mix (truncated
+/// if the mesh is too small, padded with `Other(0)` filler tiles if the mix
+/// is too small). Placement is a seeded shuffle, so topologies are
+/// reproducible.
+///
+/// # Panics
+///
+/// Panics if the mesh has fewer than 3 positions (source + sink + one
+/// processing tile).
+pub fn mesh_platform(seed: u64, width: u16, height: u16, mix: &[(TileKind, usize)]) -> Platform {
+    let capacity = width as usize * height as usize;
+    assert!(capacity >= 3, "mesh too small for a platform");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut kinds: Vec<TileKind> = vec![TileKind::AdcSource, TileKind::Sink];
+    'outer: for &(kind, count) in mix {
+        for _ in 0..count {
+            if kinds.len() >= capacity {
+                break 'outer;
+            }
+            kinds.push(kind);
+        }
+    }
+    while kinds.len() < capacity {
+        kinds.push(TileKind::Other(0));
+    }
+
+    let mut coords: Vec<Coord> = (0..height)
+        .flat_map(|y| (0..width).map(move |x| Coord { x, y }))
+        .collect();
+    coords.shuffle(&mut rng);
+
+    let mut builder = PlatformBuilder::mesh(width, height).noc(NocParams::default());
+    let mut counters = std::collections::HashMap::new();
+    for (kind, coord) in kinds.into_iter().zip(coords) {
+        let n = counters.entry(kind).or_insert(0usize);
+        *n += 1;
+        let name = match kind {
+            TileKind::AdcSource => "A/D".to_string(),
+            TileKind::Sink => "Sink".to_string(),
+            other => format!("{other}{n}"),
+        };
+        builder = builder.tile(name, kind, coord);
+    }
+    builder.build().expect("generated layouts are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_platform_has_endpoints_and_mix() {
+        let p = mesh_platform(
+            42,
+            4,
+            4,
+            &[(TileKind::Montium, 4), (TileKind::Arm, 6), (TileKind::Dsp, 2)],
+        );
+        assert_eq!(p.n_tiles(), 16);
+        assert_eq!(p.tiles_of_kind(TileKind::AdcSource).count(), 1);
+        assert_eq!(p.tiles_of_kind(TileKind::Sink).count(), 1);
+        assert_eq!(p.tiles_of_kind(TileKind::Montium).count(), 4);
+        assert_eq!(p.tiles_of_kind(TileKind::Arm).count(), 6);
+        assert_eq!(p.tiles_of_kind(TileKind::Dsp).count(), 2);
+        assert_eq!(p.tiles_of_kind(TileKind::Other(0)).count(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let mix = [(TileKind::Arm, 3)];
+        let a = mesh_platform(1, 3, 3, &mix);
+        let b = mesh_platform(1, 3, 3, &mix);
+        let c = mesh_platform(2, 3, 3, &mix);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oversized_mix_truncated() {
+        let p = mesh_platform(5, 2, 2, &[(TileKind::Arm, 50)]);
+        assert_eq!(p.n_tiles(), 4);
+        assert_eq!(p.tiles_of_kind(TileKind::Arm).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh too small")]
+    fn tiny_mesh_rejected() {
+        mesh_platform(0, 1, 2, &[]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Multi-application run-time scenarios.
+//!
+//! The paper's motivation (§1.3): "at run-time when starting an
+//! application, the actual set of applications already running is known,
+//! allowing for a spatial mapping based on actual, rather than worst case
+//! information." A scenario replays a sequence of application starts and
+//! stops against one shared occupancy ledger.
+
+use rtsm_app::ApplicationSpec;
+use rtsm_core::{MapperConfig, MappingResult, SpatialMapper};
+use rtsm_platform::{Platform, PlatformState};
+
+/// One event of a scenario.
+#[derive(Debug, Clone)]
+pub enum AppEvent {
+    /// Start the application with this spec (admitted if a feasible
+    /// mapping exists *now*).
+    Start(Box<ApplicationSpec>),
+    /// Stop the `n`-th previously admitted application (0-based among
+    /// still-running ones), releasing its resources.
+    Stop(usize),
+}
+
+/// Outcome of replaying a scenario.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Applications admitted with a feasible mapping.
+    pub admitted: usize,
+    /// Start requests rejected (no feasible mapping at that moment).
+    pub rejected: usize,
+    /// Total energy of the applications running at the end, pJ/period.
+    pub running_energy_pj: u64,
+    /// Mapping results of the applications still running at the end.
+    pub running: Vec<(ApplicationSpec, MappingResult)>,
+    /// Final platform occupancy.
+    pub final_state: PlatformState,
+}
+
+/// Replays `events` on `platform` with a fresh mapper per start request.
+pub fn run_scenario(
+    platform: &Platform,
+    events: Vec<AppEvent>,
+    config: MapperConfig,
+) -> ScenarioOutcome {
+    let mapper = SpatialMapper::new(config);
+    let mut state = platform.initial_state();
+    let mut running: Vec<(ApplicationSpec, MappingResult)> = Vec::new();
+    let mut admitted = 0;
+    let mut rejected = 0;
+
+    for event in events {
+        match event {
+            AppEvent::Start(spec) => match mapper.map(&spec, platform, &state) {
+                Ok(result) => {
+                    result
+                        .commit(&spec, platform, &mut state)
+                        .expect("mapper results commit onto the state they were mapped against");
+                    running.push((*spec, result));
+                    admitted += 1;
+                }
+                Err(_) => rejected += 1,
+            },
+            AppEvent::Stop(index) => {
+                if index < running.len() {
+                    let (spec, result) = running.remove(index);
+                    result
+                        .release(&spec, platform, &mut state)
+                        .expect("running applications hold their reservations");
+                }
+            }
+        }
+    }
+
+    let running_energy_pj = running.iter().map(|(_, r)| r.energy_pj).sum();
+    ScenarioOutcome {
+        admitted,
+        rejected,
+        running_energy_pj,
+        running,
+        final_state: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    #[test]
+    fn second_receiver_rejected_then_admitted_after_stop() {
+        // The paper platform has exactly two MONTIUMs: one receiver claims
+        // both, so a second is rejected — until the first stops.
+        let platform = paper_platform();
+        let spec = || Box::new(hiperlan2_receiver(Hiperlan2Mode::Qpsk34));
+        let outcome = run_scenario(
+            &platform,
+            vec![
+                AppEvent::Start(spec()),
+                AppEvent::Start(spec()), // rejected: MONTIUMs taken
+                AppEvent::Stop(0),
+                AppEvent::Start(spec()), // admitted again
+            ],
+            MapperConfig::default(),
+        );
+        assert_eq!(outcome.admitted, 2);
+        assert_eq!(outcome.rejected, 1);
+        assert_eq!(outcome.running.len(), 1);
+    }
+
+    #[test]
+    fn stopping_everything_restores_the_empty_ledger() {
+        let platform = paper_platform();
+        let outcome = run_scenario(
+            &platform,
+            vec![
+                AppEvent::Start(Box::new(hiperlan2_receiver(Hiperlan2Mode::Bpsk12))),
+                AppEvent::Stop(0),
+            ],
+            MapperConfig::default(),
+        );
+        assert_eq!(outcome.running.len(), 0);
+        assert_eq!(outcome.final_state, platform.initial_state());
+    }
+
+    #[test]
+    fn stop_with_bad_index_is_ignored() {
+        let platform = paper_platform();
+        let outcome = run_scenario(&platform, vec![AppEvent::Stop(3)], MapperConfig::default());
+        assert_eq!(outcome.admitted, 0);
+        assert_eq!(outcome.rejected, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: map the paper's HIPERLAN/2 receiver onto the paper's MPSoC
+//! and print the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+use rtsm::core::mapper::{MapperConfig, SpatialMapper};
+use rtsm::core::report::render_summary;
+use rtsm::platform::paper::paper_platform;
+use rtsm::platform::render::render_layout;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The application: Figure 1's KPN with Table 1's implementations.
+    let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+    println!("application: {}\n", spec.name);
+
+    // 2. The platform: Figure 2's 3×3 mesh (two ARMs, two MONTIUMs).
+    let platform = paper_platform();
+    println!("{}", render_layout(&platform));
+
+    // 3. Run-time state: nothing running yet.
+    let mut state = platform.initial_state();
+
+    // 4. Map: steps 1–4 with iterative refinement.
+    let mapper = SpatialMapper::new(MapperConfig::default());
+    let result = mapper.map(&spec, &platform, &state)?;
+    println!("{}", render_summary(&result, &spec, &platform));
+
+    // 5. Start the application: commit its resource reservations.
+    result.commit(&spec, &platform, &mut state)?;
+    println!("application started; MONTIUM slots now taken.");
+
+    // 6. A second receiver cannot be admitted while the first runs …
+    assert!(mapper.map(&spec, &platform, &state).is_err());
+    println!("second receiver correctly rejected while the first runs.");
+
+    // … but can be after the first stops.
+    result.release(&spec, &platform, &mut state)?;
+    assert!(mapper.map(&spec, &platform, &state).is_ok());
+    println!("after stopping, the receiver maps again.");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Run-time mapping in action: applications arrive and depart on a shared
+//! MPSoC, and each start request is mapped against the *actual* occupancy —
+//! the paper's §1.3 motivation.
+//!
+//! ```sh
+//! cargo run --example runtime_scenario
+//! ```
+
+use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+use rtsm::core::mapper::MapperConfig;
+use rtsm::platform::TileKind;
+use rtsm::workloads::apps::{jpeg_encoder, wlan_tx};
+use rtsm::workloads::{mesh_platform, run_scenario, AppEvent};
+
+fn main() {
+    // A 4×4 MPSoC with four MONTIUMs, four ARMs and two DSPs.
+    let platform = mesh_platform(
+        2026,
+        4,
+        4,
+        &[
+            (TileKind::Montium, 4),
+            (TileKind::Arm, 4),
+            (TileKind::Dsp, 2),
+        ],
+    );
+
+    let events = vec![
+        AppEvent::Start(Box::new(wlan_tx())),
+        AppEvent::Start(Box::new(jpeg_encoder())),
+        AppEvent::Start(Box::new(hiperlan2_receiver(Hiperlan2Mode::Qpsk34))),
+        // The JPEG encoder finishes; its tiles free up.
+        AppEvent::Stop(1),
+        // A second WLAN transmitter arrives.
+        AppEvent::Start(Box::new(wlan_tx())),
+    ];
+
+    let outcome = run_scenario(&platform, events, MapperConfig::default());
+
+    println!(
+        "admitted {} applications, rejected {}",
+        outcome.admitted, outcome.rejected
+    );
+    println!(
+        "applications running at the end ({} total, {:.1} nJ/period):",
+        outcome.running.len(),
+        outcome.running_energy_pj as f64 / 1000.0
+    );
+    for (spec, result) in &outcome.running {
+        println!(
+            "  {:<36} energy {:>8.1} nJ/period, {} hops, mapped in attempt {}",
+            spec.name,
+            result.energy_pj as f64 / 1000.0,
+            result.communication_hops,
+            result.attempts
+        );
+        for (pid, a) in result.mapping.assignments() {
+            println!(
+                "      {:<24} on {}",
+                spec.graph.process(pid).name,
+                platform.tile(a.tile).name
+            );
+        }
+    }
+}

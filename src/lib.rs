@@ -1,0 +1,47 @@
+//! # rtsm — Run-time Spatial Mapping for Heterogeneous MPSoCs
+//!
+//! A complete, from-scratch reproduction of *Hölzenspies, Hurink, Kuper,
+//! Smit — "Run-time Spatial Mapping of Streaming Applications to a
+//! Heterogeneous Multi-Processor System-on-Chip (MPSOC)", DATE 2008*.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`dataflow`] — cyclo-static dataflow modelling and analysis (phase
+//!   vectors, repetition vectors, self-timed simulation, throughput,
+//!   buffer sizing, latency, HSDF/MCR);
+//! * [`platform`] — heterogeneous tiled MPSoC with a guaranteed-throughput
+//!   mesh NoC, capacity-aware routing, occupancy ledger, and energy model;
+//! * [`app`] — application models: Kahn process networks, QoS constraints,
+//!   implementation libraries, and the paper's HIPERLAN/2 receiver;
+//! * [`core`] — the paper's four-step run-time spatial mapper with
+//!   iterative refinement;
+//! * [`baselines`] — optimal (branch & bound), simulated-annealing,
+//!   random, and greedy comparators;
+//! * [`workloads`] — synthetic generators, constructed realistic DSP
+//!   applications, and multi-application run-time scenarios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+//! use rtsm::core::mapper::{MapperConfig, SpatialMapper};
+//! use rtsm::platform::paper::paper_platform;
+//!
+//! // The paper's case study: map a HIPERLAN/2 receiver onto the 3×3 MPSoC.
+//! let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+//! let platform = paper_platform();
+//! let result = SpatialMapper::new(MapperConfig::default())
+//!     .map(&spec, &platform, &platform.initial_state())
+//!     .expect("feasible");
+//! assert_eq!(result.communication_hops, 7); // Table 2's final cost
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rtsm_app as app;
+pub use rtsm_baselines as baselines;
+pub use rtsm_core as core;
+pub use rtsm_dataflow as dataflow;
+pub use rtsm_platform as platform;
+pub use rtsm_workloads as workloads;

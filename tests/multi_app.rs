@@ -1,0 +1,118 @@
+//! Multi-application run-time scenarios across the whole stack.
+
+use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+use rtsm::core::mapper::MapperConfig;
+use rtsm::platform::TileKind;
+use rtsm::workloads::apps::{dvbt_rx, jpeg_encoder, mp3_decoder, wlan_tx};
+use rtsm::workloads::{mesh_platform, run_scenario, AppEvent};
+
+#[test]
+fn mixed_workload_scenario_admits_and_releases() {
+    let platform = mesh_platform(
+        7,
+        5,
+        5,
+        &[
+            (TileKind::Montium, 6),
+            (TileKind::Arm, 8),
+            (TileKind::Dsp, 4),
+        ],
+    );
+    let outcome = run_scenario(
+        &platform,
+        vec![
+            AppEvent::Start(Box::new(wlan_tx())),
+            AppEvent::Start(Box::new(jpeg_encoder())),
+            AppEvent::Start(Box::new(mp3_decoder())),
+            AppEvent::Stop(0),
+            AppEvent::Start(Box::new(dvbt_rx())),
+        ],
+        MapperConfig::default(),
+    );
+    assert!(outcome.admitted >= 3, "admitted {}", outcome.admitted);
+    // Whatever is still running is consistently accounted.
+    let sum: u64 = outcome.running.iter().map(|(_, r)| r.energy_pj).sum();
+    assert_eq!(sum, outcome.running_energy_pj);
+}
+
+#[test]
+fn all_four_constructed_apps_map_alone() {
+    let platform = mesh_platform(
+        13,
+        5,
+        5,
+        &[
+            (TileKind::Montium, 6),
+            (TileKind::Arm, 8),
+            (TileKind::Dsp, 4),
+        ],
+    );
+    for app in [wlan_tx(), dvbt_rx(), mp3_decoder(), jpeg_encoder()] {
+        let outcome = run_scenario(
+            &platform,
+            vec![AppEvent::Start(Box::new(app.clone()))],
+            MapperConfig::default(),
+        );
+        assert_eq!(outcome.admitted, 1, "{} failed to map", app.name);
+    }
+}
+
+#[test]
+fn saturating_the_platform_rejects_gracefully() {
+    // A tiny platform: repeated starts must eventually reject without
+    // panicking, and stops recover admission capacity.
+    let platform = mesh_platform(
+        3,
+        3,
+        3,
+        &[(TileKind::Montium, 3), (TileKind::Arm, 2)],
+    );
+    let spec = || Box::new(hiperlan2_receiver(Hiperlan2Mode::Qpsk34));
+    let outcome = run_scenario(
+        &platform,
+        vec![
+            AppEvent::Start(spec()),
+            AppEvent::Start(spec()),
+            AppEvent::Start(spec()),
+            AppEvent::Stop(0),
+            AppEvent::Start(spec()),
+        ],
+        MapperConfig::default(),
+    );
+    // At most one receiver fits at a time (two MONTIUM processes needed,
+    // three MONTIUMs present but ARMs limit the rest).
+    assert!(outcome.admitted >= 1);
+    assert!(outcome.rejected >= 1);
+}
+
+#[test]
+fn scenario_energy_decreases_when_apps_stop() {
+    let platform = mesh_platform(
+        21,
+        5,
+        5,
+        &[
+            (TileKind::Montium, 6),
+            (TileKind::Arm, 8),
+            (TileKind::Dsp, 4),
+        ],
+    );
+    let both = run_scenario(
+        &platform,
+        vec![
+            AppEvent::Start(Box::new(wlan_tx())),
+            AppEvent::Start(Box::new(jpeg_encoder())),
+        ],
+        MapperConfig::default(),
+    );
+    let after_stop = run_scenario(
+        &platform,
+        vec![
+            AppEvent::Start(Box::new(wlan_tx())),
+            AppEvent::Start(Box::new(jpeg_encoder())),
+            AppEvent::Stop(1),
+        ],
+        MapperConfig::default(),
+    );
+    assert!(after_stop.running_energy_pj < both.running_energy_pj);
+}

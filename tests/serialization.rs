@@ -1,0 +1,87 @@
+//! Serde round-trips for the model types: application specifications,
+//! platforms, mappings and results survive JSON persistence — the basis
+//! for scenario files and tooling interchange.
+
+use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+use rtsm::app::ApplicationSpec;
+use rtsm::core::mapper::{MapperConfig, SpatialMapper};
+use rtsm::core::Mapping;
+use rtsm::dataflow::{CsdfGraph, PhaseVec};
+use rtsm::platform::paper::paper_platform;
+use rtsm::platform::{Platform, PlatformState};
+
+#[test]
+fn application_spec_roundtrips() {
+    let spec = hiperlan2_receiver(Hiperlan2Mode::Qam64R34);
+    let json = serde_json::to_string(&spec).expect("serialize");
+    let back: ApplicationSpec = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(spec, back);
+    assert_eq!(back.validate(), Ok(()));
+}
+
+#[test]
+fn platform_roundtrips() {
+    let platform = paper_platform();
+    let json = serde_json::to_string(&platform).expect("serialize");
+    let back: Platform = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(platform, back);
+    // Derived structure intact: link lookups still work.
+    let arm1 = back.tile_by_name("ARM1").unwrap();
+    let m2 = back.tile_by_name("MONTIUM2").unwrap();
+    assert_eq!(back.manhattan(arm1, m2), 1);
+}
+
+#[test]
+fn platform_state_roundtrips_with_allocations() {
+    let platform = paper_platform();
+    let mut state = platform.initial_state();
+    let (link, _) = platform.links().next().unwrap();
+    state.allocate_link(&platform, link, 12345).unwrap();
+    let json = serde_json::to_string(&state).expect("serialize");
+    let back: PlatformState = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(state, back);
+    assert_eq!(
+        back.residual_link(&platform, link),
+        platform.link(link).capacity - 12345
+    );
+}
+
+#[test]
+fn mapping_roundtrips_with_routes() {
+    let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+    let platform = paper_platform();
+    let result = SpatialMapper::new(MapperConfig::default())
+        .map(&spec, &platform, &platform.initial_state())
+        .unwrap();
+    let json = serde_json::to_string(&result.mapping).expect("serialize");
+    let back: Mapping = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(result.mapping, back);
+    assert_eq!(back.communication_hops(&spec, &platform), 7);
+}
+
+#[test]
+fn csdf_graph_roundtrips() {
+    let mut g = CsdfGraph::new();
+    let a = g.add_actor("a", PhaseVec::from_slice(&[1, 170, 1]), 5000);
+    let b = g.add_actor("b", PhaseVec::single(4), 5000);
+    g.add_channel_full(
+        a,
+        b,
+        PhaseVec::from_slice(&[0, 0, 64]),
+        PhaseVec::single(1),
+        2,
+        Some(8),
+    )
+    .unwrap();
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: CsdfGraph = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(g, back);
+}
+
+#[test]
+fn mapper_config_roundtrips() {
+    let config = MapperConfig::default();
+    let json = serde_json::to_string(&config).expect("serialize");
+    let back: MapperConfig = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(config, back);
+}
