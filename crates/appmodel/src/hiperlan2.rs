@@ -279,7 +279,10 @@ mod tests {
         // "the minimum output is 12 bytes and the maximum is 384 bytes".
         assert_eq!(Hiperlan2Mode::Bpsk12.demapped_words() * 4, 12);
         assert_eq!(Hiperlan2Mode::Qam64R34.demapped_words() * 4, 384);
-        let words: Vec<u64> = Hiperlan2Mode::ALL.iter().map(|m| m.demapped_words()).collect();
+        let words: Vec<u64> = Hiperlan2Mode::ALL
+            .iter()
+            .map(|m| m.demapped_words())
+            .collect();
         assert!(words.windows(2).all(|w| w[0] < w[1]), "modes monotone in b");
     }
 
@@ -371,7 +374,10 @@ mod tests {
             "Inverse OFDM",
             "Remainder",
         ] {
-            assert!(per_period(process, TileKind::Montium) <= budget, "{process}");
+            assert!(
+                per_period(process, TileKind::Montium) <= budget,
+                "{process}"
+            );
         }
     }
 }

@@ -38,9 +38,7 @@ impl ImplementationLibrary {
     /// The implementation of `process` for `kind`, if registered (first
     /// match).
     pub fn impl_for(&self, process: ProcessId, kind: TileKind) -> Option<&Implementation> {
-        self.impls_for(process)
-            .iter()
-            .find(|i| i.tile_kind == kind)
+        self.impls_for(process).iter().find(|i| i.tile_kind == kind)
     }
 
     /// Distinct tile kinds for which `process` has an implementation.

@@ -46,7 +46,7 @@ mod tests {
     #[test]
     fn hiperlan2_channel_bandwidths() {
         let qos = QosSpec::with_period(4_000_000); // 4 µs
-        // 80 tokens per 4 µs = 20M words/s.
+                                                   // 80 tokens per 4 µs = 20M words/s.
         assert_eq!(qos.words_per_second(80), 20_000_000);
         assert_eq!(qos.words_per_second(64), 16_000_000);
     }

@@ -6,14 +6,13 @@
 //! as a fallback, the best state seen) is validated with the shared
 //! routing + dataflow pipeline.
 
-use crate::api::{
-    claim_option, finalize_assignment, release_option, viable_options, BaselineResult,
-    MappingAlgorithm,
+use crate::common::{
+    claim_option, finalize_assignment, no_feasible_mapping, release_option, viable_options,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rtsm_app::{ApplicationSpec, ProcessId};
-use rtsm_core::Mapping;
+use rtsm_core::{MapError, Mapping, MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{EnergyModel, Platform, PlatformState};
 
 /// Simulated-annealing mapper (seeded: runs are reproducible).
@@ -63,7 +62,7 @@ impl AnnealingMapper {
 }
 
 impl MappingAlgorithm for AnnealingMapper {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "simulated annealing"
     }
 
@@ -72,15 +71,13 @@ impl MappingAlgorithm for AnnealingMapper {
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
-    ) -> Option<BaselineResult> {
+    ) -> Result<MappingOutcome, MapError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut working = base.clone();
-        let mut mapping = self.initial(spec, platform, &mut working)?;
-        let processes: Vec<ProcessId> = spec
-            .graph
-            .stream_processes()
-            .map(|(pid, _)| pid)
-            .collect();
+        let mut mapping = self
+            .initial(spec, platform, &mut working)
+            .ok_or_else(|| no_feasible_mapping(0))?;
+        let processes: Vec<ProcessId> = spec.graph.stream_processes().map(|(pid, _)| pid).collect();
         let mut energy = mapping.energy_pj(spec, platform, &self.energy_model) as f64;
         let mut best = (energy, mapping.clone());
         let mut temperature = self.initial_temperature;
@@ -94,7 +91,14 @@ impl MappingAlgorithm for AnnealingMapper {
             release_option(spec, &mut working, p, current.impl_index, current.tile);
             let options = viable_options(spec, platform, &working, p);
             if options.is_empty() {
-                claim_option(spec, platform, &mut working, p, current.impl_index, current.tile);
+                claim_option(
+                    spec,
+                    platform,
+                    &mut working,
+                    p,
+                    current.impl_index,
+                    current.tile,
+                );
                 continue;
             }
             let (impl_index, tile) = options[rng.random_range(0..options.len())];
@@ -114,13 +118,21 @@ impl MappingAlgorithm for AnnealingMapper {
             } else {
                 // Revert.
                 release_option(spec, &mut working, p, impl_index, tile);
-                claim_option(spec, platform, &mut working, p, current.impl_index, current.tile);
+                claim_option(
+                    spec,
+                    platform,
+                    &mut working,
+                    p,
+                    current.impl_index,
+                    current.tile,
+                );
                 mapping.assign(p, current.impl_index, current.tile);
             }
         }
 
         finalize_assignment(spec, platform, base, mapping, evaluated)
             .or_else(|| finalize_assignment(spec, platform, base, best.1, evaluated))
+            .ok_or_else(|| no_feasible_mapping(evaluated))
     }
 }
 
@@ -161,7 +173,7 @@ mod tests {
         let sa = AnnealingMapper::default()
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
-        let heuristic = crate::HeuristicMapper::default()
+        let heuristic = crate::SpatialMapper::default()
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
         // SA with thousands of evaluations should land within 25% of the

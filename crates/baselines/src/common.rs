@@ -1,55 +1,32 @@
-//! Common interface of all mapping algorithms.
+//! Shared machinery of the search-based baselines.
+//!
+//! All baselines implement the workspace-wide
+//! [`MappingAlgorithm`](rtsm_core::MappingAlgorithm) trait and produce the
+//! same [`MappingOutcome`](rtsm_core::MappingOutcome) the heuristic does.
+//! [`finalize_assignment`] is the shared back-end that makes their scores
+//! comparable: identical step-3 routing and identical step-4 dataflow
+//! analysis, with buffers populated so the outcome can be committed onto a
+//! ledger (e.g. by a [`RuntimeManager`](rtsm_core::RuntimeManager)).
 
 use rtsm_app::ApplicationSpec;
 use rtsm_core::claims::{claim_for, reservation_of};
+use rtsm_core::error::MapError;
 use rtsm_core::step3::route_channels;
 use rtsm_core::step4::{check_constraints, Step4Config};
-use rtsm_core::{Mapping, MapperConfig, SpatialMapper};
+use rtsm_core::{Mapping, MappingOutcome};
 use rtsm_platform::{EnergyModel, Platform, PlatformState};
 
-/// A finished baseline mapping, scored like the heuristic's results.
-#[derive(Debug, Clone)]
-pub struct BaselineResult {
-    /// The mapping (assignments and routes).
-    pub mapping: Mapping,
-    /// Total energy per period in picojoules.
-    pub energy_pj: u64,
-    /// Σ channel Manhattan hops (the paper's step-2 cost).
-    pub communication_hops: u32,
-    /// Whether step 4's dataflow analysis accepted the mapping.
-    pub feasible: bool,
-    /// Search effort: algorithm-specific count of evaluated assignments.
-    pub evaluated: u64,
-}
-
-/// A spatial-mapping algorithm under benchmark.
-pub trait MappingAlgorithm {
-    /// Display name for tables.
-    fn name(&self) -> &'static str;
-
-    /// Maps `spec` onto `platform` over occupancy `base`; `None` when the
-    /// algorithm finds no feasible mapping.
-    fn map(
-        &self,
-        spec: &ApplicationSpec,
-        platform: &Platform,
-        base: &PlatformState,
-    ) -> Option<BaselineResult>;
-}
-
 /// Routes and feasibility-checks an assignment-only mapping, producing a
-/// scored [`BaselineResult`]. Returns `None` if the tile claims do not fit
-/// `base` (non-adherent input), if routing fails, or if step 4 rejects it.
-///
-/// This is the shared back-end that makes baseline scores comparable with
-/// the heuristic's: identical routing and identical dataflow analysis.
+/// scored, committable [`MappingOutcome`]. Returns `None` if the tile
+/// claims do not fit `base` (non-adherent input), if routing fails, or if
+/// step 4 rejects the mapping.
 pub fn finalize_assignment(
     spec: &ApplicationSpec,
     platform: &Platform,
     base: &PlatformState,
     mut mapping: Mapping,
     evaluated: u64,
-) -> Option<BaselineResult> {
+) -> Option<MappingOutcome> {
     // Rebuild the working state from the assignments.
     let mut working = base.clone();
     for (pid, assignment) in mapping.assignments() {
@@ -69,13 +46,28 @@ pub fn finalize_assignment(
     }
     let energy_pj = mapping.energy_pj(spec, platform, &EnergyModel::default());
     let communication_hops = mapping.communication_hops(spec, platform);
-    Some(BaselineResult {
+    Some(MappingOutcome {
         mapping,
+        buffers: step4.buffers,
+        csdf: Some(step4.csdf),
         energy_pj,
         communication_hops,
         feasible: true,
         evaluated,
+        attempts: 1,
+        achieved_period: step4.achieved_period,
+        latency_ps: step4.latency_ps,
+        trace: None,
     })
+}
+
+/// The standard "search came up empty" error of the baselines, which have
+/// no feedback records to attach.
+pub fn no_feasible_mapping(evaluated: u64) -> MapError {
+    MapError::NoFeasibleMapping {
+        attempts: evaluated.min(usize::MAX as u64) as usize,
+        last_feedback: Vec::new(),
+    }
 }
 
 /// All `(impl_index, tile)` options of `process` that fit `working`:
@@ -135,51 +127,19 @@ pub fn release_option(
         .expect("releasing a claim made by claim_option");
 }
 
-/// The paper's four-step heuristic, adapted to [`MappingAlgorithm`].
-#[derive(Debug, Clone, Default)]
-pub struct HeuristicMapper {
-    /// Mapper configuration (defaults to the paper's settings).
-    pub config: MapperConfig,
-}
-
-impl MappingAlgorithm for HeuristicMapper {
-    fn name(&self) -> &'static str {
-        "hierarchical heuristic (paper)"
-    }
-
-    fn map(
-        &self,
-        spec: &ApplicationSpec,
-        platform: &Platform,
-        base: &PlatformState,
-    ) -> Option<BaselineResult> {
-        let result = SpatialMapper::new(self.config).map(spec, platform, base).ok()?;
-        Some(BaselineResult {
-            energy_pj: result.energy_pj,
-            communication_hops: result.communication_hops,
-            feasible: result.feasible,
-            evaluated: result
-                .trace
-                .attempts
-                .iter()
-                .map(|a| a.step2.events.len() as u64 + 1)
-                .sum(),
-            mapping: result.mapping,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_core::{MappingAlgorithm, SpatialMapper};
     use rtsm_platform::paper::paper_platform;
 
     #[test]
     fn heuristic_through_trait_matches_direct_call() {
         let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
         let platform = paper_platform();
-        let result = HeuristicMapper::default()
+        let algorithm: &dyn MappingAlgorithm = &SpatialMapper::default();
+        let result = algorithm
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
         assert!(result.feasible);
@@ -206,7 +166,7 @@ mod tests {
     }
 
     #[test]
-    fn finalize_accepts_paper_mapping() {
+    fn finalize_accepts_paper_mapping_and_is_committable() {
         let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
         let platform = paper_platform();
         let mut m = Mapping::new();
@@ -219,5 +179,14 @@ mod tests {
         let r = finalize_assignment(&spec, &platform, &platform.initial_state(), m, 1).unwrap();
         assert!(r.feasible);
         assert_eq!(r.communication_hops, 7);
+        // Unlike the pre-unification BaselineResult, the outcome carries
+        // buffers and routes, so it can drive a full lifecycle.
+        assert!(!r.buffers.is_empty());
+        let mut state = platform.initial_state();
+        let before = state.clone();
+        r.commit(&spec, &platform, &mut state).unwrap();
+        assert_ne!(state, before);
+        r.release(&spec, &platform, &mut state).unwrap();
+        assert_eq!(state, before);
     }
 }

@@ -11,12 +11,11 @@
 //! "exhaustive search already requires far too much time" at run time, and
 //! the benches quantify that claim.
 
-use crate::api::{
-    claim_option, finalize_assignment, release_option, viable_options, BaselineResult,
-    MappingAlgorithm,
+use crate::common::{
+    claim_option, finalize_assignment, no_feasible_mapping, release_option, viable_options,
 };
 use rtsm_app::{ApplicationSpec, Endpoint, ProcessId};
-use rtsm_core::Mapping;
+use rtsm_core::{MapError, Mapping, MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{EnergyModel, Platform, PlatformState};
 
 /// Branch-and-bound optimal mapper.
@@ -109,8 +108,7 @@ impl Search<'_> {
             }
             mapping.assign(process, impl_index, tile);
             let implementation = &self.spec.library.impls_for(process)[impl_index];
-            let delta =
-                implementation.energy_pj_per_period + self.comm_delta(mapping, process);
+            let delta = implementation.energy_pj_per_period + self.comm_delta(mapping, process);
             self.recurse(depth + 1, mapping, working, partial_energy + delta);
             // Undo: BTreeMap has no unassign; rebuild by overwrite at next
             // iteration and final removal below.
@@ -121,7 +119,7 @@ impl Search<'_> {
 }
 
 impl MappingAlgorithm for ExhaustiveMapper {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "exhaustive branch & bound"
     }
 
@@ -130,8 +128,11 @@ impl MappingAlgorithm for ExhaustiveMapper {
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
-    ) -> Option<BaselineResult> {
-        let order = spec.graph.topological_order().ok()?;
+    ) -> Result<MappingOutcome, MapError> {
+        let order = spec
+            .graph
+            .topological_order()
+            .map_err(MapError::InvalidSpec)?;
         let mut search = Search {
             spec,
             platform,
@@ -146,8 +147,10 @@ impl MappingAlgorithm for ExhaustiveMapper {
         let mut working = base.clone();
         search.recurse(0, &mut mapping, &mut working, 0);
         let nodes = search.nodes;
-        let (_, best) = search.best?;
-        finalize_assignment(spec, platform, base, best, nodes)
+        search
+            .best
+            .and_then(|(_, best)| finalize_assignment(spec, platform, base, best, nodes))
+            .ok_or_else(|| no_feasible_mapping(nodes))
     }
 }
 
@@ -167,7 +170,7 @@ mod tests {
         assert!(result.feasible);
         // Optimal uses both MONTIUMs (processing 341 nJ) and minimal
         // communication; it can be no worse than the heuristic.
-        let heuristic = crate::HeuristicMapper::default()
+        let heuristic = crate::SpatialMapper::default()
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
         assert!(result.energy_pj <= heuristic.energy_pj);
@@ -182,7 +185,7 @@ mod tests {
         let optimal = ExhaustiveMapper::default()
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
-        let heuristic = crate::HeuristicMapper::default()
+        let heuristic = crate::SpatialMapper::default()
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
         assert_eq!(optimal.energy_pj, heuristic.energy_pj);
@@ -199,6 +202,6 @@ mod tests {
         // With one node the search cannot reach a leaf: no result.
         assert!(limited
             .map(&spec, &platform, &platform.initial_state())
-            .is_none());
+            .is_err());
     }
 }

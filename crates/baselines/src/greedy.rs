@@ -5,10 +5,11 @@
 //! this keeps the initial cost of 11 instead of improving to 7 — the
 //! ablation benches quantify how much step 2 buys on larger workloads.
 
-use crate::api::{finalize_assignment, BaselineResult, MappingAlgorithm};
+use crate::common::{finalize_assignment, no_feasible_mapping};
 use rtsm_app::ApplicationSpec;
 use rtsm_core::feedback::Constraints;
 use rtsm_core::step1::assign_implementations;
+use rtsm_core::{MapError, MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{Platform, PlatformState};
 
 /// Step-1-only mapper.
@@ -16,7 +17,7 @@ use rtsm_platform::{Platform, PlatformState};
 pub struct GreedyMapper;
 
 impl MappingAlgorithm for GreedyMapper {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "greedy first-fit (no step 2)"
     }
 
@@ -25,9 +26,11 @@ impl MappingAlgorithm for GreedyMapper {
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
-    ) -> Option<BaselineResult> {
-        let out = assign_implementations(spec, platform, base, &Constraints::new()).ok()?;
-        finalize_assignment(spec, platform, base, out.mapping, 1)
+    ) -> Result<MappingOutcome, MapError> {
+        assign_implementations(spec, platform, base, &Constraints::new())
+            .ok()
+            .and_then(|out| finalize_assignment(spec, platform, base, out.mapping, 1))
+            .ok_or_else(|| no_feasible_mapping(1))
     }
 }
 
@@ -54,7 +57,7 @@ mod tests {
         let greedy = GreedyMapper
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
-        let full = crate::HeuristicMapper::default()
+        let full = crate::SpatialMapper::default()
             .map(&spec, &platform, &platform.initial_state())
             .unwrap();
         assert!(full.communication_hops < greedy.communication_hops);

@@ -13,8 +13,13 @@
 //!   floor.
 //! * [`GreedyMapper`] — the paper's step 1 only (no local search): the
 //!   ablation for step 2.
-//! * [`HeuristicMapper`] — the paper's full four-step mapper, wrapped in
-//!   the same [`MappingAlgorithm`] interface for apples-to-apples benches.
+//!
+//! Every baseline implements the workspace-wide
+//! [`MappingAlgorithm`](rtsm_core::MappingAlgorithm) trait (the paper's
+//! full heuristic is [`rtsm_core::SpatialMapper`], behind the same trait)
+//! and returns the shared [`MappingOutcome`](rtsm_core::MappingOutcome)
+//! type, so results are interchangeable: any of them can drive a
+//! [`RuntimeManager`](rtsm_core::RuntimeManager) or a benchmark table.
 //!
 //! Every algorithm returns mappings that are *adherent by construction*
 //! (claims are checked during search) and *feasibility-checked* with the
@@ -25,13 +30,17 @@
 #![forbid(unsafe_code)]
 
 pub mod annealing;
-pub mod api;
+pub mod common;
 pub mod exhaustive;
 pub mod greedy;
 pub mod random;
 
 pub use annealing::AnnealingMapper;
-pub use api::{finalize_assignment, BaselineResult, HeuristicMapper, MappingAlgorithm};
+pub use common::finalize_assignment;
 pub use exhaustive::ExhaustiveMapper;
 pub use greedy::GreedyMapper;
 pub use random::RandomMapper;
+
+// The unified interface lives in `rtsm_core`; re-exported here so baseline
+// users need a single import.
+pub use rtsm_core::{MapError, MappingAlgorithm, MappingOutcome, SpatialMapper};

@@ -1,13 +1,11 @@
 //! Best-of-N random adherent mappings: the sanity floor.
 
-use crate::api::{
-    claim_option, finalize_assignment, viable_options, BaselineResult, MappingAlgorithm,
-};
+use crate::common::{claim_option, finalize_assignment, no_feasible_mapping, viable_options};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 use rtsm_app::ApplicationSpec;
-use rtsm_core::Mapping;
+use rtsm_core::{MapError, Mapping, MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{EnergyModel, Platform, PlatformState};
 
 /// Samples `samples` random adherent mappings and returns the best
@@ -40,11 +38,7 @@ impl RandomMapper {
         base: &PlatformState,
         rng: &mut StdRng,
     ) -> Option<Mapping> {
-        let mut order: Vec<_> = spec
-            .graph
-            .stream_processes()
-            .map(|(pid, _)| pid)
-            .collect();
+        let mut order: Vec<_> = spec.graph.stream_processes().map(|(pid, _)| pid).collect();
         order.shuffle(rng);
         let mut working = base.clone();
         let mut mapping = Mapping::new();
@@ -62,7 +56,7 @@ impl RandomMapper {
 }
 
 impl MappingAlgorithm for RandomMapper {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "random (best of N)"
     }
 
@@ -71,9 +65,9 @@ impl MappingAlgorithm for RandomMapper {
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
-    ) -> Option<BaselineResult> {
+    ) -> Result<MappingOutcome, MapError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut best: Option<BaselineResult> = None;
+        let mut best: Option<MappingOutcome> = None;
         let mut evaluated = 0u64;
         for _ in 0..self.samples {
             let Some(mapping) = self.sample(spec, platform, base, &mut rng) else {
@@ -81,9 +75,7 @@ impl MappingAlgorithm for RandomMapper {
             };
             evaluated += 1;
             if let Some(result) = finalize_assignment(spec, platform, base, mapping, evaluated) {
-                let better = best
-                    .as_ref()
-                    .is_none_or(|b| result.energy_pj < b.energy_pj);
+                let better = best.as_ref().is_none_or(|b| result.energy_pj < b.energy_pj);
                 if better {
                     best = Some(result);
                 }
@@ -93,6 +85,7 @@ impl MappingAlgorithm for RandomMapper {
             b.evaluated = evaluated;
             b
         })
+        .ok_or_else(|| no_feasible_mapping(evaluated))
     }
 }
 

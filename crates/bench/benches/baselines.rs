@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rtsm_baselines::{
-    AnnealingMapper, ExhaustiveMapper, GreedyMapper, HeuristicMapper, MappingAlgorithm,
-    RandomMapper,
+    AnnealingMapper, ExhaustiveMapper, GreedyMapper, MappingAlgorithm, RandomMapper, SpatialMapper,
 };
 use rtsm_platform::TileKind;
 use rtsm_workloads::{mesh_platform, synthetic_app, GraphShape, SyntheticConfig};
@@ -28,7 +27,7 @@ fn algorithms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("baselines/chain6_mesh4x4");
 
-    let heuristic = HeuristicMapper::default();
+    let heuristic = SpatialMapper::default();
     group.bench_function("heuristic", |b| {
         b.iter(|| black_box(heuristic.map(&spec, &platform, &state).map(|r| r.energy_pj)))
     });
@@ -59,12 +58,17 @@ fn algorithms(c: &mut Criterion) {
         ..ExhaustiveMapper::default()
     };
     group.bench_function("exhaustive", |b| {
-        b.iter(|| black_box(exhaustive.map(&spec, &platform, &state).map(|r| r.energy_pj)))
+        b.iter(|| {
+            black_box(
+                exhaustive
+                    .map(&spec, &platform, &state)
+                    .map(|r| r.energy_pj),
+            )
+        })
     });
 
     group.finish();
 }
-
 
 /// Short, stable measurement settings so the whole suite completes in
 /// minutes while keeping variance low enough for shape comparisons.

@@ -11,7 +11,11 @@ use std::hint::black_box;
 
 /// A Figure-3-like pipeline: source → 2 routers → worker → 3 routers →
 /// sink, 64 tokens/period.
-fn figure3_like() -> (CsdfGraph, rtsm_dataflow::ActorId, Vec<rtsm_dataflow::ChannelId>) {
+fn figure3_like() -> (
+    CsdfGraph,
+    rtsm_dataflow::ActorId,
+    Vec<rtsm_dataflow::ChannelId>,
+) {
     let mut g = CsdfGraph::new();
     let src = g.add_actor("src", PhaseVec::uniform(50_000, 64), 1);
     let r1 = g.add_actor("r1", PhaseVec::single(4), 5_000);
@@ -47,7 +51,9 @@ fn figure3_like() -> (CsdfGraph, rtsm_dataflow::ActorId, Vec<rtsm_dataflow::Chan
         )
         .unwrap();
     let _ = b2;
-    let b3 = g.add_channel(r3, snk, one.clone(), PhaseVec::single(64)).unwrap();
+    let b3 = g
+        .add_channel(r3, snk, one.clone(), PhaseVec::single(64))
+        .unwrap();
     (g, src, vec![b1, b3])
 }
 
@@ -111,8 +117,15 @@ fn mcr(c: &mut Criterion) {
     let b = g.add_actor("b", PhaseVec::from_slice(&[2, 2, 2]), 1);
     g.add_channel(a, b, PhaseVec::from_slice(&[1, 2]), PhaseVec::uniform(1, 3))
         .unwrap();
-    g.add_channel_full(b, a, PhaseVec::uniform(1, 3), PhaseVec::from_slice(&[1, 2]), 3, None)
-        .unwrap();
+    g.add_channel_full(
+        b,
+        a,
+        PhaseVec::uniform(1, 3),
+        PhaseVec::from_slice(&[1, 2]),
+        3,
+        None,
+    )
+    .unwrap();
     c.bench_function("dataflow/mcr_exact", |bch| {
         bch.iter(|| {
             let h = hsdf::expand(&g).unwrap();
@@ -120,7 +133,6 @@ fn mcr(c: &mut Criterion) {
         })
     });
 }
-
 
 /// Short, stable measurement settings so the whole suite completes in
 /// minutes while keeping variance low enough for shape comparisons.

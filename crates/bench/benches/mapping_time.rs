@@ -34,12 +34,7 @@ fn synthetic_scaling(c: &mut Criterion) {
             shape: GraphShape::Chain,
             ..SyntheticConfig::default()
         });
-        let platform = mesh_platform(
-            7,
-            5,
-            5,
-            &[(TileKind::Montium, 8), (TileKind::Arm, 8)],
-        );
+        let platform = mesh_platform(7, 5, 5, &[(TileKind::Montium, 8), (TileKind::Arm, 8)]);
         let state = platform.initial_state();
         let mapper = SpatialMapper::new(MapperConfig::default());
         // Skip sizes the platform cannot host.
@@ -87,7 +82,6 @@ fn platform_scaling(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short, stable measurement settings so the whole suite completes in
 /// minutes while keeping variance low enough for shape comparisons.

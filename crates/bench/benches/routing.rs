@@ -21,7 +21,13 @@ fn shortest_path(c: &mut Criterion) {
         let from = *tiles.first().unwrap();
         let to = *tiles.last().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
-            b.iter(|| black_box(route(&platform, &state, from, to, 1_000_000).unwrap().hops()))
+            b.iter(|| {
+                black_box(
+                    route(&platform, &state, from, to, 1_000_000)
+                        .unwrap()
+                        .hops(),
+                )
+            })
         });
     }
     group.finish();
@@ -59,7 +65,6 @@ fn congestion_avoidance(c: &mut Criterion) {
         b.iter(|| black_box(route(&platform, &state, from, to, 20_000_000).map(|p| p.hops())))
     });
 }
-
 
 /// Short, stable measurement settings so the whole suite completes in
 /// minutes while keeping variance low enough for shape comparisons.

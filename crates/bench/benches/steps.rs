@@ -82,7 +82,6 @@ fn steps(c: &mut Criterion) {
     });
 }
 
-
 /// Short, stable measurement settings so the whole suite completes in
 /// minutes while keeping variance low enough for shape comparisons.
 fn config() -> Criterion {

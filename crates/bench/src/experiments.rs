@@ -3,16 +3,15 @@
 
 use crate::render::{render_kpn, Table};
 use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
-use rtsm_app::{ApplicationSpec, Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec};
-use rtsm_baselines::{
-    AnnealingMapper, ExhaustiveMapper, GreedyMapper, HeuristicMapper, MappingAlgorithm,
-    RandomMapper,
+use rtsm_app::{
+    ApplicationSpec, Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec,
 };
+use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
 use rtsm_core::cost::CostModel;
 use rtsm_core::report::{render_summary, render_table1, render_table2};
 use rtsm_core::step2::{Step2Config, Step2Strategy};
 use rtsm_core::trace::Step2Trace;
-use rtsm_core::{MapperConfig, MappingResult, SpatialMapper};
+use rtsm_core::{MapperConfig, MappingAlgorithm, MappingOutcome, SpatialMapper};
 use rtsm_dataflow::PhaseVec;
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::render::render_layout;
@@ -26,7 +25,7 @@ use std::time::Instant;
 /// QPSK ¾ keeps every Table 1 expression positive).
 pub const DEFAULT_MODE: Hiperlan2Mode = Hiperlan2Mode::Qpsk34;
 
-fn paper_mapping() -> (ApplicationSpec, Platform, MappingResult) {
+fn paper_mapping() -> (ApplicationSpec, Platform, MappingOutcome) {
     let spec = hiperlan2_receiver(DEFAULT_MODE);
     let platform = paper_platform();
     let result = SpatialMapper::new(MapperConfig::default())
@@ -56,6 +55,8 @@ pub fn table2() -> (String, Step2Trace) {
     let (spec, platform, result) = paper_mapping();
     let trace = result
         .trace
+        .as_ref()
+        .expect("the heuristic records a trace")
         .successful_attempt()
         .expect("feasible attempt exists")
         .step2
@@ -83,8 +84,11 @@ pub struct Fig3Summary {
 /// E5 — Figure 3: the final CSDF graph with computed buffer capacities.
 pub fn fig3() -> Fig3Summary {
     let (spec, platform, result) = paper_mapping();
-    let routers = result
+    let csdf = result
         .csdf
+        .as_ref()
+        .expect("the heuristic retains the CSDF graph");
+    let routers = csdf
         .actors()
         .filter(|(_, a)| a.name.starts_with("R("))
         .count();
@@ -94,15 +98,20 @@ pub fn fig3() -> Fig3Summary {
         .enumerate()
         .map(|(i, b)| {
             (
-                format!("B{} ({:?} @ {})", i + 1, b.channel, platform.tile(b.tile).name),
+                format!(
+                    "B{} ({:?} @ {})",
+                    i + 1,
+                    b.channel,
+                    platform.tile(b.tile).name
+                ),
                 b.capacity_words,
             )
         })
         .collect();
     Fig3Summary {
-        dot: rtsm_dataflow::dot::to_dot(&result.csdf),
+        dot: rtsm_dataflow::dot::to_dot(csdf),
         routers,
-        actors: result.csdf.n_actors(),
+        actors: csdf.n_actors(),
         buffers,
         achieved_period: result.achieved_period,
         summary: render_summary(&result, &spec, &platform),
@@ -155,7 +164,7 @@ pub struct QualityRow {
     /// Workload label.
     pub workload: String,
     /// Algorithm label.
-    pub algorithm: &'static str,
+    pub algorithm: String,
     /// Energy in pJ/period (`None` = no feasible mapping found).
     pub energy_pj: Option<u64>,
     /// Communication hops.
@@ -185,7 +194,7 @@ pub fn quality_comparison(seeds: &[u64]) -> (String, Vec<QualityRow>) {
         );
         let state = platform.initial_state();
         let algorithms: Vec<Box<dyn MappingAlgorithm>> = vec![
-            Box::new(HeuristicMapper::default()),
+            Box::new(SpatialMapper::default()),
             Box::new(GreedyMapper),
             Box::new(RandomMapper::default()),
             Box::new(AnnealingMapper {
@@ -199,11 +208,11 @@ pub fn quality_comparison(seeds: &[u64]) -> (String, Vec<QualityRow>) {
         ];
         for algorithm in &algorithms {
             let t0 = Instant::now();
-            let outcome = algorithm.map(&spec, &platform, &state);
+            let outcome = algorithm.map(&spec, &platform, &state).ok();
             let time_us = t0.elapsed().as_secs_f64() * 1e6;
             rows.push(QualityRow {
                 workload: format!("chain-6 seed {seed}"),
-                algorithm: algorithm.name(),
+                algorithm: algorithm.name().to_string(),
                 energy_pj: outcome.as_ref().map(|o| o.energy_pj),
                 hops: outcome.as_ref().map(|o| o.communication_hops),
                 time_us,
@@ -243,7 +252,9 @@ pub fn ablation() -> String {
     let state = platform.initial_state();
 
     // E8: step 2 on/off on the paper case.
-    let full = HeuristicMapper::default().map(&spec, &platform, &state).unwrap();
+    let full = SpatialMapper::default()
+        .map(&spec, &platform, &state)
+        .unwrap();
     let greedy = GreedyMapper.map(&spec, &platform, &state).unwrap();
     let _ = writeln!(out, "E8 — step 2 ablation (HIPERLAN/2 on paper platform):");
     let _ = writeln!(
@@ -265,7 +276,10 @@ pub fn ablation() -> String {
     );
 
     // E9a: search strategy.
-    let _ = writeln!(out, "\nE9a — step-2 strategy (PaperScan vs BestImprovement):");
+    let _ = writeln!(
+        out,
+        "\nE9a — step-2 strategy (PaperScan vs BestImprovement):"
+    );
     for strategy in [Step2Strategy::PaperScan, Step2Strategy::BestImprovement] {
         let config = MapperConfig {
             step2: Step2Config {
@@ -274,9 +288,13 @@ pub fn ablation() -> String {
             },
             ..MapperConfig::default()
         };
-        let result = SpatialMapper::new(config).map(&spec, &platform, &state).unwrap();
+        let result = SpatialMapper::new(config)
+            .map(&spec, &platform, &state)
+            .unwrap();
         let evals: usize = result
             .trace
+            .as_ref()
+            .expect("the heuristic records a trace")
             .attempts
             .iter()
             .map(|a| a.step2.events.len())
@@ -293,12 +311,7 @@ pub fn ablation() -> String {
     let _ = writeln!(out, "\nE9c — step-3 routing policy (congested 4×4 mesh):");
     {
         use rtsm_platform::RoutingPolicy;
-        let platform = mesh_platform(
-            77,
-            4,
-            4,
-            &[(TileKind::Montium, 5), (TileKind::Arm, 5)],
-        );
+        let platform = mesh_platform(77, 4, 4, &[(TileKind::Montium, 5), (TileKind::Arm, 5)]);
         // Pre-congest: another application already holds bandwidth on a
         // column of links.
         let mut base = platform.initial_state();
@@ -340,25 +353,26 @@ pub fn ablation() -> String {
 
     // E9b: cost model on synthetic workloads (hop count vs traffic vs
     // energy as the step-2 objective).
-    let _ = writeln!(out, "\nE9b — step-2 cost model (synthetic chains, energy in nJ):");
+    let _ = writeln!(
+        out,
+        "\nE9b — step-2 cost model (synthetic chains, energy in nJ):"
+    );
     for seed in [11u64, 12, 13] {
         let syn = synthetic_app(&SyntheticConfig {
             seed,
             n_processes: 6,
             ..SyntheticConfig::default()
         });
-        let syn_platform = mesh_platform(
-            seed,
-            4,
-            4,
-            &[(TileKind::Montium, 4), (TileKind::Arm, 5)],
-        );
+        let syn_platform = mesh_platform(seed, 4, 4, &[(TileKind::Montium, 4), (TileKind::Arm, 5)]);
         let syn_state = syn_platform.initial_state();
         let mut line = format!("  seed {seed}:");
         for (label, cost_model) in [
             ("hops", CostModel::HopCount),
             ("traffic", CostModel::TrafficWeighted),
-            ("energy", CostModel::Energy(rtsm_platform::EnergyModel::default())),
+            (
+                "energy",
+                CostModel::Energy(rtsm_platform::EnergyModel::default()),
+            ),
         ] {
             let config = MapperConfig {
                 cost_model,
@@ -384,12 +398,7 @@ pub fn runtime_scenario() -> String {
     // A 4×4 platform with seven MONTIUMs: the running 802.11a transmitter
     // claims six of them, so exactly one remains for the JPEG encoder — a
     // fact only known at run time.
-    let platform = mesh_platform(
-        99,
-        4,
-        4,
-        &[(TileKind::Montium, 7), (TileKind::Arm, 5)],
-    );
+    let platform = mesh_platform(99, 4, 4, &[(TileKind::Montium, 7), (TileKind::Arm, 5)]);
     let mapper = SpatialMapper::new(MapperConfig::default());
     let wlan = wlan_tx();
     let jpeg = jpeg_encoder();
@@ -504,7 +513,13 @@ pub fn modes() -> (String, Vec<ModeRow>) {
             }),
         }
     }
-    let mut table = Table::new(&["mode", "b [words]", "feasible", "B1..B4 [words]", "energy [nJ]"]);
+    let mut table = Table::new(&[
+        "mode",
+        "b [words]",
+        "feasible",
+        "B1..B4 [words]",
+        "energy [nJ]",
+    ]);
     for r in &rows {
         table.row(vec![
             r.mode.to_string(),
@@ -519,7 +534,7 @@ pub fn modes() -> (String, Vec<ModeRow>) {
 
 /// E12 — feedback-driven refinement: a first-fit placement that cannot be
 /// routed is repaired on the second attempt.
-pub fn feedback_demo() -> (String, MappingResult) {
+pub fn feedback_demo() -> (String, MappingOutcome) {
     use rtsm_platform::{Coord, PlatformBuilder};
     // ARM-best sits between A/D and Sink (communication cost 2) but all of
     // its links are pre-saturated; ARM-detour costs 6. Step 1 first-fits
@@ -585,7 +600,15 @@ pub fn feedback_demo() -> (String, MappingResult) {
         "step-3 feedback forbade that tile; attempt {} mapped it on {} — feasible.",
         result.attempts,
         platform
-            .tile(result.mapping.assignments().next().expect("assigned").1.tile)
+            .tile(
+                result
+                    .mapping
+                    .assignments()
+                    .next()
+                    .expect("assigned")
+                    .1
+                    .tile
+            )
             .name
     );
     (out, result)
@@ -642,10 +665,16 @@ mod tests {
         if let Some(optimal) = energy("exhaustive") {
             assert!(heuristic >= optimal);
             // Shape claim: heuristic within 2x of optimal.
-            assert!(heuristic <= optimal * 2, "heuristic {heuristic} vs optimal {optimal}");
+            assert!(
+                heuristic <= optimal * 2,
+                "heuristic {heuristic} vs optimal {optimal}"
+            );
         }
         if let Some(random) = energy("random") {
-            assert!(heuristic <= random * 11 / 10, "heuristic {heuristic} vs random {random}");
+            assert!(
+                heuristic <= random * 11 / 10,
+                "heuristic {heuristic} vs random {random}"
+            );
         }
     }
 

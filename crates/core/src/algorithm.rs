@@ -1,0 +1,220 @@
+//! The unified mapping-algorithm interface.
+//!
+//! Every spatial mapper in the workspace — the paper's four-step heuristic
+//! ([`SpatialMapper`](crate::SpatialMapper)) and the baseline comparators in
+//! `rtsm_baselines` — implements one trait, [`MappingAlgorithm`], and
+//! produces one outcome type, [`MappingOutcome`]. This is what makes the
+//! benchmarks apples-to-apples and what the run-time manager
+//! ([`RuntimeManager`](crate::RuntimeManager)) plugs algorithms into.
+
+use crate::claims::{claim_for, reservation_of};
+use crate::error::MapError;
+use crate::mapping::{Mapping, RouteBinding};
+use crate::step4::ChannelBuffer;
+use crate::trace::MapTrace;
+use rtsm_app::ApplicationSpec;
+use rtsm_dataflow::CsdfGraph;
+use rtsm_platform::{routing, Platform, PlatformError, PlatformState, TileClaim};
+use serde::{Deserialize, Serialize};
+
+/// A feasible spatial mapping with everything needed to report it, compare
+/// it against other algorithms' results, and commit it onto a platform —
+/// the single outcome type shared by the heuristic and every baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingOutcome {
+    /// The mapping (process assignments and channel routes).
+    pub mapping: Mapping,
+    /// Computed tile-side buffers (`B_i`), needed to commit the mapping.
+    pub buffers: Vec<ChannelBuffer>,
+    /// The composed CSDF graph (Figure 3), when the algorithm retains it.
+    pub csdf: Option<CsdfGraph>,
+    /// Total energy per period in picojoules (processing + communication).
+    pub energy_pj: u64,
+    /// The paper's communication cost (Σ Manhattan hops).
+    pub communication_hops: u32,
+    /// Whether step 4's dataflow analysis accepted the mapping (always
+    /// `true` for outcomes returned via `Ok`; retained for traces).
+    pub feasible: bool,
+    /// Search effort: algorithm-specific count of evaluated assignments.
+    pub evaluated: u64,
+    /// Number of refinement attempts used (1 = first try).
+    pub attempts: usize,
+    /// Achieved source period `(time_ps, iterations)`.
+    pub achieved_period: (u64, u64),
+    /// Measured latency, when a bound was specified.
+    pub latency_ps: Option<u64>,
+    /// Full search trace, when the algorithm records one.
+    pub trace: Option<MapTrace>,
+}
+
+impl MappingOutcome {
+    /// Reserves this mapping's resources on `state`: tile claims, buffer
+    /// memory, and routed-path bandwidth. Use when actually *starting* the
+    /// application; [`MappingOutcome::release`] is the exact inverse.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError`] if `state` no longer has the resources (another
+    /// application claimed them since mapping); partial reservations are
+    /// rolled back.
+    pub fn commit(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &mut PlatformState,
+    ) -> Result<(), PlatformError> {
+        let snapshot = state.clone();
+        match self.try_commit(spec, platform, state) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                *state = snapshot;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_commit(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &mut PlatformState,
+    ) -> Result<(), PlatformError> {
+        for (pid, assignment) in self.mapping.assignments() {
+            let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
+            let claim = claim_for(spec, pid, implementation);
+            state.claim_tile(platform, assignment.tile, &reservation_of(&claim))?;
+        }
+        for buffer in &self.buffers {
+            state.claim_tile(
+                platform,
+                buffer.tile,
+                &TileClaim {
+                    slots: 0,
+                    memory_bytes: buffer.capacity_words * 4,
+                    cycles_per_second: 0,
+                    injection: 0,
+                    ejection: 0,
+                },
+            )?;
+        }
+        for (_, route) in self.mapping.routes() {
+            if let RouteBinding::Path(path) = route {
+                routing::allocate(platform, state, path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases everything [`MappingOutcome::commit`] reserved (the
+    /// application stopped).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError`] if the reservations were not present; like
+    /// [`MappingOutcome::commit`], partial releases are rolled back, so a
+    /// failed release leaves `state` exactly as it was.
+    pub fn release(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &mut PlatformState,
+    ) -> Result<(), PlatformError> {
+        let snapshot = state.clone();
+        match self.try_release(spec, platform, state) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                *state = snapshot;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_release(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &mut PlatformState,
+    ) -> Result<(), PlatformError> {
+        for (pid, assignment) in self.mapping.assignments() {
+            let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
+            let claim = claim_for(spec, pid, implementation);
+            state.release_tile(assignment.tile, &reservation_of(&claim))?;
+        }
+        for buffer in &self.buffers {
+            state.release_tile(
+                buffer.tile,
+                &TileClaim {
+                    slots: 0,
+                    memory_bytes: buffer.capacity_words * 4,
+                    cycles_per_second: 0,
+                    injection: 0,
+                    ejection: 0,
+                },
+            )?;
+        }
+        for (_, route) in self.mapping.routes() {
+            if let RouteBinding::Path(path) = route {
+                routing::release(platform, state, path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A spatial-mapping algorithm: given an application, a platform, and the
+/// current occupancy, either produce a feasible [`MappingOutcome`] or
+/// explain why none exists.
+///
+/// Implementors must *not* mutate `base`; starting an application is a
+/// separate, explicit step ([`MappingOutcome::commit`], or
+/// [`RuntimeManager::start`](crate::RuntimeManager::start) which does both
+/// atomically).
+pub trait MappingAlgorithm {
+    /// Display name for tables and reports.
+    fn name(&self) -> &str;
+
+    /// Maps `spec` onto `platform` over occupancy `base`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::NoFeasibleMapping`] when the algorithm's search
+    ///   exhausts without a feasible mapping;
+    /// * algorithm-specific variants such as [`MapError::InvalidSpec`] or
+    ///   [`MapError::Unmappable`] where applicable.
+    fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Result<MappingOutcome, MapError>;
+}
+
+impl<A: MappingAlgorithm + ?Sized> MappingAlgorithm for &A {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Result<MappingOutcome, MapError> {
+        (**self).map(spec, platform, base)
+    }
+}
+
+impl<A: MappingAlgorithm + ?Sized> MappingAlgorithm for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Result<MappingOutcome, MapError> {
+        (**self).map(spec, platform, base)
+    }
+}

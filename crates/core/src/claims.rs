@@ -20,13 +20,19 @@ pub fn claim_for(
         .graph
         .inputs_of(process)
         .iter()
-        .map(|ch| spec.qos.words_per_second(spec.graph.channel(*ch).tokens_per_period))
+        .map(|ch| {
+            spec.qos
+                .words_per_second(spec.graph.channel(*ch).tokens_per_period)
+        })
         .sum();
     let injection: u64 = spec
         .graph
         .outputs_of(process)
         .iter()
-        .map(|ch| spec.qos.words_per_second(spec.graph.channel(*ch).tokens_per_period))
+        .map(|ch| {
+            spec.qos
+                .words_per_second(spec.graph.channel(*ch).tokens_per_period)
+        })
         .sum();
     TileClaim {
         slots: 1,

@@ -10,8 +10,7 @@ use rtsm_platform::{EnergyModel, Platform};
 use serde::{Deserialize, Serialize};
 
 /// How step 2 scores a (complete) tile assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum CostModel {
     /// Σ channel Manhattan distance — the paper's Table 2 cost.
     #[default]
@@ -21,7 +20,6 @@ pub enum CostModel {
     /// Full energy objective (processing + estimated communication).
     Energy(EnergyModel),
 }
-
 
 impl CostModel {
     /// Cost of `mapping`; lower is better. Units depend on the model (hops,

@@ -128,7 +128,12 @@ mod tests {
         let iofdm = spec.graph.process_by_name("Inverse OFDM").unwrap();
         m.assign(iofdm, 1, platform.tile_by_name("MONTIUM1").unwrap());
         assert!(is_adequate(&m, &spec, &platform));
-        assert!(!is_adherent(&m, &spec, &platform, &platform.initial_state()));
+        assert!(!is_adherent(
+            &m,
+            &spec,
+            &platform,
+            &platform.initial_state()
+        ));
     }
 
     #[test]

@@ -125,9 +125,7 @@ mod tests {
     #[test]
     fn diagnostics_do_not_constrain() {
         let mut c = Constraints::new();
-        assert!(!c.absorb(&Feedback::Infeasible {
-            detail: "x".into()
-        }));
+        assert!(!c.absorb(&Feedback::Infeasible { detail: "x".into() }));
         assert!(c.is_empty());
     }
 }

@@ -26,6 +26,16 @@
 //! [`criteria`] defines the paper's *adequate / adherent / feasible*
 //! hierarchy; [`report`] renders the paper's tables.
 //!
+//! Two workspace-level abstractions are built on top:
+//!
+//! * [`algorithm::MappingAlgorithm`] — the unified interface every spatial
+//!   mapper (this crate's heuristic and the `rtsm_baselines` comparators)
+//!   implements, producing one shared [`algorithm::MappingOutcome`] type;
+//! * [`runtime::RuntimeManager`] — the stateful run-time component of
+//!   §1.3: it owns the occupancy ledger and drives handle-based
+//!   multi-application lifecycles (admit / commit / release) through any
+//!   `MappingAlgorithm`.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod algorithm;
 pub mod claims;
 pub mod cost;
 pub mod criteria;
@@ -54,14 +65,17 @@ pub mod feedback;
 pub mod mapper;
 pub mod mapping;
 pub mod report;
+pub mod runtime;
 pub mod step1;
 pub mod step2;
 pub mod step3;
 pub mod step4;
 pub mod trace;
 
+pub use algorithm::{MappingAlgorithm, MappingOutcome};
 pub use cost::CostModel;
 pub use error::MapError;
 pub use feedback::Feedback;
-pub use mapper::{MapperConfig, MappingResult, SpatialMapper};
+pub use mapper::{MapperConfig, SpatialMapper};
 pub use mapping::{Assignment, Mapping, RouteBinding};
+pub use runtime::{AdmissionError, AppHandle, RunningApp, RuntimeManager, Utilization};

@@ -4,22 +4,17 @@
 //! iteration … The feedback from a lower level may result in a completely
 //! different mapping on a higher level in a next iteration." (§3.)
 
-use crate::claims::{claim_for, reservation_of};
+use crate::algorithm::{MappingAlgorithm, MappingOutcome};
 use crate::cost::CostModel;
 use crate::error::MapError;
 use crate::feedback::Constraints;
-use crate::mapping::{Mapping, RouteBinding};
 use crate::step1::assign_implementations;
 use crate::step2::{improve_assignment, Step2Config};
 use crate::step3::route_channels_with;
-use crate::step4::{check_constraints, ChannelBuffer, Step4Config};
+use crate::step4::{check_constraints, Step4Config};
 use crate::trace::{AttemptTrace, MapTrace};
 use rtsm_app::{ApplicationSpec, Endpoint};
-use rtsm_dataflow::CsdfGraph;
-use rtsm_platform::{
-    routing, EnergyModel, Platform, PlatformError, PlatformState, RoutingPolicy, TileClaim,
-    TileKind,
-};
+use rtsm_platform::{EnergyModel, Platform, PlatformState, RoutingPolicy, TileKind};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the whole mapper.
@@ -52,129 +47,6 @@ impl Default for MapperConfig {
     }
 }
 
-/// A successful mapping with everything needed to report, commit, and
-/// regenerate the paper's artefacts.
-#[derive(Debug, Clone)]
-pub struct MappingResult {
-    /// The feasible mapping.
-    pub mapping: Mapping,
-    /// The composed CSDF graph (Figure 3) with computed capacities.
-    pub csdf: CsdfGraph,
-    /// Computed tile-side buffers (`B_i`).
-    pub buffers: Vec<ChannelBuffer>,
-    /// Total energy per period in picojoules (processing + communication).
-    pub energy_pj: u64,
-    /// The paper's communication cost (Σ Manhattan hops).
-    pub communication_hops: u32,
-    /// Always `true` for results returned by [`SpatialMapper::map`]
-    /// (retained for symmetry with traces).
-    pub feasible: bool,
-    /// Full search trace across refinement attempts.
-    pub trace: MapTrace,
-    /// Number of refinement attempts used (1 = first try).
-    pub attempts: usize,
-    /// Achieved source period `(time_ps, iterations)`.
-    pub achieved_period: (u64, u64),
-    /// Measured latency, when a bound was specified.
-    pub latency_ps: Option<u64>,
-}
-
-impl MappingResult {
-    /// Reserves this mapping's resources on `state`: tile claims, buffer
-    /// memory, and routed-path bandwidth. Use when actually *starting* the
-    /// application; [`MappingResult::release`] is the exact inverse.
-    ///
-    /// # Errors
-    ///
-    /// [`PlatformError`] if `state` no longer has the resources (another
-    /// application claimed them since mapping); partial reservations are
-    /// rolled back.
-    pub fn commit(
-        &self,
-        spec: &ApplicationSpec,
-        platform: &Platform,
-        state: &mut PlatformState,
-    ) -> Result<(), PlatformError> {
-        let snapshot = state.clone();
-        match self.try_commit(spec, platform, state) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                *state = snapshot;
-                Err(e)
-            }
-        }
-    }
-
-    fn try_commit(
-        &self,
-        spec: &ApplicationSpec,
-        platform: &Platform,
-        state: &mut PlatformState,
-    ) -> Result<(), PlatformError> {
-        for (pid, assignment) in self.mapping.assignments() {
-            let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
-            let claim = claim_for(spec, pid, implementation);
-            state.claim_tile(platform, assignment.tile, &reservation_of(&claim))?;
-        }
-        for buffer in &self.buffers {
-            state.claim_tile(
-                platform,
-                buffer.tile,
-                &TileClaim {
-                    slots: 0,
-                    memory_bytes: buffer.capacity_words * 4,
-                    cycles_per_second: 0,
-                    injection: 0,
-                    ejection: 0,
-                },
-            )?;
-        }
-        for (_, route) in self.mapping.routes() {
-            if let RouteBinding::Path(path) = route {
-                routing::allocate(platform, state, path)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Releases everything [`MappingResult::commit`] reserved (the
-    /// application stopped).
-    ///
-    /// # Errors
-    ///
-    /// [`PlatformError`] if the reservations were not present.
-    pub fn release(
-        &self,
-        spec: &ApplicationSpec,
-        platform: &Platform,
-        state: &mut PlatformState,
-    ) -> Result<(), PlatformError> {
-        for (pid, assignment) in self.mapping.assignments() {
-            let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
-            let claim = claim_for(spec, pid, implementation);
-            state.release_tile(assignment.tile, &reservation_of(&claim))?;
-        }
-        for buffer in &self.buffers {
-            state.release_tile(
-                buffer.tile,
-                &TileClaim {
-                    slots: 0,
-                    memory_bytes: buffer.capacity_words * 4,
-                    cycles_per_second: 0,
-                    injection: 0,
-                    ejection: 0,
-                },
-            )?;
-        }
-        for (_, route) in self.mapping.routes() {
-            if let RouteBinding::Path(path) = route {
-                routing::release(platform, state, path)?;
-            }
-        }
-        Ok(())
-    }
-}
-
 /// The run-time spatial mapper (see the [crate documentation](crate)).
 #[derive(Debug, Clone, Default)]
 pub struct SpatialMapper {
@@ -195,7 +67,9 @@ impl SpatialMapper {
     /// Maps `spec` onto `platform` given the current occupancy `base`.
     ///
     /// `base` is **not** mutated: apply the returned result with
-    /// [`MappingResult::commit`] when the application actually starts.
+    /// [`MappingOutcome::commit`] when the application actually starts, or
+    /// let a [`RuntimeManager`](crate::RuntimeManager) manage the whole
+    /// lifecycle.
     ///
     /// # Errors
     ///
@@ -209,7 +83,7 @@ impl SpatialMapper {
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
-    ) -> Result<MappingResult, MapError> {
+    ) -> Result<MappingOutcome, MapError> {
         spec.validate()?;
         self.check_endpoints(spec, platform)?;
 
@@ -255,9 +129,13 @@ impl SpatialMapper {
             );
 
             // Step 3: routing.
-            if let Err(feedback) =
-                route_channels_with(spec, platform, &mut mapping, &mut working, self.config.routing)
-            {
+            if let Err(feedback) = route_channels_with(
+                spec,
+                platform,
+                &mut mapping,
+                &mut working,
+                self.config.routing,
+            ) {
                 attempt_trace.feedback = feedback.clone();
                 trace.attempts.push(attempt_trace);
                 let mut absorbed = false;
@@ -278,14 +156,20 @@ impl SpatialMapper {
                 trace.attempts.push(attempt_trace);
                 let energy_pj = mapping.energy_pj(spec, platform, &self.config.energy_model);
                 let communication_hops = mapping.communication_hops(spec, platform);
-                return Ok(MappingResult {
+                let evaluated = trace
+                    .attempts
+                    .iter()
+                    .map(|a| a.step2.events.len() as u64 + 1)
+                    .sum();
+                return Ok(MappingOutcome {
                     mapping,
-                    csdf: step4.csdf,
+                    csdf: Some(step4.csdf),
                     buffers: step4.buffers,
                     energy_pj,
                     communication_hops,
                     feasible: true,
-                    trace,
+                    evaluated,
+                    trace: Some(trace),
                     attempts: attempt + 1,
                     achieved_period: step4.achieved_period,
                     latency_ps: step4.latency_ps,
@@ -309,11 +193,7 @@ impl SpatialMapper {
         })
     }
 
-    fn check_endpoints(
-        &self,
-        spec: &ApplicationSpec,
-        platform: &Platform,
-    ) -> Result<(), MapError> {
+    fn check_endpoints(&self, spec: &ApplicationSpec, platform: &Platform) -> Result<(), MapError> {
         let uses_input = spec
             .graph
             .stream_channels()
@@ -332,9 +212,24 @@ impl SpatialMapper {
     }
 }
 
+impl MappingAlgorithm for SpatialMapper {
+    fn name(&self) -> &str {
+        "hierarchical heuristic (paper)"
+    }
+
+    fn map(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+    ) -> Result<MappingOutcome, MapError> {
+        SpatialMapper::map(self, spec, platform, base)
+    }
+}
+
 /// Convenience: the tile each process ended up on, by name.
 pub fn placement_by_name(
-    result: &MappingResult,
+    result: &MappingOutcome,
     spec: &ApplicationSpec,
     platform: &Platform,
 ) -> Vec<(String, String)> {
@@ -355,6 +250,7 @@ mod tests {
     use super::*;
     use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
     use rtsm_platform::paper::paper_platform;
+    use rtsm_platform::TileClaim;
 
     #[test]
     fn paper_case_maps_first_attempt() {
@@ -455,9 +351,7 @@ mod tests {
 
     #[test]
     fn buffer_overflow_feedback_relocates_process() {
-        use rtsm_app::{
-            Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec,
-        };
+        use rtsm_app::{Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec};
         use rtsm_dataflow::PhaseVec;
         use rtsm_platform::{Coord, PlatformBuilder, Tile};
 
@@ -519,7 +413,7 @@ mod tests {
         let a = result.mapping.assignment(p).unwrap();
         assert_eq!(platform.tile(a.tile).name, "ARM-roomy");
         // The overflow feedback is visible in the failed attempt's trace.
-        assert!(result.trace.attempts[0]
+        assert!(result.trace.as_ref().unwrap().attempts[0]
             .feedback
             .iter()
             .any(|f| matches!(f, crate::Feedback::BufferOverflow { .. })));
@@ -527,9 +421,7 @@ mod tests {
 
     #[test]
     fn multi_slot_tile_hosts_two_light_processes() {
-        use rtsm_app::{
-            Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec,
-        };
+        use rtsm_app::{Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec};
         use rtsm_dataflow::PhaseVec;
         use rtsm_platform::{Coord, PlatformBuilder};
 
@@ -586,8 +478,7 @@ mod tests {
             .graph
             .stream_channels()
             .find(|(_, c)| {
-                c.src == rtsm_app::Endpoint::Process(a)
-                    && c.dst == rtsm_app::Endpoint::Process(b)
+                c.src == rtsm_app::Endpoint::Process(a) && c.dst == rtsm_app::Endpoint::Process(b)
             })
             .unwrap()
             .0;

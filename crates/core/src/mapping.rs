@@ -107,9 +107,10 @@ impl Mapping {
                 .tiles_of_kind(TileKind::AdcSource)
                 .map(|(id, _)| id)
                 .next(),
-            Endpoint::StreamOutput => {
-                platform.tiles_of_kind(TileKind::Sink).map(|(id, _)| id).next()
-            }
+            Endpoint::StreamOutput => platform
+                .tiles_of_kind(TileKind::Sink)
+                .map(|(id, _)| id)
+                .next(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! Renderers for the paper's tables and a human-readable mapping report.
 
-use crate::mapper::MappingResult;
+use crate::algorithm::MappingOutcome;
 use crate::trace::Step2Trace;
 use rtsm_app::{ApplicationSpec, ProcessId};
 use rtsm_platform::{Platform, TileId, TileKind};
@@ -45,13 +45,13 @@ pub fn render_table1(spec: &ApplicationSpec) -> String {
 
 /// Column layout for [`render_table2`]: the tiles that host processes,
 /// grouped by kind in (kind, id) order.
-fn table2_columns(
-    platform: &Platform,
-    trace: &Step2Trace,
-) -> Vec<(TileKind, Vec<TileId>)> {
+fn table2_columns(platform: &Platform, trace: &Step2Trace) -> Vec<(TileKind, Vec<TileId>)> {
     let mut by_kind: BTreeMap<TileKind, Vec<TileId>> = BTreeMap::new();
     for (_, tile) in &trace.initial_assignment {
-        by_kind.entry(platform.tile(*tile).kind).or_default().push(*tile);
+        by_kind
+            .entry(platform.tile(*tile).kind)
+            .or_default()
+            .push(*tile);
     }
     for event in &trace.events {
         for (_, tile) in &event.assignment {
@@ -74,8 +74,7 @@ fn row_cells(
     columns: &[(TileKind, Vec<TileId>)],
     assignment: &[(ProcessId, TileId)],
 ) -> Vec<String> {
-    let on_tile: BTreeMap<TileId, ProcessId> =
-        assignment.iter().map(|(p, t)| (*t, *p)).collect();
+    let on_tile: BTreeMap<TileId, ProcessId> = assignment.iter().map(|(p, t)| (*t, *p)).collect();
     let mut cells = Vec::new();
     for (_, tiles) in columns {
         for tile in tiles {
@@ -155,7 +154,7 @@ pub fn render_table2(spec: &ApplicationSpec, platform: &Platform, trace: &Step2T
 
 /// Renders a human-readable summary of a mapping result.
 pub fn render_summary(
-    result: &MappingResult,
+    result: &MappingOutcome,
     spec: &ApplicationSpec,
     platform: &Platform,
 ) -> String {
@@ -226,7 +225,7 @@ mod tests {
     use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
     use rtsm_platform::paper::paper_platform;
 
-    fn mapped() -> (ApplicationSpec, Platform, MappingResult) {
+    fn mapped() -> (ApplicationSpec, Platform, MappingOutcome) {
         let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
         let platform = paper_platform();
         let result = SpatialMapper::new(MapperConfig::default())
@@ -248,7 +247,13 @@ mod tests {
     #[test]
     fn table2_matches_paper_structure() {
         let (spec, platform, result) = mapped();
-        let trace = &result.trace.successful_attempt().unwrap().step2;
+        let trace = &result
+            .trace
+            .as_ref()
+            .unwrap()
+            .successful_attempt()
+            .unwrap()
+            .step2;
         let table = render_table2(&spec, &platform, trace);
         // The paper's remarks, in order.
         let lines: Vec<&str> = table.lines().collect();

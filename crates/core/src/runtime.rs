@@ -1,0 +1,397 @@
+//! The run-time resource manager: multi-application lifecycles over one
+//! shared occupancy ledger.
+//!
+//! The paper's motivation (§1.3) is that "at run-time when starting an
+//! application, the actual set of applications already running is known,
+//! allowing for a spatial mapping based on actual, rather than worst case
+//! information". [`RuntimeManager`] is that run-time component: it owns the
+//! [`PlatformState`] ledger, admits applications by mapping them with a
+//! pluggable [`MappingAlgorithm`] against the *actual* occupancy, commits
+//! admitted mappings atomically, and releases them again on
+//! [`stop`](RuntimeManager::stop).
+//!
+//! Running applications are identified by [`AppHandle`]s — stable, unique
+//! tokens that stay valid however many other applications start or stop in
+//! between (unlike positional indices, which shift).
+//!
+//! # Example
+//!
+//! ```
+//! use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+//! use rtsm_core::mapper::SpatialMapper;
+//! use rtsm_core::runtime::RuntimeManager;
+//! use rtsm_platform::paper::paper_platform;
+//!
+//! let mut manager = RuntimeManager::new(paper_platform(), SpatialMapper::default());
+//! let handle = manager
+//!     .start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34))
+//!     .expect("the paper's case study is admitted");
+//! assert_eq!(manager.n_running(), 1);
+//! // A second receiver does not fit while the first holds both MONTIUMs…
+//! assert!(manager.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).is_err());
+//! // …until the first one stops.
+//! manager.stop(handle).expect("running application stops");
+//! assert!(manager.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).is_ok());
+//! ```
+
+use crate::algorithm::{MappingAlgorithm, MappingOutcome};
+use crate::error::MapError;
+use rtsm_app::ApplicationSpec;
+use rtsm_platform::{Platform, PlatformError, PlatformState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A stable identifier of one running application within a
+/// [`RuntimeManager`]. Handles are unique across the manager's lifetime
+/// and never reused, so a stale handle fails cleanly instead of silently
+/// addressing a different application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppHandle(u64);
+
+impl AppHandle {
+    /// The raw handle value (for logs and serialized scenario records).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AppHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+/// Why a lifecycle operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The algorithm found no feasible mapping: the application is
+    /// *rejected* under the current occupancy (the expected, recoverable
+    /// outcome when the platform is full).
+    Rejected(MapError),
+    /// Mapping succeeded but committing its reservations failed. The
+    /// ledger is left unchanged. This cannot happen when the ledger is
+    /// only mutated through one manager; it guards external mutation.
+    CommitFailed(PlatformError),
+    /// Releasing a stopping application's reservations failed — the ledger
+    /// no longer matches what was committed (external mutation). The
+    /// partial release is rolled back; the ledger is unchanged.
+    ReleaseFailed(PlatformError),
+    /// The handle does not name a running application (already stopped,
+    /// or from another manager).
+    UnknownHandle(AppHandle),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Rejected(e) => write!(f, "application rejected: {e}"),
+            AdmissionError::CommitFailed(e) => {
+                write!(f, "admission commit failed (ledger unchanged): {e}")
+            }
+            AdmissionError::ReleaseFailed(e) => {
+                write!(f, "stop failed to release reservations: {e}")
+            }
+            AdmissionError::UnknownHandle(h) => {
+                write!(f, "no running application with handle {h}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdmissionError::Rejected(e) => Some(e),
+            AdmissionError::CommitFailed(e) | AdmissionError::ReleaseFailed(e) => Some(e),
+            AdmissionError::UnknownHandle(_) => None,
+        }
+    }
+}
+
+/// One admitted application: its specification and the mapping it runs
+/// under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningApp {
+    /// The application specification.
+    pub spec: ApplicationSpec,
+    /// The committed mapping outcome.
+    pub outcome: MappingOutcome,
+}
+
+/// Aggregate occupancy figures, for dashboards and admission policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Compute slots in use across all tiles.
+    pub used_slots: u32,
+    /// Total compute slots of the platform.
+    pub total_slots: u32,
+    /// Bytes of tile memory in use (implementations + buffers).
+    pub used_memory_bytes: u64,
+    /// Total tile memory of the platform.
+    pub total_memory_bytes: u64,
+    /// Link bandwidth in use, words/second summed over directed links.
+    pub used_link_bandwidth: u64,
+    /// Total link bandwidth of the platform.
+    pub total_link_bandwidth: u64,
+    /// Number of running applications.
+    pub running_apps: usize,
+}
+
+/// The stateful run-time manager (see the [module docs](self)).
+///
+/// Generic over the mapping algorithm; use a concrete algorithm type for
+/// static dispatch or `Box<dyn MappingAlgorithm>` to choose at run time:
+///
+/// ```
+/// use rtsm_core::algorithm::MappingAlgorithm;
+/// use rtsm_core::mapper::SpatialMapper;
+/// use rtsm_core::runtime::RuntimeManager;
+/// use rtsm_platform::paper::paper_platform;
+///
+/// let algorithm: Box<dyn MappingAlgorithm> = Box::new(SpatialMapper::default());
+/// let manager = RuntimeManager::new(paper_platform(), algorithm);
+/// assert_eq!(manager.algorithm().name(), "hierarchical heuristic (paper)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeManager<A: MappingAlgorithm> {
+    platform: Platform,
+    algorithm: A,
+    state: PlatformState,
+    running: BTreeMap<AppHandle, RunningApp>,
+    next_handle: u64,
+}
+
+impl<A: MappingAlgorithm> RuntimeManager<A> {
+    /// A manager over an empty `platform` using `algorithm` for admission.
+    pub fn new(platform: Platform, algorithm: A) -> Self {
+        let state = platform.initial_state();
+        RuntimeManager {
+            platform,
+            algorithm,
+            state,
+            running: BTreeMap::new(),
+            next_handle: 0,
+        }
+    }
+
+    /// A manager starting from a pre-occupied ledger (e.g. resources held
+    /// by components outside this manager's control).
+    pub fn with_state(platform: Platform, algorithm: A, state: PlatformState) -> Self {
+        RuntimeManager {
+            platform,
+            algorithm,
+            state,
+            running: BTreeMap::new(),
+            next_handle: 0,
+        }
+    }
+
+    /// The managed platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The admission algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// The current occupancy ledger.
+    pub fn state(&self) -> &PlatformState {
+        &self.state
+    }
+
+    /// Attempts to start `spec`: maps it against the **actual** current
+    /// occupancy and, if a feasible mapping exists, commits its
+    /// reservations atomically and returns a handle for later
+    /// [`stop`](RuntimeManager::stop).
+    ///
+    /// On any error the ledger is unchanged (rollback-on-failure).
+    ///
+    /// The stored record keeps what the lifecycle needs (mapping, routes,
+    /// buffers, scores); the search trace and composed CSDF graph are
+    /// dropped so a long-lived manager does not accumulate per-admission
+    /// search logs. Map with the algorithm directly when those are wanted.
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmissionError::Rejected`] — no feasible mapping right now;
+    /// * [`AdmissionError::CommitFailed`] — the mapping could not be
+    ///   committed (only possible if the ledger was mutated externally).
+    pub fn start(&mut self, spec: ApplicationSpec) -> Result<AppHandle, AdmissionError> {
+        let mut outcome = self
+            .algorithm
+            .map(&spec, &self.platform, &self.state)
+            .map_err(AdmissionError::Rejected)?;
+        // `MappingOutcome::commit` rolls the ledger back on failure.
+        outcome
+            .commit(&spec, &self.platform, &mut self.state)
+            .map_err(AdmissionError::CommitFailed)?;
+        outcome.trace = None;
+        outcome.csdf = None;
+        let handle = AppHandle(self.next_handle);
+        self.next_handle += 1;
+        self.running.insert(handle, RunningApp { spec, outcome });
+        Ok(handle)
+    }
+
+    /// Stops the application behind `handle`, releasing every resource its
+    /// admission committed, and returns its record.
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmissionError::UnknownHandle`] — `handle` is not running;
+    /// * [`AdmissionError::ReleaseFailed`] — the ledger no longer holds the
+    ///   committed reservations (external mutation). The release is rolled
+    ///   back and the application stays registered, so the ledger is
+    ///   exactly as before the call.
+    pub fn stop(&mut self, handle: AppHandle) -> Result<RunningApp, AdmissionError> {
+        let app = self
+            .running
+            .get(&handle)
+            .ok_or(AdmissionError::UnknownHandle(handle))?;
+        app.outcome
+            .release(&app.spec, &self.platform, &mut self.state)
+            .map_err(AdmissionError::ReleaseFailed)?;
+        Ok(self.running.remove(&handle).expect("handle checked above"))
+    }
+
+    /// The running applications in handle (admission) order.
+    pub fn running(&self) -> impl Iterator<Item = (AppHandle, &RunningApp)> {
+        self.running.iter().map(|(h, app)| (*h, app))
+    }
+
+    /// The record of one running application.
+    pub fn get(&self, handle: AppHandle) -> Option<&RunningApp> {
+        self.running.get(&handle)
+    }
+
+    /// Number of running applications.
+    pub fn n_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Total energy per period of all running applications, in picojoules.
+    pub fn running_energy_pj(&self) -> u64 {
+        self.running.values().map(|app| app.outcome.energy_pj).sum()
+    }
+
+    /// Aggregate occupancy of the managed platform.
+    pub fn utilization(&self) -> Utilization {
+        let mut util = Utilization {
+            used_slots: 0,
+            total_slots: 0,
+            used_memory_bytes: 0,
+            total_memory_bytes: 0,
+            used_link_bandwidth: 0,
+            total_link_bandwidth: 0,
+            running_apps: self.running.len(),
+        };
+        for (tile, spec) in self.platform.tiles() {
+            util.used_slots += self.state.used_slots(tile);
+            util.total_slots += spec.compute_slots;
+            util.used_memory_bytes += self.state.used_memory(tile);
+            util.total_memory_bytes += spec.memory_bytes;
+        }
+        for (link, spec) in self.platform.links() {
+            util.total_link_bandwidth += spec.capacity;
+            util.used_link_bandwidth +=
+                spec.capacity - self.state.residual_link(&self.platform, link);
+        }
+        util
+    }
+
+    /// Consumes the manager, returning the final ledger and the records of
+    /// the applications still running.
+    pub fn into_parts(self) -> (PlatformState, Vec<(AppHandle, RunningApp)>) {
+        (self.state, self.running.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::SpatialMapper;
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    fn manager() -> RuntimeManager<SpatialMapper> {
+        RuntimeManager::new(paper_platform(), SpatialMapper::default())
+    }
+
+    #[test]
+    fn start_stop_restores_the_empty_ledger() {
+        let mut m = manager();
+        let before = m.state().clone();
+        let h = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        assert_ne!(m.state(), &before, "admission must claim resources");
+        let record = m.stop(h).unwrap();
+        assert_eq!(
+            m.state(),
+            &before,
+            "stop must release exactly what start claimed"
+        );
+        assert_eq!(
+            record.spec.name,
+            hiperlan2_receiver(Hiperlan2Mode::Qpsk34).name
+        );
+        assert_eq!(m.n_running(), 0);
+    }
+
+    #[test]
+    fn handles_stay_valid_when_other_apps_stop() {
+        // Two light modes fit together on the paper platform? They do not
+        // (two MONTIUMs), so use start/stop interleaving on one app plus
+        // handle uniqueness checks.
+        let mut m = manager();
+        let h0 = m.start(hiperlan2_receiver(Hiperlan2Mode::Bpsk12)).unwrap();
+        m.stop(h0).unwrap();
+        let h1 = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        assert_ne!(h0, h1, "handles are never reused");
+        assert!(matches!(
+            m.stop(h0),
+            Err(AdmissionError::UnknownHandle(stale)) if stale == h0
+        ));
+        assert_eq!(m.n_running(), 1);
+        m.stop(h1).unwrap();
+    }
+
+    #[test]
+    fn rejection_leaves_the_ledger_untouched() {
+        let mut m = manager();
+        let _h = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        let occupied = m.state().clone();
+        let err = m
+            .start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34))
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::Rejected(_)));
+        assert_eq!(m.state(), &occupied);
+        assert_eq!(m.n_running(), 1);
+    }
+
+    #[test]
+    fn utilization_tracks_admissions() {
+        let mut m = manager();
+        let idle = m.utilization();
+        assert_eq!(idle.used_slots, 0);
+        assert_eq!(idle.running_apps, 0);
+        let h = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        let busy = m.utilization();
+        assert!(busy.used_slots >= 4, "four processes hold slots");
+        assert!(busy.used_memory_bytes > 0);
+        assert!(busy.used_link_bandwidth > 0);
+        assert_eq!(busy.running_apps, 1);
+        m.stop(h).unwrap();
+        assert_eq!(m.utilization(), idle);
+    }
+
+    #[test]
+    fn works_boxed_over_dyn_algorithm() {
+        let algorithm: Box<dyn MappingAlgorithm> = Box::new(SpatialMapper::default());
+        let mut m = RuntimeManager::new(paper_platform(), algorithm);
+        let h = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        assert_eq!(m.n_running(), 1);
+        m.stop(h).unwrap();
+    }
+}

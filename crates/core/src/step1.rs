@@ -144,9 +144,7 @@ pub fn assign_implementations(
             let candidate = (desirability, topo, process, options[0].1);
             let better = match &best {
                 None => true,
-                Some((d, t, _, _)) => {
-                    desirability > *d || (desirability == *d && topo < *t)
-                }
+                Some((d, t, _, _)) => desirability > *d || (desirability == *d && topo < *t),
             };
             if better {
                 best = Some(candidate);
@@ -212,8 +210,7 @@ mod tests {
     #[test]
     fn paper_assignment_order_and_tiles() {
         let (spec, platform, out) = run_paper();
-        let name =
-            |p: ProcessId| spec.graph.process(p).name.clone();
+        let name = |p: ProcessId| spec.graph.process(p).name.clone();
         let tile = |t: TileId| platform.tile(t).name.clone();
         let sequence: Vec<(String, String)> = out
             .events
@@ -296,12 +293,7 @@ mod tests {
             process: pfx,
             impl_index: 0,
         });
-        let out = assign_implementations(
-            &spec,
-            &platform,
-            &platform.initial_state(),
-            &constraints,
-        );
+        let out = assign_implementations(&spec, &platform, &platform.initial_state(), &constraints);
         match out {
             Ok(out) => {
                 let a = out.mapping.assignment(pfx).unwrap();
@@ -326,13 +318,8 @@ mod tests {
             process: iofdm,
             tile: m1,
         });
-        let out = assign_implementations(
-            &spec,
-            &platform,
-            &platform.initial_state(),
-            &constraints,
-        )
-        .unwrap();
+        let out = assign_implementations(&spec, &platform, &platform.initial_state(), &constraints)
+            .unwrap();
         let a = out.mapping.assignment(iofdm).unwrap();
         assert_eq!(platform.tile(a.tile).name, "MONTIUM2");
     }

@@ -299,9 +299,7 @@ pub fn improve_assignment(
                         if tried.contains(&candidate_key(&candidate)) {
                             continue;
                         }
-                        if let Some((cost, snapshot)) =
-                            ctx.evaluate(mapping, working, &candidate)
-                        {
+                        if let Some((cost, snapshot)) = ctx.evaluate(mapping, working, &candidate) {
                             if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                                 best = Some((cost, candidate, snapshot));
                             }
@@ -384,18 +382,14 @@ mod tests {
     use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
     use rtsm_platform::paper::paper_platform;
 
-    fn run_paper(strategy: Step2Strategy) -> (rtsm_app::ApplicationSpec, Platform, Mapping, Step2Trace)
-    {
+    fn run_paper(
+        strategy: Step2Strategy,
+    ) -> (rtsm_app::ApplicationSpec, Platform, Mapping, Step2Trace) {
         let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
         let platform = paper_platform();
         let constraints = Constraints::new();
-        let out = assign_implementations(
-            &spec,
-            &platform,
-            &platform.initial_state(),
-            &constraints,
-        )
-        .unwrap();
+        let out = assign_implementations(&spec, &platform, &platform.initial_state(), &constraints)
+            .unwrap();
         let mut mapping = out.mapping;
         let mut working = out.working;
         let trace = improve_assignment(
@@ -432,7 +426,10 @@ mod tests {
         // MONTIUM1=Rem, MONTIUM2=Inv.OFDM.
         let tile_of = |name: &str| {
             let p = spec.graph.process_by_name(name).unwrap();
-            platform.tile(mapping.assignment(p).unwrap().tile).name.clone()
+            platform
+                .tile(mapping.assignment(p).unwrap().tile)
+                .name
+                .clone()
         };
         assert_eq!(tile_of("Prefix removal"), "ARM2");
         assert_eq!(tile_of("Freq. off. correction"), "ARM1");
@@ -478,13 +475,8 @@ mod tests {
         let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
         let platform = paper_platform();
         let constraints = Constraints::new();
-        let out = assign_implementations(
-            &spec,
-            &platform,
-            &platform.initial_state(),
-            &constraints,
-        )
-        .unwrap();
+        let out = assign_implementations(&spec, &platform, &platform.initial_state(), &constraints)
+            .unwrap();
         let mut mapping = out.mapping;
         let mut working = out.working;
         let trace = improve_assignment(

@@ -54,7 +54,9 @@ pub fn route_channels_with(
     channels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     let mut allocated: Vec<rtsm_platform::Path> = Vec::new();
-    let rollback = |mapping: &mut Mapping, working: &mut PlatformState, allocated: &mut Vec<rtsm_platform::Path>| {
+    let rollback = |mapping: &mut Mapping,
+                    working: &mut PlatformState,
+                    allocated: &mut Vec<rtsm_platform::Path>| {
         for path in allocated.drain(..) {
             routing::release(platform, working, &path)
                 .expect("releasing an allocation made in this call");
@@ -123,22 +125,12 @@ mod tests {
     use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
     use rtsm_platform::paper::paper_platform;
 
-    fn mapped_paper() -> (
-        rtsm_app::ApplicationSpec,
-        Platform,
-        Mapping,
-        PlatformState,
-    ) {
+    fn mapped_paper() -> (rtsm_app::ApplicationSpec, Platform, Mapping, PlatformState) {
         let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
         let platform = paper_platform();
         let constraints = Constraints::new();
-        let out = assign_implementations(
-            &spec,
-            &platform,
-            &platform.initial_state(),
-            &constraints,
-        )
-        .unwrap();
+        let out = assign_implementations(&spec, &platform, &platform.initial_state(), &constraints)
+            .unwrap();
         let mut mapping = out.mapping;
         let mut working = out.working;
         improve_assignment(

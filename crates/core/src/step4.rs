@@ -150,8 +150,8 @@ pub fn check_constraints(
         let (_, assignment) = process_actor[&pid];
         let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
         let cycles = spec.cycles_per_period(pid, implementation);
-        let busy_ps = implementation.wcet_per_period(cycles)
-            * platform.tile(assignment.tile).cycle_time_ps();
+        let busy_ps =
+            implementation.wcet_per_period(cycles) * platform.tile(assignment.tile).cycle_time_ps();
         if busy_ps > period {
             return infeasible_result(
                 csdf,
@@ -325,9 +325,7 @@ pub fn check_constraints(
 
     let mut buffers = Vec::new();
     for (cid, tile, edge) in &buffer_sites {
-        let capacity = sizing
-            .capacity_of(*edge)
-            .expect("edge was a sizing target");
+        let capacity = sizing.capacity_of(*edge).expect("edge was a sizing target");
         buffers.push(ChannelBuffer {
             channel: *cid,
             capacity_words: capacity,
@@ -460,22 +458,12 @@ mod tests {
 
     fn full_pipeline(
         mode: Hiperlan2Mode,
-    ) -> (
-        rtsm_app::ApplicationSpec,
-        Platform,
-        Mapping,
-        PlatformState,
-    ) {
+    ) -> (rtsm_app::ApplicationSpec, Platform, Mapping, PlatformState) {
         let spec = hiperlan2_receiver(mode);
         let platform = paper_platform();
         let constraints = Constraints::new();
-        let out = assign_implementations(
-            &spec,
-            &platform,
-            &platform.initial_state(),
-            &constraints,
-        )
-        .unwrap();
+        let out = assign_implementations(&spec, &platform, &platform.initial_state(), &constraints)
+            .unwrap();
         let mut mapping = out.mapping;
         let mut working = out.working;
         improve_assignment(
@@ -504,7 +492,10 @@ mod tests {
         assert!(result.feasible, "feedback: {:?}", result.feedback);
         // Achieved period = required period exactly (the A/D is the
         // bottleneck by construction).
-        assert_eq!(result.achieved_period.0, 4_000_000 * result.achieved_period.1);
+        assert_eq!(
+            result.achieved_period.0,
+            4_000_000 * result.achieved_period.1
+        );
     }
 
     #[test]

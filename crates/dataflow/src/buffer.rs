@@ -150,12 +150,7 @@ pub fn size_buffers(
     let mut caps: Vec<u64> = Vec::with_capacity(targets.len());
     for &ch in &targets {
         let c = graph.channel(ch);
-        let floor = c
-            .prod
-            .max()
-            .max(c.cons.max())
-            .max(c.initial_tokens)
-            .max(1);
+        let floor = c.prod.max().max(c.cons.max()).max(c.initial_tokens).max(1);
         let ub = pilot.max_pressure[ch.index()].max(floor);
         caps.push(ub);
         graph.channel_mut(ch).capacity = Some(ub);
@@ -193,12 +188,7 @@ pub fn size_buffers(
         let mut changed = false;
         for (i, &ch) in targets.iter().enumerate() {
             let c = graph.channel(ch);
-            let floor = c
-                .prod
-                .max()
-                .max(c.cons.max())
-                .max(c.initial_tokens)
-                .max(1);
+            let floor = c.prod.max().max(c.cons.max()).max(c.initial_tokens).max(1);
             let mut lo = floor;
             let mut hi = caps[i];
             if lo >= hi {

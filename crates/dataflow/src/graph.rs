@@ -110,7 +110,12 @@ impl CsdfGraph {
 
     /// Adds an actor with the given name, per-phase WCETs, and clock period
     /// (time units per cycle), returning its id.
-    pub fn add_actor(&mut self, name: impl Into<String>, wcet: PhaseVec, cycle_time: u64) -> ActorId {
+    pub fn add_actor(
+        &mut self,
+        name: impl Into<String>,
+        wcet: PhaseVec,
+        cycle_time: u64,
+    ) -> ActorId {
         self.actors.push(ActorSpec {
             name: name.into(),
             wcet,

@@ -120,7 +120,11 @@ pub fn maximum_cycle_ratio(graph: &HsdfGraph) -> Result<Ratio, DataflowError> {
     // The answer is the unique rational with denominator ≤ D in (lo, hi].
     let candidate = simplest_between(lo, hi);
     // Verify: no positive cycle at candidate, but positive cycle just below.
-    debug_assert!(!has_positive_cycle(graph, candidate.numer(), candidate.denom()));
+    debug_assert!(!has_positive_cycle(
+        graph,
+        candidate.numer(),
+        candidate.denom()
+    ));
     Ok(candidate)
 }
 
@@ -237,7 +241,9 @@ mod tests {
         let h = expand(&g);
         // Either expansion already detects non-liveness, or MCR reports the
         // zero-token cycle.
-        if let Ok(h) = h { assert!(maximum_cycle_ratio(&h).is_err()) }
+        if let Ok(h) = h {
+            assert!(maximum_cycle_ratio(&h).is_err())
+        }
     }
 
     #[test]

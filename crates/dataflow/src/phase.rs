@@ -134,10 +134,7 @@ impl PhaseVec {
 
     /// Sum of all phase values — e.g. total tokens moved per actor iteration.
     pub fn total(&self) -> u64 {
-        self.runs
-            .iter()
-            .map(|r| r.value * u64::from(r.count))
-            .sum()
+        self.runs.iter().map(|r| r.value * u64::from(r.count)).sum()
     }
 
     /// The largest single-phase value.

@@ -103,7 +103,10 @@ impl Ratio {
     /// `self + other`.
     #[must_use]
     pub fn add(&self, other: Ratio) -> Ratio {
-        Ratio::new(self.num * other.den + other.num * self.den, self.den * other.den)
+        Ratio::new(
+            self.num * other.den + other.num * self.den,
+            self.den * other.den,
+        )
     }
 
     /// True if this ratio is zero.

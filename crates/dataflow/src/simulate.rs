@@ -185,7 +185,13 @@ impl<'g> Simulation<'g> {
         }
         let phase = self.phase[actor] as usize;
         for &ci in &self.in_channels[actor] {
-            if self.data[ci] < self.graph.channel(crate::graph::ChannelId(ci)).cons.get(phase) {
+            if self.data[ci]
+                < self
+                    .graph
+                    .channel(crate::graph::ChannelId(ci))
+                    .cons
+                    .get(phase)
+            {
                 return false;
             }
         }
@@ -206,14 +212,22 @@ impl<'g> Simulation<'g> {
         let phase = self.phase[actor] as usize;
         for k in 0..self.in_channels[actor].len() {
             let ci = self.in_channels[actor][k];
-            let cons = self.graph.channel(crate::graph::ChannelId(ci)).cons.get(phase);
+            let cons = self
+                .graph
+                .channel(crate::graph::ChannelId(ci))
+                .cons
+                .get(phase);
             debug_assert!(self.data[ci] >= cons);
             self.data[ci] -= cons;
             self.held[ci] += cons;
         }
         for k in 0..self.out_channels[actor].len() {
             let ci = self.out_channels[actor][k];
-            let prod = self.graph.channel(crate::graph::ChannelId(ci)).prod.get(phase);
+            let prod = self
+                .graph
+                .channel(crate::graph::ChannelId(ci))
+                .prod
+                .get(phase);
             self.reserved[ci] += prod;
             let pressure = self.data[ci] + self.reserved[ci] + self.held[ci];
             if pressure > self.max_pressure[ci] {
@@ -236,13 +250,21 @@ impl<'g> Simulation<'g> {
             .expect("completion event for idle actor") as usize;
         for k in 0..self.in_channels[actor].len() {
             let ci = self.in_channels[actor][k];
-            let cons = self.graph.channel(crate::graph::ChannelId(ci)).cons.get(phase);
+            let cons = self
+                .graph
+                .channel(crate::graph::ChannelId(ci))
+                .cons
+                .get(phase);
             debug_assert!(self.held[ci] >= cons);
             self.held[ci] -= cons;
         }
         for k in 0..self.out_channels[actor].len() {
             let ci = self.out_channels[actor][k];
-            let prod = self.graph.channel(crate::graph::ChannelId(ci)).prod.get(phase);
+            let prod = self
+                .graph
+                .channel(crate::graph::ChannelId(ci))
+                .prod
+                .get(phase);
             debug_assert!(self.reserved[ci] >= prod);
             self.reserved[ci] -= prod;
             self.data[ci] += prod;

@@ -479,7 +479,7 @@ mod tests {
         let mut s = p.initial_state();
         let a = p.tile_by_name("a").unwrap(); // (0,0)
         let c = p.tile_by_name("c").unwrap(); // (2,0)
-        // Saturate the direct X corridor.
+                                              // Saturate the direct X corridor.
         for (from, to) in [((0, 0), (1, 0)), ((1, 0), (2, 0))] {
             let l = p
                 .link_between(

@@ -121,20 +121,14 @@ impl PlatformState {
         Ok(())
     }
 
-    fn first_missing(
-        &self,
-        platform: &Platform,
-        tile: TileId,
-        claim: &TileClaim,
-    ) -> &'static str {
+    fn first_missing(&self, platform: &Platform, tile: TileId, claim: &TileClaim) -> &'static str {
         let t = platform.tile(tile);
         let i = tile.index();
         if self.used_slots[i] + claim.slots > t.compute_slots {
             "compute slots"
         } else if self.used_memory[i] + claim.memory_bytes > t.memory_bytes {
             "memory"
-        } else if self.used_cycles[i] + claim.cycles_per_second
-            > u64::from(t.clock_mhz) * 1_000_000
+        } else if self.used_cycles[i] + claim.cycles_per_second > u64::from(t.clock_mhz) * 1_000_000
         {
             "processor cycles"
         } else if self.used_injection[i] + claim.injection > t.ni_injection {

@@ -1,0 +1,350 @@
+//! A minimal, deterministic subset of the `proptest` API.
+//!
+//! Supports what the workspace's property tests use: range strategies,
+//! [`collection::vec`], `prop_map` / `prop_flat_map`, [`proptest!`] with an
+//! optional `#![proptest_config(…)]` attribute, the `prop_assert*` macros,
+//! `prop_assume!`, and the explicit [`test_runner::TestRunner`] /
+//! `new_tree` / `current` flow. Generation is seeded and deterministic;
+//! shrinking is not implemented (failures report the generated inputs via
+//! the panic message of the underlying assertion).
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRunner;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy: Sized {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then generates from the
+        /// strategy `f` derives from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+            FlatMap { inner: self, f }
+        }
+
+        /// Draws one value wrapped in a [`ValueTree`] (no shrinking).
+        ///
+        /// # Errors
+        ///
+        /// Never fails; the `Result` mirrors the real proptest signature.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Single<Self::Value>, String> {
+            Ok(Single {
+                value: self.generate(runner.rng()),
+            })
+        }
+    }
+
+    /// A generated value plus (in real proptest) its shrink state.
+    pub trait ValueTree {
+        /// The carried type.
+        type Value;
+
+        /// The current value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The trivial [`ValueTree`]: a single value, no shrinking.
+    pub struct Single<T> {
+        pub(crate) value: T,
+    }
+
+    impl<T: Clone> ValueTree for Single<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u16, u32, u64, usize);
+
+    /// A strategy that always yields clones of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Element count for [`vec`]: a fixed size or a size range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` with a size drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.min + 1 >= self.size.max_exclusive {
+                self.size.min
+            } else {
+                rng.random_range(self.size.min..self.size.max_exclusive)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution: configuration and the runner that feeds strategies.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Drives strategies with a deterministic RNG.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration and a fixed seed
+        /// (deterministic across runs).
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(0x70_72_6F_70),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Re-export so strategies written against `proptest::sample` etc. have a
+/// stable path for the RNG type.
+pub type TestRng = StdRng;
+
+/// Defines property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]`-able function (the `#[test]` attribute is written
+/// inside the macro, as in real proptest) running the body over generated
+/// inputs. An optional leading `#![proptest_config(expr)]` sets the case
+/// count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __runner = $crate::test_runner::TestRunner::new(__config);
+                for __case in 0..__runner.cases() {
+                    let _ = __case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), __runner.rng());
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,362 @@
+//! A minimal, self-contained subset of the `serde` API.
+//!
+//! The real `serde` crate is unavailable in this offline workspace, so this
+//! vendored stand-in provides exactly what the workspace uses: the
+//! [`Serialize`] / [`Deserialize`] traits (value-based rather than
+//! visitor-based), derive macros for structs and enums (including the
+//! `#[serde(from = "…", into = "…")]` and `#[serde(rename = "…")]`
+//! container attributes), and implementations for the primitive and
+//! standard-library types that appear in the model crates.
+//!
+//! The data model is a single [`Value`] tree; `serde_json` renders it to
+//! and from JSON text. Enum encodings follow serde's externally-tagged
+//! convention, and maps are encoded as sequences of `[key, value]` pairs so
+//! non-string keys round-trip losslessly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// The serialization data model: a self-describing value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u128),
+    /// A signed integer.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can be turned into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the data model.
+    ///
+    /// # Errors
+    ///
+    /// [`de::Error`] when `value` does not have the expected shape.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization helpers and the error type.
+pub mod de {
+    use super::{Deserialize, Value};
+    use std::fmt;
+
+    /// A deserialization error with a human-readable message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl Error {
+        /// Creates an error from a message.
+        pub fn msg(message: impl Into<String>) -> Self {
+            Error(message.into())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Looks `name` up in a struct map and deserializes it. A missing key
+    /// falls back to deserializing [`Value::Null`], which makes `Option`
+    /// fields tolerant of omission.
+    pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+        match value {
+            Value::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => T::from_value(v),
+                None => T::from_value(&Value::Null)
+                    .map_err(|_| Error::msg(format!("missing field `{name}`"))),
+            },
+            other => Err(Error::msg(format!(
+                "expected a map for a struct field lookup, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Deserializes element `index` of a sequence (tuple-struct fields).
+    pub fn element<T: Deserialize>(value: &Value, index: usize) -> Result<T, Error> {
+        match value {
+            Value::Seq(items) => items
+                .get(index)
+                .ok_or_else(|| Error::msg(format!("sequence too short: no element {index}")))
+                .and_then(T::from_value),
+            other => Err(Error::msg(format!("expected a sequence, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| de::Error::msg("unsigned integer out of range")),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| de::Error::msg("integer out of range")),
+                    other => Err(de::Error::msg(format!(
+                        "expected an unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| de::Error::msg("integer out of range")),
+                    Value::UInt(u) => i128::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| de::Error::msg("integer out of range")),
+                    other => Err(de::Error::msg(format!(
+                        "expected an integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(de::Error::msg(format!(
+                        "expected a number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::msg(format!("expected a bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::msg(format!("expected a string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::msg(format!(
+                "expected a one-character string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::msg(format!(
+                "expected a sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                Ok(($(de::element::<$name>(value, $idx)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| Ok((de::element::<K>(pair, 0)?, de::element::<V>(pair, 1)?)))
+                .collect(),
+            other => Err(de::Error::msg(format!(
+                "expected a sequence of pairs, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| Ok((de::element::<K>(pair, 0)?, de::element::<V>(pair, 1)?)))
+                .collect(),
+            other => Err(de::Error::msg(format!(
+                "expected a sequence of pairs, got {other:?}"
+            ))),
+        }
+    }
+}

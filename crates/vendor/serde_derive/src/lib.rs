@@ -1,0 +1,456 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde subset.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote`, which are
+//! unavailable offline) and supports what this workspace uses:
+//!
+//! * structs with named fields, tuple structs, and unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * the container attributes `#[serde(from = "Proxy", into = "Proxy")]`
+//!   and `#[serde(rename = "…")]` (the latter is accepted and ignored —
+//!   type names never appear in the encoding).
+//!
+//! Generics, lifetimes, and field-level serde attributes are not supported;
+//! the model crates do not need them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+    into: Option<String>,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let attrs = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Data::UnitStruct,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum without a body"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+    Input { name, attrs, data }
+}
+
+/// Consumes leading `#[...]` attributes, extracting `serde(from/into)`.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*pos) else {
+            panic!("`#` not followed by an attribute group");
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+            (inner.first(), inner.get(1))
+        {
+            if id.to_string() == "serde" {
+                parse_serde_args(args.stream(), &mut attrs);
+            }
+        }
+    }
+    attrs
+}
+
+/// Parses `from = "X", into = "Y", rename = "Z"` inside `#[serde(...)]`.
+fn parse_serde_args(stream: TokenStream, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                let value = string_literal(&lit.to_string());
+                match key.as_str() {
+                    "from" => attrs.from = Some(value),
+                    "into" => attrs.into = Some(value),
+                    "rename" => {} // type names never appear in the encoding
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+            }
+            i += 3;
+        } else {
+            panic!("unsupported serde attribute form starting at `{key}`");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn string_literal(raw: &str) -> String {
+    raw.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("expected an identifier, found {other:?}"),
+    }
+}
+
+/// Field names of a `{ ... }` struct body. Types are skipped (the generated
+/// code relies on inference), tracking `<...>` depth so commas inside
+/// generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let _ = parse_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Number of fields of a `( ... )` tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for (i, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma does not start a new field.
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let _ = parse_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------ generation
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(proxy) = &input.attrs.into {
+        // `#[serde(into = "Proxy")]`: serialize through the proxy type.
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let __proxy: {proxy} = \
+                         ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&__proxy)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.data {
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Data::NamedStruct(fields) => struct_map_expr(fields, "self."),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `Value::Map` literal for named fields accessed via `prefix` (`self.` for
+/// structs, empty for bound variant fields).
+fn struct_map_expr(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn serialize_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => {
+            format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{v}(__b0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+             ::serde::Serialize::to_value(__b0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__b{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                 ::serde::Value::Seq(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inner = struct_map_expr(fields, "");
+            format!(
+                "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                 {inner})]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(proxy) = &input.attrs.from {
+        // `#[serde(from = "Proxy")]`: deserialize the proxy, then convert.
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                     let __proxy: {proxy} = ::serde::Deserialize::from_value(__v)?;\n\
+                     ::core::result::Result::Ok(::core::convert::From::from(__proxy))\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.data {
+        Data::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Data::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::element(__v, {i})?"))
+                .collect();
+            format!("::core::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Data::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de::element(__inner, {i})?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}({})),\n",
+                    items.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(__inner, \"{f}\")?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v} {{ {} }}),\n",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             __other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                 format!(\"unexpected value for enum {name}: {{__other:?}}\"))),\n\
+         }}"
+    )
+}

@@ -28,12 +28,7 @@ struct Stage {
 
 /// Builds a chain application: `StreamInput -(in_tokens)-> s1 -> … -> sn
 /// -(last out_tokens)-> StreamOutput`.
-fn chain_app(
-    name: &str,
-    period_ps: u64,
-    in_tokens: u64,
-    stages: &[Stage],
-) -> ApplicationSpec {
+fn chain_app(name: &str, period_ps: u64, in_tokens: u64, stages: &[Stage]) -> ApplicationSpec {
     let mut graph = ProcessGraph::new();
     let ids: Vec<_> = stages
         .iter()

@@ -24,5 +24,5 @@ pub mod scenario;
 pub mod synthetic;
 
 pub use platforms::mesh_platform;
-pub use scenario::{run_scenario, AppEvent, ScenarioOutcome};
+pub use scenario::{run_scenario, AppEvent, AppId, ScenarioOutcome, ScenarioSummary};
 pub use synthetic::{synthetic_app, GraphShape, SyntheticConfig};

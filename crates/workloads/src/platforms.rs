@@ -65,7 +65,11 @@ mod tests {
             42,
             4,
             4,
-            &[(TileKind::Montium, 4), (TileKind::Arm, 6), (TileKind::Dsp, 2)],
+            &[
+                (TileKind::Montium, 4),
+                (TileKind::Arm, 6),
+                (TileKind::Dsp, 2),
+            ],
         );
         assert_eq!(p.n_tiles(), 16);
         assert_eq!(p.tiles_of_kind(TileKind::AdcSource).count(), 1);

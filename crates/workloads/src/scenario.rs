@@ -3,12 +3,34 @@
 //! The paper's motivation (§1.3): "at run-time when starting an
 //! application, the actual set of applications already running is known,
 //! allowing for a spatial mapping based on actual, rather than worst case
-//! information." A scenario replays a sequence of application starts and
-//! stops against one shared occupancy ledger.
+//! information." A scenario is a *scripted* sequence of application starts
+//! and stops, replayed through a [`RuntimeManager`] against one shared
+//! occupancy ledger.
+//!
+//! # Stop semantics
+//!
+//! Scripts are written before anything runs, so stop events cannot name
+//! run-time [`AppHandle`]s directly. Instead, [`AppEvent::Stop`] carries an
+//! [`AppId`]: the 0-based ordinal of the `Start` event (counting only
+//! `Start` events, in script order) whose application should stop. The
+//! replay records the handle each admission produced and resolves ids to
+//! handles at stop time. This is stable under churn — unlike the previous
+//! positional scheme ("the n-th *still-running* app"), an id keeps naming
+//! the same application no matter how many others started or stopped in
+//! between. Stopping an id whose start was rejected, that already stopped,
+//! or that is out of range is counted in
+//! [`ScenarioOutcome::ignored_stops`] and otherwise ignored.
 
 use rtsm_app::ApplicationSpec;
-use rtsm_core::{MapperConfig, MappingResult, SpatialMapper};
+use rtsm_core::runtime::{AdmissionError, AppHandle, RuntimeManager};
+use rtsm_core::{MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{Platform, PlatformState};
+use serde::{Deserialize, Serialize};
+
+/// Names the application started by the `id`-th `Start` event of a
+/// scenario script (0-based, counting only `Start` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub usize);
 
 /// One event of a scenario.
 #[derive(Debug, Clone)]
@@ -16,75 +38,140 @@ pub enum AppEvent {
     /// Start the application with this spec (admitted if a feasible
     /// mapping exists *now*).
     Start(Box<ApplicationSpec>),
-    /// Stop the `n`-th previously admitted application (0-based among
-    /// still-running ones), releasing its resources.
-    Stop(usize),
+    /// Stop the application started by the [`AppId`]-th `Start` event,
+    /// releasing its resources (see the module docs for the exact
+    /// semantics).
+    Stop(AppId),
+}
+
+impl AppEvent {
+    /// Convenience constructor: a start event.
+    pub fn start(spec: ApplicationSpec) -> Self {
+        AppEvent::Start(Box::new(spec))
+    }
+
+    /// Convenience constructor: a stop event for the `id`-th start.
+    pub fn stop(id: usize) -> Self {
+        AppEvent::Stop(AppId(id))
+    }
 }
 
 /// Outcome of replaying a scenario.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioOutcome {
     /// Applications admitted with a feasible mapping.
     pub admitted: usize,
     /// Start requests rejected (no feasible mapping at that moment).
     pub rejected: usize,
+    /// Stop events that named no running application (rejected start,
+    /// double stop, or out-of-range id).
+    pub ignored_stops: usize,
     /// Total energy of the applications running at the end, pJ/period.
     pub running_energy_pj: u64,
-    /// Mapping results of the applications still running at the end.
-    pub running: Vec<(ApplicationSpec, MappingResult)>,
+    /// The applications still running at the end, in admission order.
+    pub running: Vec<(ApplicationSpec, MappingOutcome)>,
     /// Final platform occupancy.
     pub final_state: PlatformState,
 }
 
-/// Replays `events` on `platform` with a fresh mapper per start request.
-pub fn run_scenario(
+impl ScenarioOutcome {
+    /// The compact, persistence-friendly summary of this outcome.
+    pub fn summary(&self) -> ScenarioSummary {
+        ScenarioSummary {
+            admitted: self.admitted,
+            rejected: self.rejected,
+            ignored_stops: self.ignored_stops,
+            still_running: self.running.len(),
+            running_energy_pj: self.running_energy_pj,
+        }
+    }
+}
+
+/// The headline numbers of a [`ScenarioOutcome`], for benchmark records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// Applications admitted.
+    pub admitted: usize,
+    /// Start requests rejected.
+    pub rejected: usize,
+    /// Stop events that named no running application.
+    pub ignored_stops: usize,
+    /// Applications still running at the end.
+    pub still_running: usize,
+    /// Energy of the still-running applications, pJ/period.
+    pub running_energy_pj: u64,
+}
+
+/// Replays `events` on an empty `platform`, admitting every start through
+/// `algorithm` — a thin scripting layer over [`RuntimeManager`].
+///
+/// Rejected starts are counted, not errors: rejection under load is the
+/// scenario's subject matter. Errors that indicate a *broken* replay —
+/// a commit or release failing against the manager's own ledger — are
+/// propagated instead of panicking.
+///
+/// # Errors
+///
+/// [`AdmissionError::CommitFailed`] / [`AdmissionError::ReleaseFailed`] if
+/// the ledger rejects a commit or release (impossible unless the platform
+/// state is mutated outside the replay — a bug, reported not panicked).
+pub fn run_scenario<A: MappingAlgorithm>(
     platform: &Platform,
     events: Vec<AppEvent>,
-    config: MapperConfig,
-) -> ScenarioOutcome {
-    let mapper = SpatialMapper::new(config);
-    let mut state = platform.initial_state();
-    let mut running: Vec<(ApplicationSpec, MappingResult)> = Vec::new();
+    algorithm: A,
+) -> Result<ScenarioOutcome, AdmissionError> {
+    let mut manager = RuntimeManager::new(platform.clone(), algorithm);
+    // Handle of each Start event, in script order; `None` once stopped or
+    // when the start was rejected.
+    let mut handles: Vec<Option<AppHandle>> = Vec::new();
     let mut admitted = 0;
     let mut rejected = 0;
+    let mut ignored_stops = 0;
 
     for event in events {
         match event {
-            AppEvent::Start(spec) => match mapper.map(&spec, platform, &state) {
-                Ok(result) => {
-                    result
-                        .commit(&spec, platform, &mut state)
-                        .expect("mapper results commit onto the state they were mapped against");
-                    running.push((*spec, result));
+            AppEvent::Start(spec) => match manager.start(*spec) {
+                Ok(handle) => {
+                    handles.push(Some(handle));
                     admitted += 1;
                 }
-                Err(_) => rejected += 1,
-            },
-            AppEvent::Stop(index) => {
-                if index < running.len() {
-                    let (spec, result) = running.remove(index);
-                    result
-                        .release(&spec, platform, &mut state)
-                        .expect("running applications hold their reservations");
+                Err(AdmissionError::Rejected(_)) => {
+                    handles.push(None);
+                    rejected += 1;
                 }
-            }
+                Err(fatal) => return Err(fatal),
+            },
+            AppEvent::Stop(AppId(id)) => match handles.get_mut(id).and_then(Option::take) {
+                Some(handle) => match manager.stop(handle) {
+                    Ok(_) => {}
+                    Err(AdmissionError::UnknownHandle(_)) => ignored_stops += 1,
+                    Err(fatal) => return Err(fatal),
+                },
+                None => ignored_stops += 1,
+            },
         }
     }
 
-    let running_energy_pj = running.iter().map(|(_, r)| r.energy_pj).sum();
-    ScenarioOutcome {
+    let running_energy_pj = manager.running_energy_pj();
+    let (final_state, still_running) = manager.into_parts();
+    Ok(ScenarioOutcome {
         admitted,
         rejected,
+        ignored_stops,
         running_energy_pj,
-        running,
-        final_state: state,
-    }
+        running: still_running
+            .into_iter()
+            .map(|(_, app)| (app.spec, app.outcome))
+            .collect(),
+        final_state,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_core::{MapperConfig, SpatialMapper};
     use rtsm_platform::paper::paper_platform;
 
     #[test]
@@ -92,20 +179,22 @@ mod tests {
         // The paper platform has exactly two MONTIUMs: one receiver claims
         // both, so a second is rejected — until the first stops.
         let platform = paper_platform();
-        let spec = || Box::new(hiperlan2_receiver(Hiperlan2Mode::Qpsk34));
+        let spec = || AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34));
         let outcome = run_scenario(
             &platform,
             vec![
-                AppEvent::Start(spec()),
-                AppEvent::Start(spec()), // rejected: MONTIUMs taken
-                AppEvent::Stop(0),
-                AppEvent::Start(spec()), // admitted again
+                spec(),
+                spec(), // rejected: MONTIUMs taken
+                AppEvent::stop(0),
+                spec(), // admitted again
             ],
-            MapperConfig::default(),
-        );
+            SpatialMapper::new(MapperConfig::default()),
+        )
+        .expect("replay never breaks its own ledger");
         assert_eq!(outcome.admitted, 2);
         assert_eq!(outcome.rejected, 1);
         assert_eq!(outcome.running.len(), 1);
+        assert_eq!(outcome.summary().still_running, 1);
     }
 
     #[test]
@@ -114,20 +203,87 @@ mod tests {
         let outcome = run_scenario(
             &platform,
             vec![
-                AppEvent::Start(Box::new(hiperlan2_receiver(Hiperlan2Mode::Bpsk12))),
-                AppEvent::Stop(0),
+                AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Bpsk12)),
+                AppEvent::stop(0),
             ],
-            MapperConfig::default(),
-        );
+            SpatialMapper::default(),
+        )
+        .unwrap();
         assert_eq!(outcome.running.len(), 0);
         assert_eq!(outcome.final_state, platform.initial_state());
     }
 
     #[test]
-    fn stop_with_bad_index_is_ignored() {
+    fn stop_with_bad_id_is_counted_and_ignored() {
         let platform = paper_platform();
-        let outcome = run_scenario(&platform, vec![AppEvent::Stop(3)], MapperConfig::default());
+        let outcome =
+            run_scenario(&platform, vec![AppEvent::stop(3)], SpatialMapper::default()).unwrap();
         assert_eq!(outcome.admitted, 0);
         assert_eq!(outcome.rejected, 0);
+        assert_eq!(outcome.ignored_stops, 1);
+    }
+
+    #[test]
+    fn stop_ids_are_stable_under_churn() {
+        // Start A, start B (rejected), stop A, start C, stop id 1 (the
+        // rejected B — ignored), stop id 2 (C). With the old positional
+        // scheme, "stop 1" after A stopped would have hit C.
+        let platform = paper_platform();
+        let spec = || AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34));
+        let outcome = run_scenario(
+            &platform,
+            vec![
+                spec(),            // id 0: admitted
+                spec(),            // id 1: rejected
+                AppEvent::stop(0), // A leaves
+                spec(),            // id 2: admitted
+                AppEvent::stop(1), // names the rejected start: ignored
+                AppEvent::stop(2), // names C precisely
+            ],
+            SpatialMapper::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.admitted, 2);
+        assert_eq!(outcome.rejected, 1);
+        assert_eq!(outcome.ignored_stops, 1);
+        assert_eq!(outcome.running.len(), 0);
+        assert_eq!(outcome.final_state, platform.initial_state());
+    }
+
+    #[test]
+    fn double_stop_is_ignored() {
+        let platform = paper_platform();
+        let outcome = run_scenario(
+            &platform,
+            vec![
+                AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Bpsk12)),
+                AppEvent::stop(0),
+                AppEvent::stop(0),
+            ],
+            SpatialMapper::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.admitted, 1);
+        assert_eq!(outcome.ignored_stops, 1);
+        assert_eq!(outcome.final_state, platform.initial_state());
+    }
+
+    #[test]
+    fn scenario_runs_with_a_baseline_algorithm_too() {
+        // The replay layer is generic over the algorithm: run the same
+        // script through a boxed trait object.
+        let platform = paper_platform();
+        let algorithm: Box<dyn MappingAlgorithm> = Box::new(SpatialMapper::default());
+        let outcome = run_scenario(
+            &platform,
+            vec![
+                AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)),
+                AppEvent::stop(0),
+            ],
+            algorithm,
+        )
+        .unwrap();
+        assert_eq!(outcome.admitted, 1);
+        assert_eq!(outcome.final_state, platform.initial_state());
     }
 }

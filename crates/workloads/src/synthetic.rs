@@ -154,9 +154,11 @@ pub fn synthetic_app(config: &SyntheticConfig) -> ApplicationSpec {
             let join_index = width + 1;
             for b in 1..=width {
                 graph
-                    .add_channel(Endpoint::Process(processes[0]), Endpoint::Process(processes[b]), {
-                        tok(&mut rng)
-                    })
+                    .add_channel(
+                        Endpoint::Process(processes[0]),
+                        Endpoint::Process(processes[b]),
+                        tok(&mut rng),
+                    )
                     .expect("valid endpoints");
                 if join_index < config.n_processes {
                     graph
@@ -222,27 +224,16 @@ pub fn synthetic_app(config: &SyntheticConfig) -> ApplicationSpec {
             // Phase structure: split one input's tokens into phases and
             // align every port to that phase count.
             let phases = if let Some(first) = inputs.first() {
-                phase_split(
-                    &mut rng,
-                    graph.channel(*first).tokens_per_period,
-                    6,
-                )
-                .len()
+                phase_split(&mut rng, graph.channel(*first).tokens_per_period, 6).len()
             } else if let Some(first) = outputs.first() {
-                phase_split(
-                    &mut rng,
-                    graph.channel(*first).tokens_per_period,
-                    6,
-                )
-                .len()
+                phase_split(&mut rng, graph.channel(*first).tokens_per_period, 6).len()
             } else {
                 1
             };
             let rate_vec = |total: u64| {
                 let q = total / phases as u64;
                 let r = total % phases as u64;
-                let values: Vec<u64> =
-                    (0..phases as u64).map(|i| q + u64::from(i < r)).collect();
+                let values: Vec<u64> = (0..phases as u64).map(|i| q + u64::from(i < r)).collect();
                 PhaseVec::from_slice(&values)
             };
             let implementation = Implementation {

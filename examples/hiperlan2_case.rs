@@ -75,15 +75,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", render_table2(&spec, &platform, &trace));
 
     // Step 3: incremental routing, heaviest channel first.
-    route_channels(&spec, &platform, &mut mapping, &mut working)
-        .expect("the paper case routes");
+    route_channels(&spec, &platform, &mut mapping, &mut working).expect("the paper case routes");
     println!("\nstep 3 routes:");
     for (cid, route) in mapping.routes() {
         println!("  {cid:?}: {} hops", route.hops());
     }
 
     // Step 4: compose the CSDF graph (Figure 3) and check the constraints.
-    let step4 = check_constraints(&spec, &platform, &mapping, &working, &Step4Config::default());
+    let step4 = check_constraints(
+        &spec,
+        &platform,
+        &mapping,
+        &working,
+        &Step4Config::default(),
+    );
     println!("\nstep 4 (Figure 3):");
     println!(
         "  actors: {} (A/D + Sink + 4 implementations + {} routers)",

@@ -1,13 +1,13 @@
 //! Quickstart: map the paper's HIPERLAN/2 receiver onto the paper's MPSoC
-//! and print the result.
+//! with the handle-based run-time manager and print the result.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
-use rtsm::core::mapper::{MapperConfig, SpatialMapper};
 use rtsm::core::report::render_summary;
+use rtsm::core::{RuntimeManager, SpatialMapper};
 use rtsm::platform::paper::paper_platform;
 use rtsm::platform::render::render_layout;
 
@@ -20,25 +20,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = paper_platform();
     println!("{}", render_layout(&platform));
 
-    // 3. Run-time state: nothing running yet.
-    let mut state = platform.initial_state();
+    // 3. The run-time manager owns the occupancy ledger and admits
+    //    applications with the paper's four-step mapper.
+    let mut manager = RuntimeManager::new(platform, SpatialMapper::default());
 
-    // 4. Map: steps 1–4 with iterative refinement.
-    let mapper = SpatialMapper::new(MapperConfig::default());
-    let result = mapper.map(&spec, &platform, &state)?;
-    println!("{}", render_summary(&result, &spec, &platform));
+    // 4. Start the application: map against the actual (empty) occupancy,
+    //    commit the reservations atomically, get a handle.
+    let handle = manager.start(spec.clone())?;
+    let app = manager.get(handle).expect("the app we just started");
+    println!(
+        "{}",
+        render_summary(&app.outcome, &app.spec, manager.platform())
+    );
 
-    // 5. Start the application: commit its resource reservations.
-    result.commit(&spec, &platform, &mut state)?;
-    println!("application started; MONTIUM slots now taken.");
-
-    // 6. A second receiver cannot be admitted while the first runs …
-    assert!(mapper.map(&spec, &platform, &state).is_err());
+    // 5. A second receiver cannot be admitted while the first runs …
+    assert!(manager.start(spec.clone()).is_err());
     println!("second receiver correctly rejected while the first runs.");
 
     // … but can be after the first stops.
-    result.release(&spec, &platform, &mut state)?;
-    assert!(mapper.map(&spec, &platform, &state).is_ok());
+    manager.stop(handle)?;
+    assert!(manager.start(spec).is_ok());
     println!("after stopping, the receiver maps again.");
     Ok(())
 }

@@ -2,12 +2,17 @@
 //! MPSoC, and each start request is mapped against the *actual* occupancy —
 //! the paper's §1.3 motivation.
 //!
+//! Shows both layers of the lifecycle API: the scripted
+//! [`run_scenario`](rtsm::workloads::run_scenario) replay and the
+//! interactive, handle-based [`RuntimeManager`](rtsm::core::RuntimeManager)
+//! underneath it.
+//!
 //! ```sh
 //! cargo run --example runtime_scenario
 //! ```
 
 use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
-use rtsm::core::mapper::MapperConfig;
+use rtsm::core::{RuntimeManager, SpatialMapper};
 use rtsm::platform::TileKind;
 use rtsm::workloads::apps::{jpeg_encoder, wlan_tx};
 use rtsm::workloads::{mesh_platform, run_scenario, AppEvent};
@@ -25,17 +30,21 @@ fn main() {
         ],
     );
 
+    // --- Scripted replay -------------------------------------------------
+    // Stop events name applications by the ordinal of their Start event
+    // (stable under churn), not by a shifting positional index.
     let events = vec![
-        AppEvent::Start(Box::new(wlan_tx())),
-        AppEvent::Start(Box::new(jpeg_encoder())),
-        AppEvent::Start(Box::new(hiperlan2_receiver(Hiperlan2Mode::Qpsk34))),
+        AppEvent::start(wlan_tx()),                                 // id 0
+        AppEvent::start(jpeg_encoder()),                            // id 1
+        AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)), // id 2
         // The JPEG encoder finishes; its tiles free up.
-        AppEvent::Stop(1),
+        AppEvent::stop(1),
         // A second WLAN transmitter arrives.
-        AppEvent::Start(Box::new(wlan_tx())),
+        AppEvent::start(wlan_tx()), // id 3
     ];
 
-    let outcome = run_scenario(&platform, events, MapperConfig::default());
+    let outcome = run_scenario(&platform, events, SpatialMapper::default())
+        .expect("the replay never breaks its own ledger");
 
     println!(
         "admitted {} applications, rejected {}",
@@ -62,4 +71,34 @@ fn main() {
             );
         }
     }
+
+    // --- The same lifecycle, driven interactively ------------------------
+    // A roomier 5×5 mesh so the transmitter and the encoder run together.
+    let big = mesh_platform(
+        7,
+        5,
+        5,
+        &[
+            (TileKind::Montium, 6),
+            (TileKind::Arm, 8),
+            (TileKind::Dsp, 4),
+        ],
+    );
+    let mut manager = RuntimeManager::new(big, SpatialMapper::default());
+    let wlan = manager.start(wlan_tx()).expect("empty platform admits");
+    let jpeg = manager.start(jpeg_encoder()).expect("still fits");
+    println!(
+        "\nmanager: {} running, utilization {}/{} slots",
+        manager.n_running(),
+        manager.utilization().used_slots,
+        manager.utilization().total_slots
+    );
+    manager.stop(jpeg).expect("running app stops");
+    // `wlan` stays valid no matter what stopped around it.
+    let record = manager.stop(wlan).expect("handle survives churn");
+    println!(
+        "manager: stopped {} last, ledger now idle ({} running)",
+        record.spec.name,
+        manager.n_running()
+    );
 }

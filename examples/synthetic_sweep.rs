@@ -7,8 +7,7 @@
 //! ```
 
 use rtsm::baselines::{
-    AnnealingMapper, ExhaustiveMapper, GreedyMapper, HeuristicMapper, MappingAlgorithm,
-    RandomMapper,
+    AnnealingMapper, ExhaustiveMapper, GreedyMapper, MappingAlgorithm, RandomMapper, SpatialMapper,
 };
 use rtsm::platform::TileKind;
 use rtsm::workloads::{mesh_platform, synthetic_app, GraphShape, SyntheticConfig};
@@ -41,7 +40,7 @@ fn main() {
             let state = platform.initial_state();
 
             let algorithms: Vec<Box<dyn MappingAlgorithm>> = vec![
-                Box::new(HeuristicMapper::default()),
+                Box::new(SpatialMapper::default()),
                 Box::new(GreedyMapper),
                 Box::new(RandomMapper::default()),
                 Box::new(AnnealingMapper {
@@ -58,7 +57,7 @@ fn main() {
                 let outcome = algorithm.map(&spec, &platform, &state);
                 let dt = t0.elapsed().as_secs_f64() * 1e6;
                 match outcome {
-                    Some(r) => println!(
+                    Ok(r) => println!(
                         "{:<22} {:<30} {:>12.1} {:>6} {:>10.0}",
                         format!("{label} s{seed}"),
                         algorithm.name(),
@@ -66,7 +65,7 @@ fn main() {
                         r.communication_hops,
                         dt
                     ),
-                    None => println!(
+                    Err(_) => println!(
                         "{:<22} {:<30} {:>12} {:>6} {:>10.0}",
                         format!("{label} s{seed}"),
                         algorithm.name(),

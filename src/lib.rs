@@ -14,26 +14,60 @@
 //! * [`app`] — application models: Kahn process networks, QoS constraints,
 //!   implementation libraries, and the paper's HIPERLAN/2 receiver;
 //! * [`core`] — the paper's four-step run-time spatial mapper with
-//!   iterative refinement;
+//!   iterative refinement, the workspace-wide
+//!   [`MappingAlgorithm`](core::MappingAlgorithm) interface, and the
+//!   handle-based [`RuntimeManager`](core::RuntimeManager) for
+//!   multi-application lifecycles;
 //! * [`baselines`] — optimal (branch & bound), simulated-annealing,
-//!   random, and greedy comparators;
+//!   random, and greedy comparators behind the same trait;
 //! * [`workloads`] — synthetic generators, constructed realistic DSP
-//!   applications, and multi-application run-time scenarios.
+//!   applications, and scripted multi-application run-time scenarios.
 //!
 //! ## Quickstart
 //!
+//! The run-time flow of the paper (§1.3): a [`RuntimeManager`](core::RuntimeManager)
+//! owns the occupancy ledger, admits applications by mapping them against
+//! the *actual* current state, and releases their resources when they stop.
+//!
 //! ```
 //! use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
-//! use rtsm::core::mapper::{MapperConfig, SpatialMapper};
+//! use rtsm::core::{RuntimeManager, SpatialMapper};
 //! use rtsm::platform::paper::paper_platform;
 //!
-//! // The paper's case study: map a HIPERLAN/2 receiver onto the 3×3 MPSoC.
-//! let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
-//! let platform = paper_platform();
-//! let result = SpatialMapper::new(MapperConfig::default())
-//!     .map(&spec, &platform, &platform.initial_state())
-//!     .expect("feasible");
-//! assert_eq!(result.communication_hops, 7); // Table 2's final cost
+//! // The paper's case study: the HIPERLAN/2 receiver on the 3×3 MPSoC.
+//! let mut manager = RuntimeManager::new(paper_platform(), SpatialMapper::default());
+//!
+//! let handle = manager
+//!     .start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34))
+//!     .expect("feasible on the empty platform");
+//! let app = manager.get(handle).unwrap();
+//! assert_eq!(app.outcome.communication_hops, 7); // Table 2's final cost
+//!
+//! // A second receiver is rejected while the MONTIUMs are taken…
+//! assert!(manager.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).is_err());
+//! // …and admitted once the first one stops.
+//! manager.stop(handle).expect("running app stops");
+//! assert!(manager.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).is_ok());
+//! ```
+//!
+//! ## Swapping the mapping algorithm
+//!
+//! Every mapper implements [`MappingAlgorithm`](core::MappingAlgorithm)
+//! and returns the same [`MappingOutcome`](core::MappingOutcome), so the
+//! manager (and the scenario replay in [`workloads`]) is generic over the
+//! algorithm:
+//!
+//! ```
+//! use rtsm::baselines::AnnealingMapper;
+//! use rtsm::core::RuntimeManager;
+//! use rtsm::platform::paper::paper_platform;
+//! use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+//!
+//! // Same lifecycle, simulated-annealing admission instead of the paper's
+//! // heuristic.
+//! let mut manager = RuntimeManager::new(paper_platform(), AnnealingMapper::default());
+//! let handle = manager.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+//! manager.stop(handle).unwrap();
 //! ```
 
 #![warn(missing_docs)]

@@ -1,7 +1,7 @@
 //! Cross-crate quality checks: the heuristic against the optimal reference
 //! on a seed sweep — the paper's "promising results" claim, quantified.
 
-use rtsm::baselines::{ExhaustiveMapper, GreedyMapper, HeuristicMapper, MappingAlgorithm};
+use rtsm::baselines::{ExhaustiveMapper, GreedyMapper, MappingAlgorithm, SpatialMapper};
 use rtsm::platform::TileKind;
 use rtsm::workloads::{mesh_platform, synthetic_app, GraphShape, SyntheticConfig};
 
@@ -31,13 +31,13 @@ fn heuristic_within_factor_of_optimal() {
     for seed in 0..8u64 {
         let (spec, platform) = setup(seed);
         let state = platform.initial_state();
-        let heuristic = HeuristicMapper::default().map(&spec, &platform, &state);
+        let heuristic = SpatialMapper::default().map(&spec, &platform, &state);
         let optimal = ExhaustiveMapper {
             max_nodes: 400_000,
             ..ExhaustiveMapper::default()
         }
         .map(&spec, &platform, &state);
-        if let (Some(h), Some(o)) = (heuristic, optimal) {
+        if let (Ok(h), Ok(o)) = (heuristic, optimal) {
             assert!(
                 h.energy_pj >= o.energy_pj,
                 "seed {seed}: heuristic {} below optimum {}?",
@@ -71,9 +71,9 @@ fn step2_monotonically_improves_communication() {
     for seed in 0..12u64 {
         let (spec, platform) = setup(seed);
         let state = platform.initial_state();
-        let full = HeuristicMapper::default().map(&spec, &platform, &state);
+        let full = SpatialMapper::default().map(&spec, &platform, &state);
         let greedy = GreedyMapper.map(&spec, &platform, &state);
-        if let (Some(f), Some(g)) = (full, greedy) {
+        if let (Ok(f), Ok(g)) = (full, greedy) {
             assert!(
                 f.communication_hops <= g.communication_hops,
                 "seed {seed}: step 2 made communication worse ({} > {})",
@@ -97,9 +97,11 @@ fn heuristic_admits_when_optimal_exists() {
             ..ExhaustiveMapper::default()
         }
         .map(&spec, &platform, &state);
-        if optimal.is_some() {
+        if optimal.is_ok() {
             assert!(
-                HeuristicMapper::default().map(&spec, &platform, &state).is_some(),
+                SpatialMapper::default()
+                    .map(&spec, &platform, &state)
+                    .is_ok(),
                 "seed {seed}: heuristic missed a feasible instance"
             );
         }

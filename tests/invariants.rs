@@ -128,20 +128,16 @@ fn energy_recomputation_matches() {
             seed,
             ..SyntheticConfig::default()
         });
-        let platform = mesh_platform(
-            seed,
-            4,
-            4,
-            &[(TileKind::Montium, 4), (TileKind::Arm, 4)],
-        );
-        if let Ok(result) =
-            SpatialMapper::new(MapperConfig::default()).map(&spec, &platform, &platform.initial_state())
-        {
-            let recomputed = result.mapping.energy_pj(
-                &spec,
-                &platform,
-                &rtsm::platform::EnergyModel::default(),
-            );
+        let platform = mesh_platform(seed, 4, 4, &[(TileKind::Montium, 4), (TileKind::Arm, 4)]);
+        if let Ok(result) = SpatialMapper::new(MapperConfig::default()).map(
+            &spec,
+            &platform,
+            &platform.initial_state(),
+        ) {
+            let recomputed =
+                result
+                    .mapping
+                    .energy_pj(&spec, &platform, &rtsm::platform::EnergyModel::default());
             assert_eq!(result.energy_pj, recomputed, "seed {seed}");
         }
     }

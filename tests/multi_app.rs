@@ -1,7 +1,7 @@
 //! Multi-application run-time scenarios across the whole stack.
 
 use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
-use rtsm::core::mapper::MapperConfig;
+use rtsm::core::SpatialMapper;
 use rtsm::platform::TileKind;
 use rtsm::workloads::apps::{dvbt_rx, jpeg_encoder, mp3_decoder, wlan_tx};
 use rtsm::workloads::{mesh_platform, run_scenario, AppEvent};
@@ -21,14 +21,15 @@ fn mixed_workload_scenario_admits_and_releases() {
     let outcome = run_scenario(
         &platform,
         vec![
-            AppEvent::Start(Box::new(wlan_tx())),
-            AppEvent::Start(Box::new(jpeg_encoder())),
-            AppEvent::Start(Box::new(mp3_decoder())),
-            AppEvent::Stop(0),
-            AppEvent::Start(Box::new(dvbt_rx())),
+            AppEvent::start(wlan_tx()),
+            AppEvent::start(jpeg_encoder()),
+            AppEvent::start(mp3_decoder()),
+            AppEvent::stop(0),
+            AppEvent::start(dvbt_rx()),
         ],
-        MapperConfig::default(),
-    );
+        SpatialMapper::default(),
+    )
+    .expect("replay never breaks its own ledger");
     assert!(outcome.admitted >= 3, "admitted {}", outcome.admitted);
     // Whatever is still running is consistently accounted.
     let sum: u64 = outcome.running.iter().map(|(_, r)| r.energy_pj).sum();
@@ -50,9 +51,10 @@ fn all_four_constructed_apps_map_alone() {
     for app in [wlan_tx(), dvbt_rx(), mp3_decoder(), jpeg_encoder()] {
         let outcome = run_scenario(
             &platform,
-            vec![AppEvent::Start(Box::new(app.clone()))],
-            MapperConfig::default(),
-        );
+            vec![AppEvent::start(app.clone())],
+            SpatialMapper::default(),
+        )
+        .expect("replay never breaks its own ledger");
         assert_eq!(outcome.admitted, 1, "{} failed to map", app.name);
     }
 }
@@ -61,24 +63,14 @@ fn all_four_constructed_apps_map_alone() {
 fn saturating_the_platform_rejects_gracefully() {
     // A tiny platform: repeated starts must eventually reject without
     // panicking, and stops recover admission capacity.
-    let platform = mesh_platform(
-        3,
-        3,
-        3,
-        &[(TileKind::Montium, 3), (TileKind::Arm, 2)],
-    );
-    let spec = || Box::new(hiperlan2_receiver(Hiperlan2Mode::Qpsk34));
+    let platform = mesh_platform(3, 3, 3, &[(TileKind::Montium, 3), (TileKind::Arm, 2)]);
+    let spec = || AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34));
     let outcome = run_scenario(
         &platform,
-        vec![
-            AppEvent::Start(spec()),
-            AppEvent::Start(spec()),
-            AppEvent::Start(spec()),
-            AppEvent::Stop(0),
-            AppEvent::Start(spec()),
-        ],
-        MapperConfig::default(),
-    );
+        vec![spec(), spec(), spec(), AppEvent::stop(0), spec()],
+        SpatialMapper::default(),
+    )
+    .expect("replay never breaks its own ledger");
     // At most one receiver fits at a time (two MONTIUM processes needed,
     // three MONTIUMs present but ARMs limit the rest).
     assert!(outcome.admitted >= 1);
@@ -99,20 +91,19 @@ fn scenario_energy_decreases_when_apps_stop() {
     );
     let both = run_scenario(
         &platform,
-        vec![
-            AppEvent::Start(Box::new(wlan_tx())),
-            AppEvent::Start(Box::new(jpeg_encoder())),
-        ],
-        MapperConfig::default(),
-    );
+        vec![AppEvent::start(wlan_tx()), AppEvent::start(jpeg_encoder())],
+        SpatialMapper::default(),
+    )
+    .expect("replay never breaks its own ledger");
     let after_stop = run_scenario(
         &platform,
         vec![
-            AppEvent::Start(Box::new(wlan_tx())),
-            AppEvent::Start(Box::new(jpeg_encoder())),
-            AppEvent::Stop(1),
+            AppEvent::start(wlan_tx()),
+            AppEvent::start(jpeg_encoder()),
+            AppEvent::stop(1),
         ],
-        MapperConfig::default(),
-    );
+        SpatialMapper::default(),
+    )
+    .expect("replay never breaks its own ledger");
     assert!(after_stop.running_energy_pj < both.running_energy_pj);
 }

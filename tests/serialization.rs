@@ -5,10 +5,11 @@
 use rtsm::app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
 use rtsm::app::ApplicationSpec;
 use rtsm::core::mapper::{MapperConfig, SpatialMapper};
-use rtsm::core::Mapping;
+use rtsm::core::{Mapping, MappingOutcome};
 use rtsm::dataflow::{CsdfGraph, PhaseVec};
 use rtsm::platform::paper::paper_platform;
 use rtsm::platform::{Platform, PlatformState};
+use rtsm::workloads::{run_scenario, AppEvent, ScenarioOutcome, ScenarioSummary};
 
 #[test]
 fn application_spec_roundtrips() {
@@ -84,4 +85,54 @@ fn mapper_config_roundtrips() {
     let json = serde_json::to_string(&config).expect("serialize");
     let back: MapperConfig = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(config, back);
+}
+
+#[test]
+fn mapping_outcome_roundtrips() {
+    // The unified outcome type persists whole: mapping, buffers, CSDF
+    // graph, trace, and the scalar scores — the record a benchmark run
+    // stores per admission.
+    let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+    let platform = paper_platform();
+    let outcome = SpatialMapper::new(MapperConfig::default())
+        .map(&spec, &platform, &platform.initial_state())
+        .unwrap();
+    let json = serde_json::to_string(&outcome).expect("serialize");
+    let back: MappingOutcome = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(outcome, back);
+    // A deserialized outcome is still operational: it commits and releases.
+    let mut state = platform.initial_state();
+    let before = state.clone();
+    back.commit(&spec, &platform, &mut state).expect("commit");
+    assert_ne!(state, before);
+    back.release(&spec, &platform, &mut state).expect("release");
+    assert_eq!(state, before);
+}
+
+#[test]
+fn scenario_outcome_and_summary_roundtrip() {
+    let platform = paper_platform();
+    let outcome = run_scenario(
+        &platform,
+        vec![
+            AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)),
+            AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)), // rejected
+            AppEvent::stop(0),
+            AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Bpsk12)),
+        ],
+        SpatialMapper::default(),
+    )
+    .unwrap();
+
+    let json = serde_json::to_string(&outcome).expect("serialize outcome");
+    let back: ScenarioOutcome = serde_json::from_str(&json).expect("deserialize outcome");
+    assert_eq!(outcome, back);
+
+    let summary = outcome.summary();
+    let json = serde_json::to_string(&summary).expect("serialize summary");
+    let back: ScenarioSummary = serde_json::from_str(&json).expect("deserialize summary");
+    assert_eq!(summary, back);
+    assert_eq!(back.admitted, 2);
+    assert_eq!(back.rejected, 1);
+    assert_eq!(back.still_running, 1);
 }
