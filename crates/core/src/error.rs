@@ -1,6 +1,7 @@
 //! Error type of the spatial mapper.
 
 use crate::feedback::Feedback;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors terminating a mapping attempt.
@@ -48,6 +49,46 @@ impl fmt::Display for MapError {
             MapError::Unmappable { process } => {
                 write!(f, "process `{process}` has no viable implementation")
             }
+        }
+    }
+}
+
+/// The serializable discriminant of [`MapError`]: which *kind* of failure
+/// terminated the attempt, without the attempt-specific payload. This is
+/// what rejection histograms and persisted scenario/simulation reports key
+/// on, so scripted and simulated runs report comparable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MapErrorKind {
+    /// See [`MapError::InvalidSpec`].
+    InvalidSpec,
+    /// See [`MapError::NoStreamEndpoint`].
+    NoStreamEndpoint,
+    /// See [`MapError::NoFeasibleMapping`].
+    NoFeasibleMapping,
+    /// See [`MapError::Unmappable`].
+    Unmappable,
+}
+
+impl fmt::Display for MapErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            MapErrorKind::InvalidSpec => "invalid-spec",
+            MapErrorKind::NoStreamEndpoint => "no-stream-endpoint",
+            MapErrorKind::NoFeasibleMapping => "no-feasible-mapping",
+            MapErrorKind::Unmappable => "unmappable",
+        };
+        f.write_str(label)
+    }
+}
+
+impl MapError {
+    /// This error's [`MapErrorKind`] discriminant.
+    pub fn kind(&self) -> MapErrorKind {
+        match self {
+            MapError::InvalidSpec(_) => MapErrorKind::InvalidSpec,
+            MapError::NoStreamEndpoint { .. } => MapErrorKind::NoStreamEndpoint,
+            MapError::NoFeasibleMapping { .. } => MapErrorKind::NoFeasibleMapping,
+            MapError::Unmappable { .. } => MapErrorKind::Unmappable,
         }
     }
 }

@@ -74,8 +74,11 @@ pub mod trace;
 
 pub use algorithm::{MappingAlgorithm, MappingOutcome};
 pub use cost::CostModel;
-pub use error::MapError;
+pub use error::{MapError, MapErrorKind};
 pub use feedback::Feedback;
 pub use mapper::{MapperConfig, SpatialMapper};
 pub use mapping::{Assignment, Mapping, RouteBinding};
-pub use runtime::{AdmissionError, AppHandle, RunningApp, RuntimeManager, Utilization};
+pub use runtime::{
+    AdmissionError, AdmissionErrorKind, AppHandle, RunningApp, RuntimeManager, StopAllError,
+    Utilization,
+};

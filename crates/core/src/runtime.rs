@@ -35,7 +35,7 @@
 //! ```
 
 use crate::algorithm::{MappingAlgorithm, MappingOutcome};
-use crate::error::MapError;
+use crate::error::{MapError, MapErrorKind};
 use rtsm_app::ApplicationSpec;
 use rtsm_platform::{Platform, PlatformError, PlatformState};
 use serde::{Deserialize, Serialize};
@@ -82,6 +82,45 @@ pub enum AdmissionError {
     UnknownHandle(AppHandle),
 }
 
+/// The serializable discriminant of [`AdmissionError`]: which variant
+/// occurred (and, for rejections, which [`MapErrorKind`]), without the
+/// attempt-specific payload. Rejection-reason histograms in scenario and
+/// simulation reports are keyed by this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AdmissionErrorKind {
+    /// See [`AdmissionError::Rejected`]; carries the mapping failure kind.
+    Rejected(MapErrorKind),
+    /// See [`AdmissionError::CommitFailed`].
+    CommitFailed,
+    /// See [`AdmissionError::ReleaseFailed`].
+    ReleaseFailed,
+    /// See [`AdmissionError::UnknownHandle`].
+    UnknownHandle,
+}
+
+impl fmt::Display for AdmissionErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionErrorKind::Rejected(kind) => write!(f, "rejected/{kind}"),
+            AdmissionErrorKind::CommitFailed => f.write_str("commit-failed"),
+            AdmissionErrorKind::ReleaseFailed => f.write_str("release-failed"),
+            AdmissionErrorKind::UnknownHandle => f.write_str("unknown-handle"),
+        }
+    }
+}
+
+impl AdmissionError {
+    /// This error's [`AdmissionErrorKind`] discriminant.
+    pub fn kind(&self) -> AdmissionErrorKind {
+        match self {
+            AdmissionError::Rejected(e) => AdmissionErrorKind::Rejected(e.kind()),
+            AdmissionError::CommitFailed(_) => AdmissionErrorKind::CommitFailed,
+            AdmissionError::ReleaseFailed(_) => AdmissionErrorKind::ReleaseFailed,
+            AdmissionError::UnknownHandle(_) => AdmissionErrorKind::UnknownHandle,
+        }
+    }
+}
+
 impl fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -106,6 +145,36 @@ impl std::error::Error for AdmissionError {
             AdmissionError::CommitFailed(e) | AdmissionError::ReleaseFailed(e) => Some(e),
             AdmissionError::UnknownHandle(_) => None,
         }
+    }
+}
+
+/// Error of [`RuntimeManager::stop_all`]: a release failed partway
+/// through. The applications stopped before the failure were released
+/// successfully — their records are carried here, since they are no
+/// longer registered with the manager — while the failing application and
+/// all later ones keep running.
+#[derive(Debug, Clone)]
+pub struct StopAllError {
+    /// Records of the applications stopped before the failure.
+    pub stopped: Vec<(AppHandle, RunningApp)>,
+    /// Why the next release failed.
+    pub error: AdmissionError,
+}
+
+impl fmt::Display for StopAllError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stop_all failed after stopping {} application(s): {}",
+            self.stopped.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for StopAllError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -136,6 +205,19 @@ pub struct Utilization {
     pub total_link_bandwidth: u64,
     /// Number of running applications.
     pub running_apps: usize,
+}
+
+impl Utilization {
+    /// `true` when nothing is running and no resource is in use — the
+    /// occupancy of a freshly initialised ledger. Simulation teardown and
+    /// scenario replay use this to assert that commit/release are exact
+    /// inverses over a whole run.
+    pub fn is_idle(&self) -> bool {
+        self.running_apps == 0
+            && self.used_slots == 0
+            && self.used_memory_bytes == 0
+            && self.used_link_bandwidth == 0
+    }
 }
 
 /// The stateful run-time manager (see the [module docs](self)).
@@ -255,6 +337,30 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             .release(&app.spec, &self.platform, &mut self.state)
             .map_err(AdmissionError::ReleaseFailed)?;
         Ok(self.running.remove(&handle).expect("handle checked above"))
+    }
+
+    /// Stops every running application in handle (admission) order,
+    /// releasing all their resources, and returns the stopped records.
+    /// After a successful call the ledger holds only what was committed
+    /// outside this manager (for [`RuntimeManager::new`] managers: nothing,
+    /// so [`Utilization::is_idle`] holds).
+    ///
+    /// # Errors
+    ///
+    /// [`StopAllError`] if a release fails (external ledger mutation).
+    /// Applications stopped before the failure stay stopped and their
+    /// records are carried in the error; the failing one and all later
+    /// ones keep running.
+    pub fn stop_all(&mut self) -> Result<Vec<(AppHandle, RunningApp)>, StopAllError> {
+        let handles: Vec<AppHandle> = self.running.keys().copied().collect();
+        let mut stopped = Vec::with_capacity(handles.len());
+        for handle in handles {
+            match self.stop(handle) {
+                Ok(record) => stopped.push((handle, record)),
+                Err(error) => return Err(StopAllError { stopped, error }),
+            }
+        }
+        Ok(stopped)
     }
 
     /// The running applications in handle (admission) order.
@@ -384,6 +490,41 @@ mod tests {
         assert_eq!(busy.running_apps, 1);
         m.stop(h).unwrap();
         assert_eq!(m.utilization(), idle);
+    }
+
+    #[test]
+    fn stop_all_drains_to_an_idle_ledger() {
+        let mut m = manager();
+        assert!(m.utilization().is_idle());
+        let before = m.state().clone();
+        m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        assert!(!m.utilization().is_idle());
+        let stopped = m.stop_all().expect("releases never fail in-manager");
+        assert_eq!(stopped.len(), 1);
+        assert_eq!(m.n_running(), 0);
+        assert_eq!(m.state(), &before);
+        assert!(m.utilization().is_idle());
+        // Idempotent on an empty manager.
+        assert!(m.stop_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn admission_errors_expose_their_kind() {
+        let mut m = manager();
+        let h = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        let rejected = m
+            .start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34))
+            .unwrap_err();
+        assert!(matches!(rejected.kind(), AdmissionErrorKind::Rejected(_)));
+        if let AdmissionError::Rejected(map_err) = &rejected {
+            assert_eq!(
+                rejected.kind(),
+                AdmissionErrorKind::Rejected(map_err.kind())
+            );
+        }
+        m.stop(h).unwrap();
+        let stale = m.stop(h).unwrap_err();
+        assert_eq!(stale.kind(), AdmissionErrorKind::UnknownHandle);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Long-horizon admission metrics and the serializable [`SimReport`].
+//!
+//! The collector splits its measurements by determinism:
+//!
+//! * everything derived from *virtual* time and the mapping outcomes —
+//!   counts, blocking probability, utilization-over-time samples, the
+//!   energy integral, rejection histograms, search effort — goes into the
+//!   [`SimReport`], which is byte-identical across re-runs of the same
+//!   seed;
+//! * *wall-clock* mapping latency (how long the algorithm itself took) is
+//!   kept in [`WallStats`], outside the report, precisely because it can
+//!   never be reproducible.
+
+use crate::event::SimTime;
+use rtsm_core::runtime::{AdmissionErrorKind, Utilization};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Platform occupancy at one sample instant. Ratios are in permille
+/// (integers keep the serialized report byte-stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Sample instant, in ticks.
+    pub time: SimTime,
+    /// Applications running at this instant.
+    pub running_apps: u32,
+    /// Compute slots in use, ‰ of the platform total.
+    pub slots_permille: u32,
+    /// Tile memory in use, ‰ of the platform total.
+    pub memory_permille: u32,
+    /// Link bandwidth in use, ‰ of the platform total.
+    pub link_permille: u32,
+    /// Energy of the running set, pJ per application period.
+    pub energy_pj_per_period: u64,
+}
+
+fn permille(used: u64, total: u64) -> u32 {
+    used.saturating_mul(1000).checked_div(total).unwrap_or(0) as u32
+}
+
+impl UtilizationSample {
+    /// Captures `util` at `time`, with the energy of the running set
+    /// (`running_energy_pj`, pJ per period).
+    pub fn capture(time: SimTime, util: &Utilization, running_energy_pj: u64) -> Self {
+        UtilizationSample {
+            time,
+            running_apps: util.running_apps as u32,
+            slots_permille: permille(u64::from(util.used_slots), u64::from(util.total_slots)),
+            memory_permille: permille(util.used_memory_bytes, util.total_memory_bytes),
+            link_permille: permille(util.used_link_bandwidth, util.total_link_bandwidth),
+            energy_pj_per_period: running_energy_pj,
+        }
+    }
+}
+
+/// The deterministic result of one simulation run: same seed, same
+/// platform, same algorithm ⇒ byte-identical serialized report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the mapping algorithm that admitted applications.
+    pub algorithm: String,
+    /// The workload seed.
+    pub seed: u64,
+    /// Virtual time when the simulation ended, in ticks.
+    pub end_time: SimTime,
+    /// Arrival events processed.
+    pub arrivals: u64,
+    /// Arrivals admitted with a feasible mapping.
+    pub admitted: u64,
+    /// Arrivals blocked (no feasible mapping at that moment).
+    pub blocked: u64,
+    /// Departure events that released a running instance.
+    pub departures: u64,
+    /// Mode switches attempted by running instances.
+    pub mode_switch_attempts: u64,
+    /// Mode switches whose new configuration was admitted.
+    pub mode_switch_admitted: u64,
+    /// Mode switches blocked — the instance lost its resources and left.
+    pub mode_switch_blocked: u64,
+    /// Blocking probability over all admission attempts (arrivals + mode
+    /// switches), in permille.
+    pub blocking_permille: u64,
+    /// Rejections keyed by [`AdmissionErrorKind`] — why admissions failed.
+    pub rejection_histogram: BTreeMap<AdmissionErrorKind, u64>,
+    /// Admissions per catalog entry name (which applications got through).
+    pub admitted_by_app: BTreeMap<String, u64>,
+    /// Total assignments evaluated by the algorithm over all successful
+    /// admissions — the deterministic proxy for mapping latency.
+    pub evaluated_assignments: u64,
+    /// Total refinement attempts over all admission attempts (successful
+    /// admissions plus rejections that report their attempt count).
+    pub refinement_attempts: u64,
+    /// Most applications running at once.
+    pub peak_running: u64,
+    /// The energy integral ∫ running_energy dt over the run, in pJ·ticks:
+    /// each admitted mapping's `energy_pj` (per period, via the platform's
+    /// `EnergyModel`) weighted by how long it actually ran.
+    pub energy_pj_ticks: u64,
+    /// Occupancy over time, one sample per configured interval.
+    pub samples: Vec<UtilizationSample>,
+    /// Instances still running when the horizon cut the run short (0 when
+    /// the queue drained naturally).
+    pub final_running: u64,
+    /// Whether the ledger was idle after teardown — commit/release stayed
+    /// exact inverses over the whole run.
+    pub ledger_idle_at_end: bool,
+}
+
+impl SimReport {
+    /// Blocked admission attempts ÷ total admission attempts, as a float
+    /// (derived from the stored integers; not itself serialized).
+    pub fn blocking_probability(&self) -> f64 {
+        self.blocking_permille as f64 / 1000.0
+    }
+
+    /// Mean platform slot utilization over all samples, in permille.
+    pub fn mean_slots_permille(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let total: u64 = self
+            .samples
+            .iter()
+            .map(|s| u64::from(s.slots_permille))
+            .sum();
+        total / self.samples.len() as u64
+    }
+}
+
+/// Wall-clock mapping-latency statistics, kept separate from the
+/// deterministic [`SimReport`] (see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallStats {
+    /// Admission attempts timed.
+    pub map_calls: u64,
+    /// Total wall time spent inside the mapping algorithm.
+    pub total: Duration,
+    /// Slowest single admission attempt.
+    pub max: Duration,
+}
+
+impl WallStats {
+    /// Records one timed admission attempt.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.map_calls += 1;
+        self.total += elapsed;
+        self.max = self.max.max(elapsed);
+    }
+
+    /// Mean wall time per admission attempt.
+    pub fn mean(&self) -> Duration {
+        if self.map_calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.map_calls as u32
+        }
+    }
+}
+
+/// Accumulates statistics while the simulation runs; [`finish`] turns it
+/// into a [`SimReport`].
+///
+/// [`finish`]: MetricsCollector::finish
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    sample_interval: SimTime,
+    next_sample: SimTime,
+    last_time: SimTime,
+    arrivals: u64,
+    admitted: u64,
+    blocked: u64,
+    departures: u64,
+    mode_switch_attempts: u64,
+    mode_switch_admitted: u64,
+    mode_switch_blocked: u64,
+    rejection_histogram: BTreeMap<AdmissionErrorKind, u64>,
+    admitted_by_app: BTreeMap<String, u64>,
+    evaluated_assignments: u64,
+    refinement_attempts: u64,
+    peak_running: u64,
+    energy_pj_ticks: u64,
+    samples: Vec<UtilizationSample>,
+}
+
+impl MetricsCollector {
+    /// A collector sampling occupancy every `sample_interval` ticks
+    /// (clamped to ≥ 1).
+    pub fn new(sample_interval: SimTime) -> Self {
+        MetricsCollector {
+            sample_interval: sample_interval.max(1),
+            next_sample: 0,
+            last_time: 0,
+            arrivals: 0,
+            admitted: 0,
+            blocked: 0,
+            departures: 0,
+            mode_switch_attempts: 0,
+            mode_switch_admitted: 0,
+            mode_switch_blocked: 0,
+            rejection_histogram: BTreeMap::new(),
+            admitted_by_app: BTreeMap::new(),
+            evaluated_assignments: 0,
+            refinement_attempts: 0,
+            peak_running: 0,
+            energy_pj_ticks: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Advances virtual time to `now` given the state that held since the
+    /// previous event: integrates the energy and emits any due occupancy
+    /// samples. Call *before* applying the event at `now`.
+    pub fn advance(&mut self, now: SimTime, util: &Utilization, running_energy_pj: u64) {
+        debug_assert!(now >= self.last_time, "virtual time is monotone");
+        while self.next_sample <= now {
+            self.samples.push(UtilizationSample::capture(
+                self.next_sample,
+                util,
+                running_energy_pj,
+            ));
+            self.next_sample += self.sample_interval;
+        }
+        let dt = now - self.last_time;
+        self.energy_pj_ticks = self
+            .energy_pj_ticks
+            .saturating_add(running_energy_pj.saturating_mul(dt));
+        self.last_time = now;
+    }
+
+    /// Records a processed arrival event.
+    pub fn record_arrival(&mut self) {
+        self.arrivals += 1;
+    }
+
+    /// Shared admission bookkeeping: per-application count and search
+    /// effort.
+    fn note_admitted(&mut self, app_name: &str, evaluated: u64, attempts: u64) {
+        *self
+            .admitted_by_app
+            .entry(app_name.to_string())
+            .or_insert(0) += 1;
+        self.evaluated_assignments += evaluated;
+        self.refinement_attempts += attempts;
+    }
+
+    /// Shared rejection bookkeeping: reason histogram and search effort.
+    fn note_rejected(&mut self, kind: AdmissionErrorKind, attempts: u64) {
+        *self.rejection_histogram.entry(kind).or_insert(0) += 1;
+        self.refinement_attempts += attempts;
+    }
+
+    /// Records a successful admission: which catalog entry got in and the
+    /// search effort its mapping took.
+    pub fn record_admission(&mut self, app_name: &str, evaluated: u64, attempts: u64) {
+        self.admitted += 1;
+        self.note_admitted(app_name, evaluated, attempts);
+    }
+
+    /// Records a blocked arrival and why it was rejected.
+    pub fn record_blocked(&mut self, kind: AdmissionErrorKind, attempts: u64) {
+        self.blocked += 1;
+        self.note_rejected(kind, attempts);
+    }
+
+    /// Records a departure that released a running instance.
+    pub fn record_departure(&mut self) {
+        self.departures += 1;
+    }
+
+    /// Records a mode-switch attempt by a running instance.
+    pub fn record_mode_switch_attempt(&mut self) {
+        self.mode_switch_attempts += 1;
+    }
+
+    /// Records a mode switch whose new configuration was admitted.
+    pub fn record_mode_switch_admitted(&mut self, app_name: &str, evaluated: u64, attempts: u64) {
+        self.mode_switch_admitted += 1;
+        self.note_admitted(app_name, evaluated, attempts);
+    }
+
+    /// Records a blocked mode switch and why it was rejected.
+    pub fn record_mode_switch_blocked(&mut self, kind: AdmissionErrorKind, attempts: u64) {
+        self.mode_switch_blocked += 1;
+        self.note_rejected(kind, attempts);
+    }
+
+    /// Notes the current number of running applications (peak tracking).
+    pub fn note_running(&mut self, running: usize) {
+        self.peak_running = self.peak_running.max(running as u64);
+    }
+
+    /// Seals the collector into a [`SimReport`].
+    pub fn finish(
+        self,
+        algorithm: &str,
+        seed: u64,
+        final_running: u64,
+        ledger_idle_at_end: bool,
+    ) -> SimReport {
+        let attempts_total = self.arrivals + self.mode_switch_attempts;
+        let blocked_total = self.blocked + self.mode_switch_blocked;
+        SimReport {
+            algorithm: algorithm.to_string(),
+            seed,
+            end_time: self.last_time,
+            arrivals: self.arrivals,
+            admitted: self.admitted,
+            blocked: self.blocked,
+            departures: self.departures,
+            mode_switch_attempts: self.mode_switch_attempts,
+            mode_switch_admitted: self.mode_switch_admitted,
+            mode_switch_blocked: self.mode_switch_blocked,
+            blocking_permille: (blocked_total * 1000)
+                .checked_div(attempts_total)
+                .unwrap_or(0),
+            rejection_histogram: self.rejection_histogram,
+            admitted_by_app: self.admitted_by_app,
+            evaluated_assignments: self.evaluated_assignments,
+            refinement_attempts: self.refinement_attempts,
+            peak_running: self.peak_running,
+            energy_pj_ticks: self.energy_pj_ticks,
+            samples: self.samples,
+            final_running,
+            ledger_idle_at_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_util() -> Utilization {
+        Utilization {
+            used_slots: 0,
+            total_slots: 10,
+            used_memory_bytes: 0,
+            total_memory_bytes: 1000,
+            used_link_bandwidth: 0,
+            total_link_bandwidth: 1000,
+            running_apps: 0,
+        }
+    }
+
+    #[test]
+    fn energy_integral_weights_by_elapsed_ticks() {
+        let mut m = MetricsCollector::new(1_000_000); // no samples in range
+        let util = idle_util();
+        m.advance(10, &util, 0); // nothing ran yet
+        m.advance(30, &util, 500); // 500 pJ/period over 20 ticks
+        m.advance(35, &util, 100); // 100 pJ/period over 5 ticks
+        let report = m.finish("test", 0, 0, true);
+        assert_eq!(report.energy_pj_ticks, 500 * 20 + 100 * 5);
+        assert_eq!(report.end_time, 35);
+    }
+
+    #[test]
+    fn samples_land_on_interval_boundaries() {
+        let mut m = MetricsCollector::new(10);
+        let util = idle_util();
+        m.advance(25, &util, 0);
+        let report = m.finish("test", 0, 0, true);
+        let times: Vec<SimTime> = report.samples.iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn blocking_permille_covers_arrivals_and_switches() {
+        let mut m = MetricsCollector::new(1);
+        for _ in 0..3 {
+            m.record_arrival();
+        }
+        m.record_admission("a", 10, 1);
+        m.record_blocked(
+            AdmissionErrorKind::Rejected(rtsm_core::MapErrorKind::NoFeasibleMapping),
+            2,
+        );
+        m.record_blocked(
+            AdmissionErrorKind::Rejected(rtsm_core::MapErrorKind::Unmappable),
+            0,
+        );
+        m.record_mode_switch_attempt();
+        m.record_mode_switch_blocked(
+            AdmissionErrorKind::Rejected(rtsm_core::MapErrorKind::NoFeasibleMapping),
+            1,
+        );
+        let report = m.finish("test", 0, 0, true);
+        // 3 blocked out of 4 attempts.
+        assert_eq!(report.blocking_permille, 750);
+        assert_eq!(report.rejection_histogram.values().sum::<u64>(), 3);
+        assert_eq!(report.refinement_attempts, 1 + 2 + 1);
+    }
+
+    #[test]
+    fn permille_is_safe_on_zero_totals() {
+        assert_eq!(permille(5, 0), 0);
+        assert_eq!(permille(1, 4), 250);
+    }
+}

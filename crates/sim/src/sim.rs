@@ -1,0 +1,379 @@
+//! The discrete-event simulation loop: stochastic workloads driving a
+//! [`RuntimeManager`] through virtual time.
+
+use crate::event::{EventQueue, InstanceId, SimEvent, SimTime};
+use crate::metrics::{MetricsCollector, SimReport, WallStats};
+use crate::workload::{ArrivalProcess, Catalog, HoldingTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtsm_app::ApplicationSpec;
+use rtsm_core::runtime::{AdmissionError, AdmissionErrorKind, AppHandle, RuntimeManager};
+use rtsm_core::{MapError, MappingAlgorithm};
+use rtsm_platform::Platform;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Parameters of one simulation run. Everything stochastic derives from
+/// `seed`; two runs with equal configs produce identical [`SimReport`]s.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed of the single RNG that drives arrivals, catalog draws,
+    /// holding times, and mode switches.
+    pub seed: u64,
+    /// Number of arrival events to generate.
+    pub arrivals: u64,
+    /// When applications arrive.
+    pub arrival_process: ArrivalProcess,
+    /// How long admitted applications hold their resources.
+    pub holding: HoldingTime,
+    /// Probability that an admitted instance attempts one mid-life mode
+    /// switch (redraws its spec from the catalog).
+    pub mode_switch_probability: f64,
+    /// Occupancy sampling interval, in ticks.
+    pub sample_interval: SimTime,
+    /// Optional virtual-time cut-off: events after it are dropped and the
+    /// instances still running are torn down via
+    /// [`RuntimeManager::stop_all`]. `None` drains the queue naturally.
+    pub horizon: Option<SimTime>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            arrivals: 1000,
+            arrival_process: ArrivalProcess::Poisson { mean_gap: 500 },
+            holding: HoldingTime::Exponential { mean: 2000 },
+            mode_switch_probability: 0.1,
+            sample_interval: 1000,
+            horizon: None,
+        }
+    }
+}
+
+/// The result of [`run_sim`]: the deterministic report plus the
+/// wall-clock mapping-latency statistics (deliberately outside the
+/// report — see [`crate::metrics`]).
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// The deterministic, serializable report.
+    pub report: SimReport,
+    /// Wall-clock time spent inside the mapping algorithm.
+    pub wall: WallStats,
+}
+
+/// Attempt count a rejection reports, when its error carries one.
+fn rejected_attempts(err: &AdmissionError) -> u64 {
+    match err {
+        AdmissionError::Rejected(MapError::NoFeasibleMapping { attempts, .. }) => *attempts as u64,
+        _ => 0,
+    }
+}
+
+/// Result of one timed admission attempt (shared by arrivals and mode
+/// switches, which only differ in which counters they bump).
+enum Admission {
+    /// Admitted: the handle plus the outcome's search effort.
+    Admitted {
+        handle: AppHandle,
+        evaluated: u64,
+        attempts: u64,
+    },
+    /// Rejected: the reason discriminant and reported attempt count.
+    Blocked {
+        kind: AdmissionErrorKind,
+        attempts: u64,
+    },
+}
+
+/// Times one `manager.start` call and classifies its result; fatal ledger
+/// errors propagate.
+fn try_admit<A: MappingAlgorithm>(
+    manager: &mut RuntimeManager<A>,
+    wall: &mut WallStats,
+    spec: ApplicationSpec,
+) -> Result<Admission, AdmissionError> {
+    let started = Instant::now();
+    let admission = manager.start(spec);
+    wall.record(started.elapsed());
+    match admission {
+        Ok(handle) => {
+            let outcome = &manager.get(handle).expect("just admitted").outcome;
+            Ok(Admission::Admitted {
+                handle,
+                evaluated: outcome.evaluated,
+                attempts: outcome.attempts as u64,
+            })
+        }
+        Err(err @ AdmissionError::Rejected(_)) => Ok(Admission::Blocked {
+            kind: err.kind(),
+            attempts: rejected_attempts(&err),
+        }),
+        Err(fatal) => Err(fatal),
+    }
+}
+
+/// Runs one seeded simulation of `config` over `platform`, admitting every
+/// arrival through `algorithm` with specs drawn from `catalog`.
+///
+/// Event semantics:
+///
+/// * **Arrival** — the instance requests admission; if mapped, a departure
+///   is scheduled after a drawn holding time (and possibly one mode
+///   switch strictly before it); if rejected, the instance is *blocked*
+///   and leaves (no retry — blocked-calls-cleared, the classic admission
+///   model).
+/// * **Departure** — the instance stops and releases its resources.
+/// * **ModeSwitch** — the instance stops, redraws a spec from the
+///   catalog, and requests re-admission at the same virtual instant; if
+///   rejected it leaves (its scheduled departure becomes stale and is
+///   ignored).
+///
+/// # Errors
+///
+/// [`AdmissionError::CommitFailed`] / [`AdmissionError::ReleaseFailed`]
+/// if the manager's own ledger rejects a commit or release — impossible
+/// unless the platform state is mutated outside the simulation.
+///
+/// # Panics
+///
+/// Panics if `catalog` is empty.
+pub fn run_sim<A: MappingAlgorithm>(
+    platform: &Platform,
+    algorithm: A,
+    catalog: &Catalog,
+    config: &SimConfig,
+) -> Result<SimRun, AdmissionError> {
+    assert!(
+        !catalog.is_empty(),
+        "the workload catalog must not be empty"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut manager = RuntimeManager::new(platform.clone(), algorithm);
+    let mut queue = EventQueue::new();
+    let mut metrics = MetricsCollector::new(config.sample_interval);
+    let mut wall = WallStats::default();
+    // Instance → current handle; absent once departed or blocked.
+    let mut handles: BTreeMap<InstanceId, AppHandle> = BTreeMap::new();
+    let mut scheduled_arrivals: u64 = 0;
+
+    let schedule_arrival =
+        |rng: &mut StdRng, queue: &mut EventQueue, scheduled: &mut u64, now: SimTime| {
+            if *scheduled < config.arrivals {
+                let instance = InstanceId(*scheduled);
+                *scheduled += 1;
+                queue.push(
+                    now + config.arrival_process.next_gap(rng),
+                    SimEvent::Arrival {
+                        instance,
+                        catalog_index: catalog.sample(rng),
+                    },
+                );
+            }
+        };
+
+    schedule_arrival(&mut rng, &mut queue, &mut scheduled_arrivals, 0);
+
+    let mut end_time: SimTime = 0;
+    while let Some((now, event)) = queue.pop() {
+        if let Some(horizon) = config.horizon {
+            if now > horizon {
+                end_time = horizon;
+                break;
+            }
+        }
+        end_time = now;
+        metrics.advance(now, &manager.utilization(), manager.running_energy_pj());
+        match event {
+            SimEvent::Arrival {
+                instance,
+                catalog_index,
+            } => {
+                // Arrivals are chained: processing one schedules the next.
+                schedule_arrival(&mut rng, &mut queue, &mut scheduled_arrivals, now);
+                metrics.record_arrival();
+                let entry = &catalog.entries()[catalog_index];
+                match try_admit(&mut manager, &mut wall, entry.spec.clone())? {
+                    Admission::Admitted {
+                        handle,
+                        evaluated,
+                        attempts,
+                    } => {
+                        metrics.record_admission(&entry.name, evaluated, attempts);
+                        metrics.note_running(manager.n_running());
+                        handles.insert(instance, handle);
+                        let holding = config.holding.draw(&mut rng);
+                        queue.push(now + holding, SimEvent::Departure { instance });
+                        // A switch, if any, lands strictly before the
+                        // departure, so the ordering never races.
+                        if holding >= 2 && rng.random_bool(config.mode_switch_probability) {
+                            let at = now + rng.random_range(1..holding);
+                            queue.push(at, SimEvent::ModeSwitch { instance });
+                        }
+                    }
+                    Admission::Blocked { kind, attempts } => {
+                        metrics.record_blocked(kind, attempts);
+                    }
+                }
+            }
+            SimEvent::Departure { instance } => {
+                // Stale departures (instance already left at a blocked
+                // mode switch) are ignored.
+                if let Some(handle) = handles.remove(&instance) {
+                    manager.stop(handle)?;
+                    metrics.record_departure();
+                }
+            }
+            SimEvent::ModeSwitch { instance } => {
+                if let Some(&handle) = handles.get(&instance) {
+                    manager.stop(handle)?;
+                    metrics.record_mode_switch_attempt();
+                    let entry = &catalog.entries()[catalog.sample(&mut rng)];
+                    match try_admit(&mut manager, &mut wall, entry.spec.clone())? {
+                        Admission::Admitted {
+                            handle: new_handle,
+                            evaluated,
+                            attempts,
+                        } => {
+                            metrics.record_mode_switch_admitted(&entry.name, evaluated, attempts);
+                            metrics.note_running(manager.n_running());
+                            handles.insert(instance, new_handle);
+                        }
+                        Admission::Blocked { kind, attempts } => {
+                            // The instance lost its resources and leaves;
+                            // its pending departure becomes stale.
+                            handles.remove(&instance);
+                            metrics.record_mode_switch_blocked(kind, attempts);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Teardown: account the tail interval, then release whatever the
+    // horizon cut off mid-run.
+    metrics.advance(
+        end_time,
+        &manager.utilization(),
+        manager.running_energy_pj(),
+    );
+    let final_running = manager.n_running() as u64;
+    manager.stop_all().map_err(|e| e.error)?;
+    let ledger_idle_at_end = manager.utilization().is_idle();
+    let report = metrics.finish(
+        manager.algorithm().name(),
+        config.seed,
+        final_running,
+        ledger_idle_at_end,
+    );
+    Ok(SimRun { report, wall })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsm_core::SpatialMapper;
+    use rtsm_platform::paper::paper_platform;
+
+    fn small_config(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            arrivals: 200,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn conservation_laws_hold() {
+        let run = run_sim(
+            &paper_platform(),
+            SpatialMapper::default(),
+            &Catalog::hiperlan2(),
+            &small_config(42),
+        )
+        .expect("simulation never breaks its own ledger");
+        let r = &run.report;
+        assert_eq!(r.arrivals, 200);
+        assert_eq!(r.admitted + r.blocked, r.arrivals);
+        assert!(
+            r.departures <= r.admitted,
+            "departures never exceed admissions"
+        );
+        // Every admitted instance either departed naturally or left at a
+        // blocked mode switch (queue drained, horizon unset).
+        assert_eq!(r.departures + r.mode_switch_blocked, r.admitted);
+        assert_eq!(r.final_running, 0);
+        assert!(r.ledger_idle_at_end);
+        assert_eq!(
+            r.rejection_histogram.values().sum::<u64>(),
+            r.blocked + r.mode_switch_blocked
+        );
+        assert!(r.peak_running >= 1);
+        assert!(r.end_time > 0);
+        assert_eq!(r.samples.first().map(|s| s.time), Some(0));
+    }
+
+    #[test]
+    fn horizon_cuts_and_stop_all_tears_down() {
+        let config = SimConfig {
+            horizon: Some(5_000),
+            arrivals: 10_000,
+            ..small_config(7)
+        };
+        let run = run_sim(
+            &paper_platform(),
+            SpatialMapper::default(),
+            &Catalog::hiperlan2(),
+            &config,
+        )
+        .unwrap();
+        assert!(run.report.end_time <= 5_000);
+        assert!(
+            run.report.arrivals < 10_000,
+            "the horizon cut arrivals short"
+        );
+        assert!(run.report.ledger_idle_at_end, "stop_all drains the ledger");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let mk = || {
+            run_sim(
+                &paper_platform(),
+                SpatialMapper::default(),
+                &Catalog::hiperlan2(),
+                &small_config(9),
+            )
+            .unwrap()
+            .report
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            run_sim(
+                &paper_platform(),
+                SpatialMapper::default(),
+                &Catalog::hiperlan2(),
+                &small_config(seed),
+            )
+            .unwrap()
+            .report
+        };
+        assert_ne!(mk(1), mk(2), "distinct seeds should produce distinct runs");
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog must not be empty")]
+    fn empty_catalog_panics() {
+        let _ = run_sim(
+            &paper_platform(),
+            SpatialMapper::default(),
+            &Catalog::new(),
+            &SimConfig::default(),
+        );
+    }
+}

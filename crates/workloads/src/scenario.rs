@@ -22,10 +22,11 @@
 //! [`ScenarioOutcome::ignored_stops`] and otherwise ignored.
 
 use rtsm_app::ApplicationSpec;
-use rtsm_core::runtime::{AdmissionError, AppHandle, RuntimeManager};
+use rtsm_core::runtime::{AdmissionError, AdmissionErrorKind, AppHandle, RuntimeManager};
 use rtsm_core::{MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{Platform, PlatformState};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Names the application started by the `id`-th `Start` event of a
 /// scenario script (0-based, counting only `Start` events).
@@ -63,6 +64,11 @@ pub struct ScenarioOutcome {
     pub admitted: usize,
     /// Start requests rejected (no feasible mapping at that moment).
     pub rejected: usize,
+    /// *Why* each rejected start was rejected: the [`AppId`] of the start
+    /// event and the [`AdmissionErrorKind`] discriminant, in script order.
+    /// `rejections.len() == rejected` always holds, so scripted scenarios
+    /// report the same rejection-reason data as simulated workloads.
+    pub rejections: Vec<(AppId, AdmissionErrorKind)>,
     /// Stop events that named no running application (rejected start,
     /// double stop, or out-of-range id).
     pub ignored_stops: usize,
@@ -75,6 +81,17 @@ pub struct ScenarioOutcome {
 }
 
 impl ScenarioOutcome {
+    /// Rejection counts keyed by [`AdmissionErrorKind`] — the same shape a
+    /// simulation's rejection histogram has, so scripted and simulated runs
+    /// are directly comparable.
+    pub fn rejection_histogram(&self) -> BTreeMap<AdmissionErrorKind, u64> {
+        let mut histogram = BTreeMap::new();
+        for (_, kind) in &self.rejections {
+            *histogram.entry(*kind).or_insert(0) += 1;
+        }
+        histogram
+    }
+
     /// The compact, persistence-friendly summary of this outcome.
     pub fn summary(&self) -> ScenarioSummary {
         ScenarioSummary {
@@ -126,6 +143,7 @@ pub fn run_scenario<A: MappingAlgorithm>(
     let mut handles: Vec<Option<AppHandle>> = Vec::new();
     let mut admitted = 0;
     let mut rejected = 0;
+    let mut rejections = Vec::new();
     let mut ignored_stops = 0;
 
     for event in events {
@@ -135,7 +153,8 @@ pub fn run_scenario<A: MappingAlgorithm>(
                     handles.push(Some(handle));
                     admitted += 1;
                 }
-                Err(AdmissionError::Rejected(_)) => {
+                Err(err @ AdmissionError::Rejected(_)) => {
+                    rejections.push((AppId(handles.len()), err.kind()));
                     handles.push(None);
                     rejected += 1;
                 }
@@ -157,6 +176,7 @@ pub fn run_scenario<A: MappingAlgorithm>(
     Ok(ScenarioOutcome {
         admitted,
         rejected,
+        rejections,
         ignored_stops,
         running_energy_pj,
         running: still_running
@@ -195,6 +215,12 @@ mod tests {
         assert_eq!(outcome.rejected, 1);
         assert_eq!(outcome.running.len(), 1);
         assert_eq!(outcome.summary().still_running, 1);
+        // The rejection names the second start (id 1) and says why.
+        assert_eq!(outcome.rejections.len(), 1);
+        let (id, kind) = outcome.rejections[0];
+        assert_eq!(id, AppId(1));
+        assert!(matches!(kind, AdmissionErrorKind::Rejected(_)));
+        assert_eq!(outcome.rejection_histogram().get(&kind), Some(&1));
     }
 
     #[test]

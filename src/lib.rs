@@ -21,7 +21,12 @@
 //! * [`baselines`] — optimal (branch & bound), simulated-annealing,
 //!   random, and greedy comparators behind the same trait;
 //! * [`workloads`] — synthetic generators, constructed realistic DSP
-//!   applications, and scripted multi-application run-time scenarios.
+//!   applications, and scripted multi-application run-time scenarios;
+//! * [`sim`] — a seeded discrete-event simulator driving the
+//!   [`RuntimeManager`](core::RuntimeManager) with stochastic workloads
+//!   (Poisson arrivals, exponential holding times, mode switches) and
+//!   collecting long-horizon admission metrics into a serializable
+//!   [`SimReport`](sim::SimReport).
 //!
 //! ## Quickstart
 //!
@@ -78,4 +83,5 @@ pub use rtsm_baselines as baselines;
 pub use rtsm_core as core;
 pub use rtsm_dataflow as dataflow;
 pub use rtsm_platform as platform;
+pub use rtsm_sim as sim;
 pub use rtsm_workloads as workloads;

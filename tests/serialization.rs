@@ -9,6 +9,7 @@ use rtsm::core::{Mapping, MappingOutcome};
 use rtsm::dataflow::{CsdfGraph, PhaseVec};
 use rtsm::platform::paper::paper_platform;
 use rtsm::platform::{Platform, PlatformState};
+use rtsm::sim::{run_sim, Catalog, InstanceId, SimConfig, SimEvent, SimReport};
 use rtsm::workloads::{run_scenario, AppEvent, ScenarioOutcome, ScenarioSummary};
 
 #[test]
@@ -135,4 +136,65 @@ fn scenario_outcome_and_summary_roundtrip() {
     assert_eq!(back.admitted, 2);
     assert_eq!(back.rejected, 1);
     assert_eq!(back.still_running, 1);
+}
+
+#[test]
+fn scenario_rejection_reasons_roundtrip() {
+    let platform = paper_platform();
+    let outcome = run_scenario(
+        &platform,
+        vec![
+            AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)),
+            AppEvent::start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)), // rejected
+        ],
+        SpatialMapper::default(),
+    )
+    .unwrap();
+    assert_eq!(outcome.rejections.len(), 1);
+    let json = serde_json::to_string(&outcome).expect("serialize");
+    let back: ScenarioOutcome = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.rejections, outcome.rejections);
+    assert_eq!(back.rejection_histogram(), outcome.rejection_histogram());
+}
+
+#[test]
+fn sim_event_roundtrips() {
+    let events = [
+        SimEvent::Arrival {
+            instance: InstanceId(3),
+            catalog_index: 5,
+        },
+        SimEvent::Departure {
+            instance: InstanceId(3),
+        },
+        SimEvent::ModeSwitch {
+            instance: InstanceId(9),
+        },
+    ];
+    for event in events {
+        let json = serde_json::to_string(&event).expect("serialize");
+        let back: SimEvent = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(event, back);
+    }
+}
+
+#[test]
+fn sim_report_roundtrips() {
+    let run = run_sim(
+        &paper_platform(),
+        SpatialMapper::default(),
+        &Catalog::hiperlan2(),
+        &SimConfig {
+            seed: 17,
+            arrivals: 40,
+            ..SimConfig::default()
+        },
+    )
+    .expect("simulation never breaks its own ledger");
+    let json = serde_json::to_string(&run.report).expect("serialize");
+    let back: SimReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(run.report, back);
+    // The rejection histogram's enum keys survive the round trip.
+    assert_eq!(back.rejection_histogram, run.report.rejection_histogram);
+    assert!(!back.samples.is_empty());
 }

@@ -1,0 +1,158 @@
+//! Properties of the discrete-event simulator: seeded runs are exactly
+//! reproducible, conservation laws hold between arrivals, admissions, and
+//! departures, and the shared ledger always drains back to empty.
+
+use proptest::prelude::*;
+use rtsm::baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm::core::{MappingAlgorithm, SpatialMapper};
+use rtsm::platform::paper::paper_platform;
+use rtsm::platform::TileKind;
+use rtsm::sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, SimReport};
+use rtsm::workloads::mesh_platform;
+
+fn config(seed: u64, arrivals: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        arrivals,
+        arrival_process: ArrivalProcess::Poisson { mean_gap: 400 },
+        holding: HoldingTime::Exponential { mean: 1500 },
+        mode_switch_probability: 0.2,
+        sample_interval: 5000,
+        horizon: None,
+    }
+}
+
+fn report_for(seed: u64, arrivals: u64) -> SimReport {
+    run_sim(
+        &paper_platform(),
+        SpatialMapper::default(),
+        &Catalog::hiperlan2(),
+        &config(seed, arrivals),
+    )
+    .expect("the simulation never breaks its own ledger")
+    .report
+}
+
+proptest! {
+    // 6 cases keep dev-profile CI time reasonable: each case runs two
+    // full ~60-arrival simulations.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same seed ⇒ identical report, down to the serialized bytes.
+    #[test]
+    fn seeded_simulation_is_deterministic(seed in 0u64..1000) {
+        let a = report_for(seed, 60);
+        let b = report_for(seed, 60);
+        prop_assert!(a == b, "reports for seed {seed} differ structurally");
+        let json_a = serde_json::to_string(&a).expect("serialize");
+        let json_b = serde_json::to_string(&b).expect("serialize");
+        prop_assert!(json_a == json_b, "serialized reports for seed {seed} differ");
+    }
+
+    /// Departures never exceed admissions, every arrival is accounted for,
+    /// and after draining the ledger is exactly empty again.
+    #[test]
+    fn conservation_and_drain(seed in 0u64..1000) {
+        let report = report_for(seed, 60);
+        prop_assert_eq!(report.arrivals, 60);
+        prop_assert_eq!(report.admitted + report.blocked, report.arrivals);
+        prop_assert!(report.departures <= report.admitted);
+        prop_assert_eq!(
+            report.departures + report.mode_switch_blocked,
+            report.admitted,
+            "each admitted instance departs or leaves at a blocked switch (seed {})", seed
+        );
+        prop_assert_eq!(report.final_running, 0);
+        prop_assert!(report.ledger_idle_at_end, "ledger must drain empty (seed {})", seed);
+    }
+}
+
+/// The acceptance scenario in miniature: one seed, all five algorithms,
+/// identical bytes on re-run, and a report with blocking probability,
+/// utilization-over-time, and energy totals for each.
+#[test]
+fn all_five_algorithms_run_deterministically() {
+    type MakeAlgorithm = fn() -> Box<dyn MappingAlgorithm>;
+    let algorithms: Vec<(&str, MakeAlgorithm)> = vec![
+        ("paper", || Box::new(SpatialMapper::default())),
+        ("greedy", || Box::new(GreedyMapper)),
+        ("random", || Box::new(RandomMapper::default())),
+        ("annealing", || Box::new(AnnealingMapper::default())),
+        ("exhaustive", || Box::new(ExhaustiveMapper::default())),
+    ];
+    for (label, make) in algorithms {
+        let run = |algorithm: Box<dyn MappingAlgorithm>| {
+            run_sim(
+                &paper_platform(),
+                algorithm,
+                &Catalog::hiperlan2(),
+                &config(2008, 40),
+            )
+            .expect("simulation never breaks its own ledger")
+            .report
+        };
+        let first = run(make());
+        let second = run(make());
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            "algorithm `{label}` must be deterministic under the same seed"
+        );
+        assert!(first.end_time > 0);
+        assert!(!first.samples.is_empty(), "utilization-over-time recorded");
+        assert!(first.ledger_idle_at_end);
+    }
+}
+
+/// A mixed-DSP workload on a 4×4 mesh exercises real concurrency (several
+/// applications resident at once) and per-application admission counts.
+#[test]
+fn mixed_workload_on_a_mesh_platform() {
+    let platform = mesh_platform(
+        7,
+        4,
+        4,
+        &[
+            (TileKind::Montium, 4),
+            (TileKind::Arm, 4),
+            (TileKind::Dsp, 2),
+        ],
+    );
+    let report = run_sim(
+        &platform,
+        SpatialMapper::default(),
+        &Catalog::mixed_dsp(),
+        &SimConfig {
+            arrivals: 120,
+            ..config(11, 120)
+        },
+    )
+    .unwrap()
+    .report;
+    assert!(report.peak_running >= 2, "a mesh carries concurrent apps");
+    assert!(
+        report.admitted_by_app.len() >= 2,
+        "several catalog entries admitted"
+    );
+    assert!(report.ledger_idle_at_end);
+}
+
+/// A horizon cuts the run short; `stop_all` still drains the ledger and
+/// the report records who was running at the cut.
+#[test]
+fn horizon_teardown_uses_stop_all() {
+    let report = run_sim(
+        &paper_platform(),
+        SpatialMapper::default(),
+        &Catalog::hiperlan2(),
+        &SimConfig {
+            horizon: Some(20_000),
+            ..config(5, 10_000)
+        },
+    )
+    .unwrap()
+    .report;
+    assert!(report.end_time <= 20_000);
+    assert!(report.arrivals < 10_000);
+    assert!(report.ledger_idle_at_end);
+}
