@@ -27,6 +27,10 @@ pub fn finalize_assignment(
     mut mapping: Mapping,
     evaluated: u64,
 ) -> Option<MappingOutcome> {
+    // Routing starts over from the assignments: drop any routes a previous
+    // finalize bound (e.g. a branch-and-bound incumbent being re-finalized)
+    // — step 3 requires a route-free mapping.
+    mapping.clear_routes();
     // Rebuild the working state from the assignments.
     let mut working = base.clone();
     for (pid, assignment) in mapping.assignments() {

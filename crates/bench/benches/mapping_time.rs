@@ -14,10 +14,23 @@ fn paper_case(c: &mut Criterion) {
     let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
     let platform = paper_platform();
     let state = platform.initial_state();
-    let mapper = SpatialMapper::new(MapperConfig::default());
+    // The hot-path configuration: trace capture off, as a run-time manager
+    // would run it (decisions and counters are identical either way).
+    let mapper = SpatialMapper::new(MapperConfig::default().without_capture());
     c.bench_function("map/hiperlan2_paper_platform", |b| {
         b.iter(|| {
             let r = mapper
+                .map(black_box(&spec), black_box(&platform), black_box(&state))
+                .expect("feasible");
+            black_box(r.energy_pj)
+        })
+    });
+    // The same case with full Table-2 trace capture, to keep the cost of
+    // tracing itself visible.
+    let tracing = SpatialMapper::new(MapperConfig::default());
+    c.bench_function("map/hiperlan2_paper_platform_capture", |b| {
+        b.iter(|| {
+            let r = tracing
                 .map(black_box(&spec), black_box(&platform), black_box(&state))
                 .expect("feasible");
             black_box(r.energy_pj)
@@ -36,7 +49,7 @@ fn synthetic_scaling(c: &mut Criterion) {
         });
         let platform = mesh_platform(7, 5, 5, &[(TileKind::Montium, 8), (TileKind::Arm, 8)]);
         let state = platform.initial_state();
-        let mapper = SpatialMapper::new(MapperConfig::default());
+        let mapper = SpatialMapper::new(MapperConfig::default().without_capture());
         // Skip sizes the platform cannot host.
         if mapper.map(&spec, &platform, &state).is_err() {
             continue;
@@ -69,7 +82,7 @@ fn platform_scaling(c: &mut Criterion) {
             ],
         );
         let state = platform.initial_state();
-        let mapper = SpatialMapper::new(MapperConfig::default());
+        let mapper = SpatialMapper::new(MapperConfig::default().without_capture());
         if mapper.map(&spec, &platform, &state).is_err() {
             continue;
         }

@@ -1,0 +1,288 @@
+//! `bench_map` — the tracked perf baseline of the mapping hot path.
+//!
+//! Emits `BENCH_map.json` with:
+//!
+//! * median `map()` latency on the paper case (trace capture on and off),
+//!   next to the recorded pre-optimisation baseline, so the perf
+//!   trajectory has explicit data points;
+//! * synthetic-chain scaling (map latency vs. application size);
+//! * simulated events/second for all five mapping algorithms under a
+//!   fixed-seed stochastic workload;
+//! * peak live heap allocation during one `map()` call, via the workspace's
+//!   [`PeakAlloc`] global allocator.
+//!
+//! ```text
+//! bench_map [--out PATH] [--iters N] [--sim-arrivals N] [--seed N]
+//! ```
+//!
+//! Everything except wall-clock numbers is deterministic per seed; the run
+//! re-checks the paper reproduction (cost 7, 4 buffers) and fixed-seed
+//! report determinism, and **fails** (exit ≠ 0) if either breaks — these
+//! are the CI sanity gates. Wall-clock figures are reported but never
+//! gated, so the smoke cannot flake on a slow runner.
+
+use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm_bench::alloc_track::PeakAlloc;
+use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
+use rtsm_platform::paper::paper_platform;
+use rtsm_platform::TileKind;
+use rtsm_sim::{run_sim, Catalog, SimConfig};
+use rtsm_workloads::{mesh_platform, synthetic_app, GraphShape, SyntheticConfig};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc::new();
+
+/// Median map latency on the paper case, measured before this PR's
+/// allocation-free hot path landed (commit `c9eb51b`, same harness and
+/// container class, trace capture always on — the only mode that existed).
+/// Kept in the report so every run shows the trajectory explicitly.
+const PRE_PR_BASELINE_MEDIAN_NS: u64 = 9_308_103;
+
+#[derive(Serialize)]
+struct PaperCase {
+    iterations: u64,
+    capture_on_median_ns: u64,
+    capture_off_median_ns: u64,
+    /// `baseline_median_ns / capture_off_median_ns`, in percent (250 = 2.5×).
+    speedup_vs_baseline_pct: u64,
+    peak_alloc_capture_on_bytes: u64,
+    peak_alloc_capture_off_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    commit: String,
+    map_paper_median_ns: u64,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct ChainPoint {
+    n_processes: u64,
+    median_ns: u64,
+}
+
+#[derive(Serialize)]
+struct SimPoint {
+    algorithm: String,
+    arrivals: u64,
+    admitted: u64,
+    events_processed: u64,
+    wall_ms: u64,
+    events_per_sec: u64,
+    mean_map_us: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: String,
+    seed: u64,
+    baseline: Baseline,
+    map_paper: PaperCase,
+    synthetic_chain: Vec<ChainPoint>,
+    sim: Vec<SimPoint>,
+    sanity_checks_passed: bool,
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    parse_flag(args, flag).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} expects an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn median(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `iters` runs of `f` and returns the median latency in ns.
+fn measure(iters: u64, mut f: impl FnMut()) -> u64 {
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    median(&mut samples)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_map.json".into());
+    let iters = parse_u64(&args, "--iters", 200);
+    let sim_arrivals = parse_u64(&args, "--sim-arrivals", 2000);
+    let seed = parse_u64(&args, "--seed", 2008);
+
+    // --- Paper case: median map latency, capture on vs off ----------------
+    let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+    let platform = paper_platform();
+    let state = platform.initial_state();
+    let mapper_on = SpatialMapper::new(MapperConfig::default());
+    let mapper_off = SpatialMapper::new(MapperConfig::default().without_capture());
+
+    // Sanity gates (deterministic; these FAIL the smoke when broken).
+    let outcome = mapper_off.map(&spec, &platform, &state).expect("feasible");
+    assert_eq!(outcome.communication_hops, 7, "paper cost regression");
+    assert_eq!(outcome.buffers.len(), 4, "paper buffer-count regression");
+    assert!(outcome.trace.is_none(), "capture off must not build traces");
+    let on_outcome = mapper_on.map(&spec, &platform, &state).expect("feasible");
+    assert_eq!(
+        on_outcome.evaluated, outcome.evaluated,
+        "capture knob changed search-effort counters"
+    );
+
+    for _ in 0..iters.min(50) {
+        black_box(mapper_off.map(&spec, &platform, &state).ok()); // warm-up
+    }
+    // Interleave the two configurations so thermal/frequency drift over the
+    // measurement window biases neither.
+    let mut off_samples = Vec::with_capacity(iters as usize);
+    let mut on_samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(mapper_off.map(&spec, &platform, &state).ok());
+        off_samples.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        black_box(mapper_on.map(&spec, &platform, &state).ok());
+        on_samples.push(t.elapsed().as_nanos() as u64);
+    }
+    let capture_off_median_ns = median(&mut off_samples);
+    let capture_on_median_ns = median(&mut on_samples);
+
+    ALLOC.reset_peak();
+    let live_before = ALLOC.live_bytes() as u64;
+    black_box(mapper_off.map(&spec, &platform, &state).ok());
+    let peak_alloc_capture_off_bytes = ALLOC.peak_bytes() as u64 - live_before;
+    ALLOC.reset_peak();
+    let live_before = ALLOC.live_bytes() as u64;
+    black_box(mapper_on.map(&spec, &platform, &state).ok());
+    let peak_alloc_capture_on_bytes = ALLOC.peak_bytes() as u64 - live_before;
+
+    println!(
+        "map/hiperlan2_paper_platform: median {:.3} ms (capture off {:.3} ms); \
+         pre-PR baseline {:.3} ms → {:.2}x",
+        capture_on_median_ns as f64 / 1e6,
+        capture_off_median_ns as f64 / 1e6,
+        PRE_PR_BASELINE_MEDIAN_NS as f64 / 1e6,
+        PRE_PR_BASELINE_MEDIAN_NS as f64 / capture_off_median_ns as f64,
+    );
+
+    // --- Synthetic-chain scaling ------------------------------------------
+    let mut synthetic_chain = Vec::new();
+    for n in [4u64, 6, 8, 10] {
+        let chain_spec = synthetic_app(&SyntheticConfig {
+            seed: 42,
+            n_processes: n as usize,
+            shape: GraphShape::Chain,
+            ..SyntheticConfig::default()
+        });
+        let mesh = mesh_platform(7, 5, 5, &[(TileKind::Montium, 8), (TileKind::Arm, 8)]);
+        let mesh_state = mesh.initial_state();
+        if mapper_off.map(&chain_spec, &mesh, &mesh_state).is_err() {
+            continue;
+        }
+        let median_ns = measure(iters.clamp(1, 50), || {
+            black_box(mapper_off.map(&chain_spec, &mesh, &mesh_state).ok());
+        });
+        println!(
+            "map/synthetic_chain/{n}: median {:.3} ms",
+            median_ns as f64 / 1e6
+        );
+        synthetic_chain.push(ChainPoint {
+            n_processes: n,
+            median_ns,
+        });
+    }
+
+    // --- Simulated events/second, all five algorithms ---------------------
+    let algorithms: Vec<(&str, Box<dyn MappingAlgorithm>)> = vec![
+        (
+            "paper",
+            Box::new(SpatialMapper::new(
+                MapperConfig::default().without_capture(),
+            )),
+        ),
+        ("greedy", Box::new(GreedyMapper)),
+        ("random", Box::new(RandomMapper::default())),
+        ("annealing", Box::new(AnnealingMapper::default())),
+        ("exhaustive", Box::new(ExhaustiveMapper::default())),
+    ];
+    let catalog = Catalog::hiperlan2();
+    let sim_config = SimConfig {
+        seed,
+        arrivals: sim_arrivals,
+        ..SimConfig::default()
+    };
+    let mut sim = Vec::new();
+    let mut deterministic = true;
+    for (name, algorithm) in algorithms {
+        let t = Instant::now();
+        let run = run_sim(&platform, &algorithm, &catalog, &sim_config)
+            .expect("the simulation never breaks its own ledger");
+        let wall = t.elapsed();
+        // Determinism gate: a second run must serialize byte-identically.
+        let rerun = run_sim(&platform, &algorithm, &catalog, &sim_config)
+            .expect("the simulation never breaks its own ledger");
+        let a = serde_json::to_string(&run.report).expect("reports serialize");
+        let b = serde_json::to_string(&rerun.report).expect("reports serialize");
+        if a != b {
+            eprintln!("DETERMINISM BROKEN for `{name}`");
+            deterministic = false;
+        }
+        let report = &run.report;
+        let events_processed = report.arrivals + report.departures + report.mode_switch_attempts;
+        let wall_s = wall.as_secs_f64().max(1e-9);
+        let point = SimPoint {
+            algorithm: name.to_string(),
+            arrivals: report.arrivals,
+            admitted: report.admitted,
+            events_processed,
+            wall_ms: wall.as_millis() as u64,
+            events_per_sec: (events_processed as f64 / wall_s) as u64,
+            mean_map_us: run.wall.mean().as_micros() as u64,
+        };
+        println!(
+            "sim/{name}: {} events in {} ms → {} events/s (mean map {} µs)",
+            point.events_processed, point.wall_ms, point.events_per_sec, point.mean_map_us
+        );
+        sim.push(point);
+    }
+    assert!(deterministic, "fixed-seed reports must be byte-identical");
+
+    let report = BenchReport {
+        schema: "rtsm-bench-map/1".into(),
+        seed,
+        baseline: Baseline {
+            commit: "c9eb51b".into(),
+            map_paper_median_ns: PRE_PR_BASELINE_MEDIAN_NS,
+            note: "pre-optimisation mapper (trace capture always on), same harness".into(),
+        },
+        map_paper: PaperCase {
+            iterations: iters,
+            capture_on_median_ns,
+            capture_off_median_ns,
+            speedup_vs_baseline_pct: PRE_PR_BASELINE_MEDIAN_NS * 100 / capture_off_median_ns.max(1),
+            peak_alloc_capture_on_bytes,
+            peak_alloc_capture_off_bytes,
+        },
+        synthetic_chain,
+        sim,
+        sanity_checks_passed: true,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write BENCH_map.json");
+    println!("wrote {out}");
+}

@@ -21,7 +21,7 @@
 //! mapping latency is printed separately because it cannot be.
 
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
-use rtsm_core::{MappingAlgorithm, SpatialMapper};
+use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
 use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, SimRun};
@@ -31,7 +31,11 @@ fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
     let all = which == "all";
     let mut algorithms: Vec<Box<dyn MappingAlgorithm>> = Vec::new();
     if all || which == "paper" {
-        algorithms.push(Box::new(SpatialMapper::default()));
+        // Hot path: traces are never read here, so skip capturing them.
+        // Decisions and the evaluated/attempts counters are unaffected.
+        algorithms.push(Box::new(SpatialMapper::new(
+            MapperConfig::default().without_capture(),
+        )));
     }
     if all || which == "greedy" {
         algorithms.push(Box::new(GreedyMapper));

@@ -6,7 +6,7 @@
 
 use crate::mapping::Mapping;
 use rtsm_app::ApplicationSpec;
-use rtsm_platform::{EnergyModel, Platform};
+use rtsm_platform::{EnergyModel, Platform, TileId};
 use serde::{Deserialize, Serialize};
 
 /// How step 2 scores a (complete) tile assignment.
@@ -38,6 +38,64 @@ impl CostModel {
                 .sum(),
             CostModel::Energy(model) => mapping.energy_pj(spec, platform, model),
         }
+    }
+
+    /// The per-channel term of this model for a channel carrying
+    /// `tokens_per_period` between tiles `a` and `b` (Manhattan estimate —
+    /// what steps 1–2 use before any route exists).
+    ///
+    /// All three models decompose as `base + Σ channel terms`, which is
+    /// what makes step 2's O(degree) incremental rescoring exact: a move or
+    /// swap only changes the terms of channels incident to the touched
+    /// processes.
+    pub fn channel_cost(
+        &self,
+        platform: &Platform,
+        tokens_per_period: u64,
+        a: TileId,
+        b: TileId,
+    ) -> u64 {
+        let hops = platform.manhattan(a, b);
+        match self {
+            CostModel::HopCount => u64::from(hops),
+            CostModel::TrafficWeighted => u64::from(hops) * tokens_per_period,
+            CostModel::Energy(model) => model.channel_energy_pj(tokens_per_period, hops),
+        }
+    }
+
+    /// The channel-independent base term of this model: zero for the
+    /// distance models, the summed processing energy of the chosen
+    /// implementations for [`CostModel::Energy`].
+    pub fn base_cost(&self, mapping: &Mapping, spec: &ApplicationSpec) -> u64 {
+        match self {
+            CostModel::HopCount | CostModel::TrafficWeighted => 0,
+            CostModel::Energy(_) => mapping
+                .assignments()
+                .map(|(p, a)| spec.library.impls_for(p)[a.impl_index].energy_pj_per_period)
+                .sum(),
+        }
+    }
+
+    /// Full recompute of the decomposed form: `base + Σ channel terms` over
+    /// channels whose endpoints are both mapped. Equal to
+    /// [`CostModel::cost`] on assignment-only mappings (no routes bound) —
+    /// step 2's debug assertions hold the incremental deltas to this.
+    pub fn assignment_cost(
+        &self,
+        mapping: &Mapping,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+    ) -> u64 {
+        self.base_cost(mapping, spec)
+            + spec
+                .graph
+                .stream_channels()
+                .filter_map(|(_, ch)| {
+                    let a = mapping.endpoint_tile(platform, ch.src)?;
+                    let b = mapping.endpoint_tile(platform, ch.dst)?;
+                    Some(self.channel_cost(platform, ch.tokens_per_period, a, b))
+                })
+                .sum::<u64>()
     }
 }
 
@@ -88,5 +146,21 @@ mod tests {
     #[test]
     fn default_is_paper_mode() {
         assert_eq!(CostModel::default(), CostModel::HopCount);
+    }
+
+    #[test]
+    fn decomposition_matches_full_cost_on_unrouted_mappings() {
+        let (spec, platform, m) = paper_initial();
+        for model in [
+            CostModel::HopCount,
+            CostModel::TrafficWeighted,
+            CostModel::Energy(EnergyModel::default()),
+        ] {
+            assert_eq!(
+                model.assignment_cost(&m, &spec, &platform),
+                model.cost(&m, &spec, &platform),
+                "{model:?}"
+            );
+        }
     }
 }

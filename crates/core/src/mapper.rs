@@ -9,7 +9,7 @@ use crate::cost::CostModel;
 use crate::error::MapError;
 use crate::feedback::Constraints;
 use crate::step1::assign_implementations;
-use crate::step2::{improve_assignment, Step2Config};
+use crate::step2::{improve_assignment_with, Step2Config};
 use crate::step3::route_channels_with;
 use crate::step4::{check_constraints, Step4Config};
 use crate::trace::{AttemptTrace, MapTrace};
@@ -32,6 +32,13 @@ pub struct MapperConfig {
     pub max_refinements: usize,
     /// Energy model used for the result's energy account.
     pub energy_model: EnergyModel,
+    /// Record the full search trace ([`MappingOutcome::trace`], Table-2
+    /// events, assignment snapshots). Default `true` — what the paper
+    /// reproduction and debugging read. Turn it **off** on hot paths
+    /// (simulators, benches): the search makes identical decisions and the
+    /// `evaluated`/`attempts` counters stay exact, but no trace structures
+    /// are allocated at all.
+    pub capture: bool,
 }
 
 impl Default for MapperConfig {
@@ -43,7 +50,18 @@ impl Default for MapperConfig {
             routing: RoutingPolicy::Adaptive,
             max_refinements: 8,
             energy_model: EnergyModel::default(),
+            capture: true,
         }
+    }
+}
+
+impl MapperConfig {
+    /// This configuration with trace capture disabled — the hot-path
+    /// variant for simulators and benches.
+    #[must_use]
+    pub fn without_capture(mut self) -> Self {
+        self.capture = false;
+        self
     }
 }
 
@@ -87,9 +105,16 @@ impl SpatialMapper {
         spec.validate()?;
         self.check_endpoints(spec, platform)?;
 
+        let capture = self.config.capture;
         let mut constraints = Constraints::new();
         let mut trace = MapTrace::default();
         let mut last_feedback = Vec::new();
+        // Counters maintained independently of the trace so `evaluated` and
+        // `attempts` stay exact when capture is off: every attempt costs
+        // its step-2 evaluations plus one (the attempt itself), exactly the
+        // `events.len() + 1` sum the captured trace would yield.
+        let mut attempts_made = 0usize;
+        let mut evaluated: u64 = 0;
 
         for attempt in 0..self.config.max_refinements.max(1) {
             let mut attempt_trace = AttemptTrace::default();
@@ -98,8 +123,12 @@ impl SpatialMapper {
             let step1 = match assign_implementations(spec, platform, base, &constraints) {
                 Ok(out) => out,
                 Err(failure) => {
-                    attempt_trace.feedback = failure.feedback.clone();
-                    trace.attempts.push(attempt_trace);
+                    attempts_made += 1;
+                    evaluated += 1;
+                    if capture {
+                        attempt_trace.feedback = failure.feedback.clone();
+                        trace.attempts.push(attempt_trace);
+                    }
                     let mut absorbed = false;
                     for fb in &failure.feedback {
                         absorbed |= constraints.absorb(fb);
@@ -113,12 +142,14 @@ impl SpatialMapper {
                     continue;
                 }
             };
-            attempt_trace.step1 = step1.events;
+            if capture {
+                attempt_trace.step1 = step1.events;
+            }
             let mut mapping = step1.mapping;
             let mut working = step1.working;
 
             // Step 2: local-search improvement.
-            attempt_trace.step2 = improve_assignment(
+            let step2_trace = improve_assignment_with(
                 spec,
                 platform,
                 &constraints,
@@ -126,7 +157,13 @@ impl SpatialMapper {
                 &mut working,
                 &self.config.cost_model,
                 &self.config.step2,
+                capture,
             );
+            attempts_made += 1;
+            evaluated += step2_trace.evaluations + 1;
+            if capture {
+                attempt_trace.step2 = step2_trace;
+            }
 
             // Step 3: routing.
             if let Err(feedback) = route_channels_with(
@@ -136,8 +173,10 @@ impl SpatialMapper {
                 &mut working,
                 self.config.routing,
             ) {
-                attempt_trace.feedback = feedback.clone();
-                trace.attempts.push(attempt_trace);
+                if capture {
+                    attempt_trace.feedback = feedback.clone();
+                    trace.attempts.push(attempt_trace);
+                }
                 let mut absorbed = false;
                 for fb in &feedback {
                     absorbed |= constraints.absorb(fb);
@@ -152,15 +191,12 @@ impl SpatialMapper {
             // Step 4: constraint check.
             let step4 = check_constraints(spec, platform, &mapping, &working, &self.config.step4);
             if step4.feasible {
-                attempt_trace.feasible = true;
-                trace.attempts.push(attempt_trace);
+                if capture {
+                    attempt_trace.feasible = true;
+                    trace.attempts.push(attempt_trace);
+                }
                 let energy_pj = mapping.energy_pj(spec, platform, &self.config.energy_model);
                 let communication_hops = mapping.communication_hops(spec, platform);
-                let evaluated = trace
-                    .attempts
-                    .iter()
-                    .map(|a| a.step2.events.len() as u64 + 1)
-                    .sum();
                 return Ok(MappingOutcome {
                     mapping,
                     csdf: Some(step4.csdf),
@@ -169,14 +205,16 @@ impl SpatialMapper {
                     communication_hops,
                     feasible: true,
                     evaluated,
-                    trace: Some(trace),
+                    trace: capture.then_some(trace),
                     attempts: attempt + 1,
                     achieved_period: step4.achieved_period,
                     latency_ps: step4.latency_ps,
                 });
             }
-            attempt_trace.feedback = step4.feedback.clone();
-            trace.attempts.push(attempt_trace);
+            if capture {
+                attempt_trace.feedback = step4.feedback.clone();
+                trace.attempts.push(attempt_trace);
+            }
             let mut absorbed = false;
             for fb in &step4.feedback {
                 absorbed |= constraints.absorb(fb);
@@ -188,7 +226,7 @@ impl SpatialMapper {
         }
 
         Err(MapError::NoFeasibleMapping {
-            attempts: trace.attempts.len(),
+            attempts: attempts_made,
             last_feedback,
         })
     }
@@ -331,6 +369,28 @@ mod tests {
             Err(MapError::NoFeasibleMapping { .. }) | Err(MapError::Unmappable { .. }) => {}
             Err(e) => panic!("unexpected error {e}"),
         }
+    }
+
+    #[test]
+    fn capture_off_identical_outcome_minus_trace() {
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        let with = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &state)
+            .unwrap();
+        let without = SpatialMapper::new(MapperConfig::default().without_capture())
+            .map(&spec, &platform, &state)
+            .unwrap();
+        assert!(with.trace.is_some());
+        assert!(without.trace.is_none(), "capture off records no trace");
+        assert_eq!(with.mapping, without.mapping);
+        assert_eq!(with.buffers, without.buffers);
+        assert_eq!(with.energy_pj, without.energy_pj);
+        assert_eq!(with.communication_hops, without.communication_hops);
+        assert_eq!(with.evaluated, without.evaluated, "counters stay exact");
+        assert_eq!(with.attempts, without.attempts);
+        assert_eq!(with.achieved_period, without.achieved_period);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use rtsm_platform::{Platform, PlatformError, PlatformState};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A stable identifier of one running application within a
 /// [`RuntimeManager`]. Handles are unique across the manager's lifetime
@@ -180,10 +181,15 @@ impl std::error::Error for StopAllError {
 
 /// One admitted application: its specification and the mapping it runs
 /// under.
+///
+/// The specification is held behind an [`Arc`] so admission paths that
+/// draw the same spec repeatedly (catalogs, simulators) share one copy
+/// instead of deep-cloning the graph and implementation library per
+/// arrival.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunningApp {
     /// The application specification.
-    pub spec: ApplicationSpec,
+    pub spec: Arc<ApplicationSpec>,
     /// The committed mapping outcome.
     pub outcome: MappingOutcome,
 }
@@ -301,7 +307,11 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
     /// * [`AdmissionError::Rejected`] — no feasible mapping right now;
     /// * [`AdmissionError::CommitFailed`] — the mapping could not be
     ///   committed (only possible if the ledger was mutated externally).
-    pub fn start(&mut self, spec: ApplicationSpec) -> Result<AppHandle, AdmissionError> {
+    pub fn start(
+        &mut self,
+        spec: impl Into<Arc<ApplicationSpec>>,
+    ) -> Result<AppHandle, AdmissionError> {
+        let spec: Arc<ApplicationSpec> = spec.into();
         let mut outcome = self
             .algorithm
             .map(&spec, &self.platform, &self.state)

@@ -63,9 +63,10 @@ impl Default for Step2Config {
     }
 }
 
-/// A scored candidate: cost with it applied, the move itself, and the
-/// evaluated assignment snapshot (Table 2 row content).
-type ScoredCandidate = (u64, Step2Move, Vec<(ProcessId, TileId)>);
+/// A scored candidate: cost with it applied plus the move itself. The
+/// Table-2 snapshot is captured lazily (only when tracing is on and only
+/// for the winning candidate), never per evaluation.
+type ScoredCandidate = (u64, Step2Move);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum TriedKey {
@@ -88,14 +89,99 @@ fn candidate_key(c: &Step2Move) -> TriedKey {
     }
 }
 
+/// One stream channel as step 2 sees it: endpoints plus traffic. Collected
+/// once per search into per-process incidence lists so candidate scoring
+/// touches only the channels a move can change.
+#[derive(Debug, Clone, Copy)]
+struct ChannelRef {
+    src: rtsm_app::Endpoint,
+    dst: rtsm_app::Endpoint,
+    tokens_per_period: u64,
+}
+
 struct SearchCtx<'a> {
     spec: &'a ApplicationSpec,
     platform: &'a Platform,
     constraints: &'a Constraints,
     cost_model: &'a CostModel,
+    /// Channel indices (into `channels`) incident to each process, by
+    /// process index.
+    incident: Vec<Vec<usize>>,
+    channels: Vec<ChannelRef>,
 }
 
-impl SearchCtx<'_> {
+impl<'a> SearchCtx<'a> {
+    fn new(
+        spec: &'a ApplicationSpec,
+        platform: &'a Platform,
+        constraints: &'a Constraints,
+        cost_model: &'a CostModel,
+    ) -> Self {
+        let mut channels = Vec::new();
+        let mut incident = vec![Vec::new(); spec.graph.n_processes()];
+        for (_, ch) in spec.graph.stream_channels() {
+            let ci = channels.len();
+            channels.push(ChannelRef {
+                src: ch.src,
+                dst: ch.dst,
+                tokens_per_period: ch.tokens_per_period,
+            });
+            if let rtsm_app::Endpoint::Process(p) = ch.src {
+                incident[p.index()].push(ci);
+            }
+            if let rtsm_app::Endpoint::Process(p) = ch.dst {
+                // Self-loops would be recorded once; the graph forbids them,
+                // but guard against double-counting anyway.
+                if ch.src != rtsm_app::Endpoint::Process(p) {
+                    incident[p.index()].push(ci);
+                }
+            }
+        }
+        SearchCtx {
+            spec,
+            platform,
+            constraints,
+            cost_model,
+            incident,
+            channels,
+        }
+    }
+
+    fn channel_touches(&self, ci: usize, p: ProcessId) -> bool {
+        let ch = &self.channels[ci];
+        ch.src == rtsm_app::Endpoint::Process(p) || ch.dst == rtsm_app::Endpoint::Process(p)
+    }
+
+    /// Σ of this cost model's channel terms over the channels incident to
+    /// `p0` (and `p1`, deduplicating channels incident to both) under the
+    /// current assignment — the only terms a move/swap of those processes
+    /// can change. O(degree), not O(channels).
+    fn local_cost(&self, mapping: &Mapping, p0: ProcessId, p1: Option<ProcessId>) -> u64 {
+        let mut sum = 0u64;
+        let mut add = |ci: usize| {
+            let ch = &self.channels[ci];
+            if let (Some(a), Some(b)) = (
+                mapping.endpoint_tile(self.platform, ch.src),
+                mapping.endpoint_tile(self.platform, ch.dst),
+            ) {
+                sum += self
+                    .cost_model
+                    .channel_cost(self.platform, ch.tokens_per_period, a, b);
+            }
+        };
+        for &ci in &self.incident[p0.index()] {
+            add(ci);
+        }
+        if let Some(p1) = p1 {
+            for &ci in &self.incident[p1.index()] {
+                if !self.channel_touches(ci, p0) {
+                    add(ci);
+                }
+            }
+        }
+        sum
+    }
+
     /// Applies `candidate` to mapping + working state. Returns `false`
     /// (leaving both untouched) if resources do not fit.
     fn apply(
@@ -174,45 +260,52 @@ impl SearchCtx<'_> {
         }
     }
 
-    fn invert(candidate: &Step2Move) -> Step2Move {
+    /// The tile a move must return to on undo: the process's tile *before*
+    /// the candidate is applied. `None` for swaps, which are their own
+    /// inverse and need no origin.
+    fn origin_of(mapping: &Mapping, candidate: &Step2Move) -> Option<TileId> {
         match candidate {
-            Step2Move::Move { process, .. } => Step2Move::Move {
-                process: *process,
-                // Inversion target is filled by the caller, which knows the
-                // origin tile; see `undo`.
-                to: TileId::from_index(usize::MAX),
-            },
-            Step2Move::Swap { a, b } => Step2Move::Swap { a: *a, b: *b },
+            Step2Move::Move { process, .. } => Some(
+                mapping
+                    .assignment(*process)
+                    .expect("assigned in step 1")
+                    .tile,
+            ),
+            Step2Move::Swap { .. } => None,
         }
     }
 
-    /// Undoes a previously applied candidate.
+    /// Undoes a previously applied candidate. `origin` must be the value
+    /// [`SearchCtx::origin_of`] captured before the apply — typed as an
+    /// `Option` so an unfilled inversion target is a panic, not a bogus
+    /// tile id.
     fn undo(
         &self,
         mapping: &mut Mapping,
         working: &mut PlatformState,
         candidate: &Step2Move,
-        origin: TileId,
+        origin: Option<TileId>,
     ) {
-        let inverse = match Self::invert(candidate) {
+        let inverse = match candidate {
             Step2Move::Move { process, .. } => Step2Move::Move {
-                process,
-                to: origin,
+                process: *process,
+                to: origin.expect("undoing a move requires its origin tile"),
             },
-            swap => swap,
+            Step2Move::Swap { a, b } => Step2Move::Swap { a: *a, b: *b },
         };
         let ok = self.apply(mapping, working, &inverse);
         debug_assert!(ok, "undo of an applied candidate always fits");
     }
 
-    /// All candidates for `process`: moves to same-kind tiles and swaps
-    /// with same-kind processes.
-    fn candidates_for(&self, mapping: &Mapping, process: ProcessId) -> Vec<Step2Move> {
+    /// All candidates for `process` — moves to same-kind tiles and swaps
+    /// with same-kind processes — generated into the caller's reusable
+    /// buffer (cleared first) instead of a fresh allocation per scan.
+    fn candidates_for(&self, mapping: &Mapping, process: ProcessId, out: &mut Vec<Step2Move>) {
+        out.clear();
         let Some(assignment) = mapping.assignment(process) else {
-            return Vec::new();
+            return;
         };
         let kind = self.spec.library.impls_for(process)[assignment.impl_index].tile_kind;
-        let mut out = Vec::new();
         for (tile, _) in self.platform.tiles_of_kind(kind) {
             if tile != assignment.tile {
                 out.push(Step2Move::Move { process, to: tile });
@@ -231,34 +324,66 @@ impl SearchCtx<'_> {
                 });
             }
         }
-        out
     }
 
-    /// Evaluates `candidate`: cost with it applied, plus the evaluated
-    /// assignment snapshot. Mapping and state are restored before
-    /// returning. `None` if the candidate does not fit.
+    /// Evaluates `candidate` incrementally: only the channel terms incident
+    /// to the touched processes are rescored (O(degree) instead of
+    /// O(channels)), and no snapshot is allocated. Mapping and state are
+    /// restored before returning. `None` if the candidate does not fit.
+    ///
+    /// `current_cost` must be the model's cost of the current assignment;
+    /// the returned value is exactly what a full recompute would give
+    /// (debug-asserted).
     fn evaluate(
         &self,
         mapping: &mut Mapping,
         working: &mut PlatformState,
         candidate: &Step2Move,
-    ) -> Option<(u64, Vec<(ProcessId, TileId)>)> {
-        let origin = match candidate {
-            Step2Move::Move { process, .. } => mapping.assignment(*process)?.tile,
-            Step2Move::Swap { .. } => TileId::from_index(0), // unused for swaps
+        current_cost: u64,
+    ) -> Option<u64> {
+        let (p0, p1) = match candidate {
+            Step2Move::Move { process, .. } => (*process, None),
+            Step2Move::Swap { a, b } => (*a, Some(*b)),
         };
+        let origin = Self::origin_of(mapping, candidate);
+        let before = self.local_cost(mapping, p0, p1);
         if !self.apply(mapping, working, candidate) {
             return None;
         }
-        let cost = self.cost_model.cost(mapping, self.spec, self.platform);
+        let after = self.local_cost(mapping, p0, p1);
+        // Moves and swaps never change implementation choices, so the base
+        // term cancels; only incident channel terms differ.
+        let cost = current_cost - before + after;
+        debug_assert_eq!(
+            cost,
+            self.cost_model
+                .assignment_cost(mapping, self.spec, self.platform),
+            "incremental delta must match a full recompute for {candidate:?}"
+        );
+        self.undo(mapping, working, candidate, origin);
+        Some(cost)
+    }
+
+    /// The Table-2 row content: the full `(process, tile)` assignment with
+    /// `candidate` applied. Only called for winning candidates when trace
+    /// capture is on.
+    fn snapshot_with(
+        &self,
+        mapping: &mut Mapping,
+        working: &mut PlatformState,
+        candidate: &Step2Move,
+    ) -> Vec<(ProcessId, TileId)> {
+        let origin = Self::origin_of(mapping, candidate);
+        let applied = self.apply(mapping, working, candidate);
+        debug_assert!(applied, "snapshotting a candidate that was evaluated");
         let snapshot = mapping.assignments().map(|(p, a)| (p, a.tile)).collect();
         self.undo(mapping, working, candidate, origin);
-        Some((cost, snapshot))
+        snapshot
     }
 }
 
 /// Runs step 2, improving `mapping` in place (and keeping `working`'s tile
-/// reservations in sync). Returns the full search trace.
+/// reservations in sync). Returns the full search trace (capture on).
 pub fn improve_assignment(
     spec: &ApplicationSpec,
     platform: &Platform,
@@ -268,54 +393,92 @@ pub fn improve_assignment(
     cost_model: &CostModel,
     config: &Step2Config,
 ) -> Step2Trace {
-    let ctx = SearchCtx {
+    improve_assignment_with(
         spec,
         platform,
         constraints,
+        mapping,
+        working,
         cost_model,
-    };
+        config,
+        true,
+    )
+}
+
+/// [`improve_assignment`] with an explicit trace-capture switch.
+///
+/// With `capture = false` the search makes identical decisions but records
+/// no events or assignment snapshots — only the costs and the
+/// [`Step2Trace::evaluations`] counter, which stays exactly what
+/// `events.len()` would be with capture on. This is the mapper hot path:
+/// simulators and benches map thousands of times and read only counters.
+#[allow(clippy::too_many_arguments)]
+pub fn improve_assignment_with(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    constraints: &Constraints,
+    mapping: &mut Mapping,
+    working: &mut PlatformState,
+    cost_model: &CostModel,
+    config: &Step2Config,
+    capture: bool,
+) -> Step2Trace {
+    let ctx = SearchCtx::new(spec, platform, constraints, cost_model);
     let order = spec
         .graph
         .topological_order()
         .expect("validated specs are acyclic");
     let mut trace = Step2Trace {
-        initial_cost: cost_model.cost(mapping, spec, platform),
-        initial_assignment: mapping.assignments().map(|(p, a)| (p, a.tile)).collect(),
+        initial_cost: cost_model.assignment_cost(mapping, spec, platform),
+        initial_assignment: if capture {
+            mapping.assignments().map(|(p, a)| (p, a.tile)).collect()
+        } else {
+            Vec::new()
+        },
         events: Vec::new(),
+        evaluations: 0,
         final_cost: 0,
     };
     let mut current_cost = trace.initial_cost;
     let mut evaluations = 0usize;
+    // Reused across every scan position — one allocation per search, not
+    // one per process visit.
+    let mut candidates: Vec<Step2Move> = Vec::new();
 
     match config.strategy {
         Step2Strategy::PaperScan => {
             let mut tried: BTreeSet<TriedKey> = BTreeSet::new();
             'search: loop {
-                let kept_this_pass = false;
                 for &process in &order {
                     // This process's best untried reassignment.
                     let mut best: Option<ScoredCandidate> = None;
-                    for candidate in ctx.candidates_for(mapping, process) {
-                        if tried.contains(&candidate_key(&candidate)) {
+                    ctx.candidates_for(mapping, process, &mut candidates);
+                    for candidate in &candidates {
+                        if tried.contains(&candidate_key(candidate)) {
                             continue;
                         }
-                        if let Some((cost, snapshot)) = ctx.evaluate(mapping, working, &candidate) {
-                            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                                best = Some((cost, candidate, snapshot));
+                        if let Some(cost) = ctx.evaluate(mapping, working, candidate, current_cost)
+                        {
+                            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                                best = Some((cost, *candidate));
                             }
                         }
                     }
-                    let Some((cost, candidate, snapshot)) = best else {
+                    let Some((cost, candidate)) = best else {
                         continue;
                     };
                     evaluations += 1;
+                    trace.evaluations += 1;
                     let kept = current_cost.saturating_sub(cost) >= config.min_gain;
-                    trace.events.push(Step2Event {
-                        candidate,
-                        cost,
-                        kept,
-                        assignment: snapshot,
-                    });
+                    if capture {
+                        let assignment = ctx.snapshot_with(mapping, working, &candidate);
+                        trace.events.push(Step2Event {
+                            candidate,
+                            cost,
+                            kept,
+                            assignment,
+                        });
+                    }
                     if kept {
                         let applied = ctx.apply(mapping, working, &candidate);
                         debug_assert!(applied, "evaluated candidates fit");
@@ -324,8 +487,7 @@ pub fn improve_assignment(
                         if evaluations >= config.max_evaluations {
                             break 'search;
                         }
-                        // Restart the scan; `kept_this_pass` need not be set
-                        // because the pass is abandoned here.
+                        // Restart the scan from the top of the process order.
                         continue 'search;
                     }
                     tried.insert(candidate_key(&candidate));
@@ -333,35 +495,40 @@ pub fn improve_assignment(
                         break 'search;
                     }
                 }
-                if !kept_this_pass {
-                    break;
-                }
+                // A full pass kept nothing (every keep restarts the scan
+                // above): the search has converged.
+                break;
             }
         }
         Step2Strategy::BestImprovement => loop {
             let mut best: Option<ScoredCandidate> = None;
             for &process in &order {
-                for candidate in ctx.candidates_for(mapping, process) {
-                    if let Some((cost, snapshot)) = ctx.evaluate(mapping, working, &candidate) {
-                        if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                            best = Some((cost, candidate, snapshot));
+                ctx.candidates_for(mapping, process, &mut candidates);
+                for candidate in &candidates {
+                    if let Some(cost) = ctx.evaluate(mapping, working, candidate, current_cost) {
+                        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                            best = Some((cost, *candidate));
                         }
                     }
                 }
             }
             evaluations += 1;
-            let Some((cost, candidate, snapshot)) = best else {
+            let Some((cost, candidate)) = best else {
                 break;
             };
             if current_cost.saturating_sub(cost) < config.min_gain {
                 break;
             }
-            trace.events.push(Step2Event {
-                candidate,
-                cost,
-                kept: true,
-                assignment: snapshot,
-            });
+            trace.evaluations += 1;
+            if capture {
+                let assignment = ctx.snapshot_with(mapping, working, &candidate);
+                trace.events.push(Step2Event {
+                    candidate,
+                    cost,
+                    kept: true,
+                    assignment,
+                });
+            }
             let applied = ctx.apply(mapping, working, &candidate);
             debug_assert!(applied, "evaluated candidates fit");
             current_cost = cost;
@@ -468,6 +635,88 @@ mod tests {
             &platform,
             &platform.initial_state()
         ));
+    }
+
+    #[test]
+    fn capture_off_same_decisions_same_counters() {
+        for strategy in [Step2Strategy::PaperScan, Step2Strategy::BestImprovement] {
+            let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+            let platform = paper_platform();
+            let constraints = Constraints::new();
+            let out =
+                assign_implementations(&spec, &platform, &platform.initial_state(), &constraints)
+                    .unwrap();
+            let config = Step2Config {
+                strategy,
+                ..Step2Config::default()
+            };
+            let mut m_on = out.mapping.clone();
+            let mut w_on = out.working.clone();
+            let on = improve_assignment(
+                &spec,
+                &platform,
+                &constraints,
+                &mut m_on,
+                &mut w_on,
+                &CostModel::HopCount,
+                &config,
+            );
+            let mut m_off = out.mapping.clone();
+            let mut w_off = out.working.clone();
+            let off = improve_assignment_with(
+                &spec,
+                &platform,
+                &constraints,
+                &mut m_off,
+                &mut w_off,
+                &CostModel::HopCount,
+                &config,
+                false,
+            );
+            assert_eq!(m_on, m_off, "{strategy:?}: identical final mappings");
+            assert_eq!(w_on, w_off, "{strategy:?}: identical working states");
+            assert_eq!(on.final_cost, off.final_cost);
+            assert_eq!(on.initial_cost, off.initial_cost);
+            assert_eq!(on.evaluations, off.evaluations);
+            assert_eq!(on.events.len() as u64, on.evaluations);
+            assert!(off.events.is_empty(), "capture off records no events");
+            assert!(off.initial_assignment.is_empty());
+        }
+    }
+
+    #[test]
+    fn incremental_delta_exact_for_all_cost_models() {
+        use rtsm_platform::EnergyModel;
+        // The debug assertion inside `evaluate` cross-checks every delta
+        // against a full recompute; drive it under all three models.
+        for model in [
+            CostModel::HopCount,
+            CostModel::TrafficWeighted,
+            CostModel::Energy(EnergyModel::default()),
+        ] {
+            let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+            let platform = paper_platform();
+            let constraints = Constraints::new();
+            let out =
+                assign_implementations(&spec, &platform, &platform.initial_state(), &constraints)
+                    .unwrap();
+            let mut mapping = out.mapping;
+            let mut working = out.working;
+            let trace = improve_assignment(
+                &spec,
+                &platform,
+                &constraints,
+                &mut mapping,
+                &mut working,
+                &model,
+                &Step2Config::default(),
+            );
+            assert_eq!(
+                trace.final_cost,
+                model.assignment_cost(&mapping, &spec, &platform),
+                "{model:?}: tracked cost must equal a full recompute"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::feedback::Feedback;
 use crate::mapping::{Mapping, RouteBinding};
 use rtsm_app::{ApplicationSpec, KpnChannelId};
-use rtsm_platform::{routing, Platform, PlatformState, RoutingPolicy};
+use rtsm_platform::{routing, Platform, PlatformState, RouteScratch, RoutingPolicy};
 
 /// Routes every data-stream channel of `mapping` with the paper's adaptive
 /// (capacity-aware shortest path) policy. See [`route_channels_with`].
@@ -29,6 +29,9 @@ pub fn route_channels(
 /// Routes every data-stream channel of `mapping` under `policy`, allocating
 /// link and NI bandwidth in `working`. Channels between processes on the
 /// same tile become [`RouteBinding::SameTile`].
+///
+/// `mapping` must enter route-free (steps 1–2 produce assignments only);
+/// any stale routes would be released against `working` on rollback.
 ///
 /// On failure, **all** allocations made by this call are rolled back and
 /// the routes are cleared, so the caller can refine and retry.
@@ -53,13 +56,23 @@ pub fn route_channels_with(
         .collect();
     channels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    let mut allocated: Vec<rtsm_platform::Path> = Vec::new();
-    let rollback = |mapping: &mut Mapping,
-                    working: &mut PlatformState,
-                    allocated: &mut Vec<rtsm_platform::Path>| {
-        for path in allocated.drain(..) {
-            routing::release(platform, working, &path)
-                .expect("releasing an allocation made in this call");
+    // One scratch serves every channel of this call: the path searches
+    // themselves allocate nothing, and a path is cloned exactly once — into
+    // the mapping — when it is actually kept. Rollback releases the paths
+    // the mapping holds (every `Path` binding present was allocated here,
+    // since routing starts from a route-free mapping).
+    debug_assert!(
+        mapping.routes().next().is_none(),
+        "route_channels_with requires a route-free mapping (stale routes \
+         would be released against `working` on rollback)"
+    );
+    let mut scratch = RouteScratch::new();
+    let rollback = |mapping: &mut Mapping, working: &mut PlatformState| {
+        for (_, binding) in mapping.routes() {
+            if let RouteBinding::Path(path) = binding {
+                routing::release(platform, working, path)
+                    .expect("releasing an allocation made in this call");
+            }
         }
         mapping.clear_routes();
     };
@@ -67,13 +80,13 @@ pub fn route_channels_with(
     for (channel_id, tokens) in channels {
         let ch = spec.graph.channel(channel_id);
         let Some(from) = mapping.endpoint_tile(platform, ch.src) else {
-            rollback(mapping, working, &mut allocated);
+            rollback(mapping, working);
             return Err(vec![Feedback::Infeasible {
                 detail: format!("channel {channel_id:?} has an unmapped producer"),
             }]);
         };
         let Some(to) = mapping.endpoint_tile(platform, ch.dst) else {
-            rollback(mapping, working, &mut allocated);
+            rollback(mapping, working);
             return Err(vec![Feedback::Infeasible {
                 detail: format!("channel {channel_id:?} has an unmapped consumer"),
             }]);
@@ -83,12 +96,11 @@ pub fn route_channels_with(
             continue;
         }
         let demand = spec.qos.words_per_second(tokens);
-        match policy.route(platform, working, from, to, demand) {
+        match policy.route_with(platform, working, from, to, demand, &mut scratch) {
             Ok(path) => {
-                routing::allocate(platform, working, &path)
+                routing::allocate(platform, working, path)
                     .expect("route() verified residual capacity");
-                allocated.push(path.clone());
-                mapping.bind_route(channel_id, RouteBinding::Path(path));
+                mapping.bind_route(channel_id, RouteBinding::Path(path.clone()));
             }
             Err(_) => {
                 let mut feedback = vec![Feedback::RouteFailed {
@@ -107,7 +119,7 @@ pub fn route_channels_with(
                         tile: to,
                     });
                 }
-                rollback(mapping, working, &mut allocated);
+                rollback(mapping, working);
                 return Err(feedback);
             }
         }

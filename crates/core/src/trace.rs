@@ -60,10 +60,16 @@ pub struct Step2Event {
 pub struct Step2Trace {
     /// Cost of the initial (greedy, step-1) assignment.
     pub initial_cost: u64,
-    /// The initial assignment (Table 2's first row).
+    /// The initial assignment (Table 2's first row). Empty when the search
+    /// ran with trace capture off.
     pub initial_assignment: Vec<(ProcessId, TileId)>,
-    /// Evaluated candidates in order.
+    /// Evaluated candidates in order. Empty when the search ran with trace
+    /// capture off.
     pub events: Vec<Step2Event>,
+    /// Number of trace-worthy evaluations — exactly `events.len()` when
+    /// capture is on, and the same value when it is off, so search-effort
+    /// counters stay identical either way.
+    pub evaluations: u64,
     /// Final cost after the search.
     pub final_cost: u64,
 }

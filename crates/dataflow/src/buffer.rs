@@ -24,6 +24,7 @@ use crate::error::DataflowError;
 use crate::graph::{ActorId, ChannelId, CsdfGraph};
 use crate::simulate::{SimConfig, Simulation};
 use crate::throughput::check_source_period;
+use std::collections::HashMap;
 
 /// Configuration for [`size_buffers`].
 #[derive(Debug, Clone)]
@@ -112,6 +113,22 @@ pub fn size_buffers(
         config.channels.clone()
     };
 
+    // Feasibility is a pure function of the capacity assignment, and the
+    // fixpoint sweep revisits assignments it has already probed (a clean
+    // second sweep re-validates every first-sweep decision), so memoise the
+    // simulations by target-capacity vector. This only skips duplicate
+    // runs — the computed capacities are identical with or without it.
+    let mut memo: HashMap<Vec<u64>, bool> = HashMap::new();
+    let mut feasible_memo = |graph: &CsdfGraph, source: ActorId, period: u64| -> bool {
+        let key: Vec<u64> = targets
+            .iter()
+            .map(|&ch| graph.channel(ch).capacity.unwrap_or(u64::MAX))
+            .collect();
+        *memo
+            .entry(key)
+            .or_insert_with(|| feasible(graph, source, period))
+    };
+
     // Pilot run with the target channels unbounded to obtain upper bounds.
     let mut unbounded = graph.clone();
     for &ch in &targets {
@@ -159,7 +176,7 @@ pub fn size_buffers(
     // The pilot bound is feasible only if the *combination* still meets the
     // period; this holds because capacities at peak pressure never block the
     // pilot schedule. Validate anyway (defensive).
-    if !feasible(&graph, config.source, config.period) {
+    if !feasible_memo(&graph, config.source, config.period) {
         // Extremely conservative fallback: double until feasible (bounded by
         // a few steps; pressure bounds are near-tight in practice).
         let mut factor = 2u64;
@@ -167,7 +184,7 @@ pub fn size_buffers(
             for (i, &ch) in targets.iter().enumerate() {
                 graph.channel_mut(ch).capacity = Some(caps[i].saturating_mul(factor));
             }
-            if feasible(&graph, config.source, config.period) {
+            if feasible_memo(&graph, config.source, config.period) {
                 for (i, &ch) in targets.iter().enumerate() {
                     caps[i] = graph.channel(ch).capacity.expect("capacity just set");
                     let _ = ch;
@@ -198,7 +215,7 @@ pub fn size_buffers(
             while lo < hi {
                 let mid = lo + (hi - lo) / 2;
                 graph.channel_mut(ch).capacity = Some(mid);
-                if feasible(&graph, config.source, config.period) {
+                if feasible_memo(&graph, config.source, config.period) {
                     hi = mid;
                 } else {
                     lo = mid + 1;

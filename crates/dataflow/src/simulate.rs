@@ -136,9 +136,27 @@ pub struct Simulation<'g> {
     recorded: Vec<bool>,
     fire_start: Vec<u64>,
     records: Vec<FiringRecord>,
-    // Precomputed adjacency: channel indices per actor.
-    in_channels: Vec<Vec<usize>>,
-    out_channels: Vec<Vec<usize>>,
+    // Flat CSR tables, precomputed once so the event loop indexes
+    // contiguous arrays instead of chasing `PhaseVec` runs and per-actor
+    // heap-allocated adjacency lists. Actor `a`'s input channels are
+    // `in_ch[in_off[a]..in_off[a+1]]` (likewise `out_*`); channel `c`
+    // consumes `cons_val[cons_off[c] + consumer_phase]` tokens and produces
+    // `prod_val[prod_off[c] + producer_phase]`; actor `a`'s phase `p` runs
+    // for `dur_val[dur_off[a] + p]` time units.
+    in_off: Vec<u32>,
+    in_ch: Vec<u32>,
+    out_off: Vec<u32>,
+    out_ch: Vec<u32>,
+    cons_off: Vec<u32>,
+    cons_val: Vec<u64>,
+    prod_off: Vec<u32>,
+    prod_val: Vec<u64>,
+    /// Channel capacity, `u64::MAX` when unbounded.
+    cap_tab: Vec<u64>,
+    src_tab: Vec<u32>,
+    dst_tab: Vec<u32>,
+    dur_off: Vec<u32>,
+    dur_val: Vec<u64>,
 }
 
 impl<'g> Simulation<'g> {
@@ -151,11 +169,60 @@ impl<'g> Simulation<'g> {
         for a in &config.record {
             recorded[a.index()] = true;
         }
-        let mut in_channels = vec![Vec::new(); n];
-        let mut out_channels = vec![Vec::new(); n];
+        // Degree counts, then prefix sums, then a fill pass — the standard
+        // CSR construction.
+        let mut in_deg = vec![0u32; n];
+        let mut out_deg = vec![0u32; n];
+        for (_, ch) in graph.channels() {
+            out_deg[ch.src.index()] += 1;
+            in_deg[ch.dst.index()] += 1;
+        }
+        let prefix = |deg: &[u32]| {
+            let mut off = Vec::with_capacity(deg.len() + 1);
+            off.push(0u32);
+            for &d in deg {
+                off.push(off.last().unwrap() + d);
+            }
+            off
+        };
+        let in_off = prefix(&in_deg);
+        let out_off = prefix(&out_deg);
+        let mut in_ch = vec![0u32; m];
+        let mut out_ch = vec![0u32; m];
+        let mut in_cursor: Vec<u32> = in_off[..n].to_vec();
+        let mut out_cursor: Vec<u32> = out_off[..n].to_vec();
+        let mut cons_off = Vec::with_capacity(m + 1);
+        let mut prod_off = Vec::with_capacity(m + 1);
+        let mut cons_val = Vec::new();
+        let mut prod_val = Vec::new();
+        let mut cap_tab = Vec::with_capacity(m);
+        let mut src_tab = Vec::with_capacity(m);
+        let mut dst_tab = Vec::with_capacity(m);
+        cons_off.push(0u32);
+        prod_off.push(0u32);
         for (ci, ch) in graph.channels() {
-            out_channels[ch.src.index()].push(ci.index());
-            in_channels[ch.dst.index()].push(ci.index());
+            let s = ch.src.index();
+            let d = ch.dst.index();
+            out_ch[out_cursor[s] as usize] = ci.index() as u32;
+            out_cursor[s] += 1;
+            in_ch[in_cursor[d] as usize] = ci.index() as u32;
+            in_cursor[d] += 1;
+            cons_val.extend(ch.cons.iter());
+            prod_val.extend(ch.prod.iter());
+            cons_off.push(cons_val.len() as u32);
+            prod_off.push(prod_val.len() as u32);
+            cap_tab.push(ch.capacity.unwrap_or(u64::MAX));
+            src_tab.push(s as u32);
+            dst_tab.push(d as u32);
+        }
+        let mut dur_off = Vec::with_capacity(n + 1);
+        let mut dur_val = Vec::new();
+        dur_off.push(0u32);
+        for (_, a) in graph.actors() {
+            for p in 0..a.n_phases() {
+                dur_val.push(a.phase_duration(p));
+            }
+            dur_off.push(dur_val.len() as u32);
         }
         Simulation {
             graph,
@@ -174,9 +241,40 @@ impl<'g> Simulation<'g> {
             recorded,
             fire_start: vec![0; n],
             records: Vec::new(),
-            in_channels,
-            out_channels,
+            in_off,
+            in_ch,
+            out_off,
+            out_ch,
+            cons_off,
+            cons_val,
+            prod_off,
+            prod_val,
+            cap_tab,
+            src_tab,
+            dst_tab,
+            dur_off,
+            dur_val,
         }
+    }
+
+    #[inline]
+    fn inputs(&self, actor: usize) -> &[u32] {
+        &self.in_ch[self.in_off[actor] as usize..self.in_off[actor + 1] as usize]
+    }
+
+    #[inline]
+    fn outputs(&self, actor: usize) -> &[u32] {
+        &self.out_ch[self.out_off[actor] as usize..self.out_off[actor + 1] as usize]
+    }
+
+    #[inline]
+    fn cons(&self, ci: usize, phase: usize) -> u64 {
+        self.cons_val[self.cons_off[ci] as usize + phase]
+    }
+
+    #[inline]
+    fn prod(&self, ci: usize, phase: usize) -> u64 {
+        self.prod_val[self.prod_off[ci] as usize + phase]
     }
 
     fn can_start(&self, actor: usize) -> bool {
@@ -184,57 +282,40 @@ impl<'g> Simulation<'g> {
             return false;
         }
         let phase = self.phase[actor] as usize;
-        for &ci in &self.in_channels[actor] {
-            if self.data[ci]
-                < self
-                    .graph
-                    .channel(crate::graph::ChannelId(ci))
-                    .cons
-                    .get(phase)
-            {
+        for &ci in self.inputs(actor) {
+            let ci = ci as usize;
+            if self.data[ci] < self.cons(ci, phase) {
                 return false;
             }
         }
-        for &ci in &self.out_channels[actor] {
-            let ch = self.graph.channel(crate::graph::ChannelId(ci));
-            if let Some(cap) = ch.capacity {
-                let pressure = self.data[ci] + self.reserved[ci] + self.held[ci];
-                if pressure + ch.prod.get(phase) > cap {
-                    return false;
-                }
+        for &ci in self.outputs(actor) {
+            let ci = ci as usize;
+            let pressure = self.data[ci] + self.reserved[ci] + self.held[ci];
+            if pressure + self.prod(ci, phase) > self.cap_tab[ci] {
+                return false;
             }
         }
         true
     }
 
     fn start(&mut self, actor: usize) {
-        let id = ActorId(actor);
         let phase = self.phase[actor] as usize;
-        for k in 0..self.in_channels[actor].len() {
-            let ci = self.in_channels[actor][k];
-            let cons = self
-                .graph
-                .channel(crate::graph::ChannelId(ci))
-                .cons
-                .get(phase);
+        for k in self.in_off[actor]..self.in_off[actor + 1] {
+            let ci = self.in_ch[k as usize] as usize;
+            let cons = self.cons(ci, phase);
             debug_assert!(self.data[ci] >= cons);
             self.data[ci] -= cons;
             self.held[ci] += cons;
         }
-        for k in 0..self.out_channels[actor].len() {
-            let ci = self.out_channels[actor][k];
-            let prod = self
-                .graph
-                .channel(crate::graph::ChannelId(ci))
-                .prod
-                .get(phase);
-            self.reserved[ci] += prod;
+        for k in self.out_off[actor]..self.out_off[actor + 1] {
+            let ci = self.out_ch[k as usize] as usize;
+            self.reserved[ci] += self.prod(ci, phase);
             let pressure = self.data[ci] + self.reserved[ci] + self.held[ci];
             if pressure > self.max_pressure[ci] {
                 self.max_pressure[ci] = pressure;
             }
         }
-        let duration = self.graph.actor(id).phase_duration(phase);
+        let duration = self.dur_val[self.dur_off[actor] as usize + phase];
         self.in_flight[actor] = Some(phase as u32);
         self.busy_until[actor] = self.now + duration;
         if self.recorded[actor] {
@@ -248,23 +329,15 @@ impl<'g> Simulation<'g> {
         let phase = self.in_flight[actor]
             .take()
             .expect("completion event for idle actor") as usize;
-        for k in 0..self.in_channels[actor].len() {
-            let ci = self.in_channels[actor][k];
-            let cons = self
-                .graph
-                .channel(crate::graph::ChannelId(ci))
-                .cons
-                .get(phase);
+        for k in self.in_off[actor]..self.in_off[actor + 1] {
+            let ci = self.in_ch[k as usize] as usize;
+            let cons = self.cons(ci, phase);
             debug_assert!(self.held[ci] >= cons);
             self.held[ci] -= cons;
         }
-        for k in 0..self.out_channels[actor].len() {
-            let ci = self.out_channels[actor][k];
-            let prod = self
-                .graph
-                .channel(crate::graph::ChannelId(ci))
-                .prod
-                .get(phase);
+        for k in self.out_off[actor]..self.out_off[actor + 1] {
+            let ci = self.out_ch[k as usize] as usize;
+            let prod = self.prod(ci, phase);
             debug_assert!(self.reserved[ci] >= prod);
             self.reserved[ci] -= prod;
             self.data[ci] += prod;
@@ -388,15 +461,13 @@ impl<'g> Simulation<'g> {
                     }
                 };
                 wake(actor, &mut dirty, &mut candidates);
-                for k in 0..self.out_channels[actor].len() {
-                    let ci = self.out_channels[actor][k];
-                    let dst = self.graph.channel(crate::graph::ChannelId(ci)).dst.index();
-                    wake(dst, &mut dirty, &mut candidates);
+                for k in self.out_off[actor]..self.out_off[actor + 1] {
+                    let ci = self.out_ch[k as usize] as usize;
+                    wake(self.dst_tab[ci] as usize, &mut dirty, &mut candidates);
                 }
-                for k in 0..self.in_channels[actor].len() {
-                    let ci = self.in_channels[actor][k];
-                    let src = self.graph.channel(crate::graph::ChannelId(ci)).src.index();
-                    wake(src, &mut dirty, &mut candidates);
+                for k in self.in_off[actor]..self.in_off[actor + 1] {
+                    let ci = self.in_ch[k as usize] as usize;
+                    wake(self.src_tab[ci] as usize, &mut dirty, &mut candidates);
                 }
             }
         }

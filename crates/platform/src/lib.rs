@@ -45,7 +45,7 @@ pub mod topology;
 
 pub use energy::EnergyModel;
 pub use error::PlatformError;
-pub use routing::{route, route_xy, Path, RoutingPolicy};
+pub use routing::{route, route_xy, Path, RouteScratch, RoutingPolicy};
 pub use state::{PlatformState, TileClaim};
 pub use tile::{Tile, TileId, TileKind};
-pub use topology::{Coord, Link, LinkId, NocParams, Platform, PlatformBuilder};
+pub use topology::{AdjEntry, Coord, Link, LinkId, NocParams, Platform, PlatformBuilder};

@@ -5,6 +5,19 @@
 //! only those paths through the interconnect are taken into account which
 //! still have enough capacity for the throughput requirement of the current
 //! channel." (Section 3, step 3.)
+//!
+//! # The allocation-free hot path
+//!
+//! A run-time mapper routes thousands of channels per second, so the search
+//! must not pay for setup: edges are resolved through the platform's flat
+//! CSR adjacency table ([`Platform::adjacency`]) instead of hashing
+//! coordinate pairs, and all Dijkstra working memory lives in a reusable,
+//! generation-stamped [`RouteScratch`]. Pass one scratch to repeated
+//! [`route_with`] / [`route_xy_with`] / [`RoutingPolicy::route_with`] calls
+//! and the search performs zero heap allocation in steady state (the
+//! returned [`Path`] is borrowed from the scratch; clone it only when a
+//! route is actually kept). The plain [`route`] / [`route_xy`] wrappers
+//! allocate a fresh scratch per call for convenience.
 
 use crate::error::PlatformError;
 use crate::state::PlatformState;
@@ -41,12 +54,99 @@ impl Path {
     }
 }
 
+/// Reusable working memory for the path searches: Dijkstra's distance and
+/// predecessor tables, the priority queue, and the result [`Path`] itself.
+///
+/// Entries are *generation-stamped*: every search bumps a counter and
+/// treats entries from older generations as unvisited, so per-call work is
+/// proportional to the routers actually touched — no O(mesh) clearing and,
+/// once warm, no allocation at all. One scratch may serve platforms of any
+/// (and varying) size; the buffers grow to the largest mesh seen.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    /// Current search generation; `stamp[i] == generation` marks router `i`
+    /// as visited in this search.
+    generation: u32,
+    stamp: Vec<u32>,
+    /// Best-known hop count per router (valid only when stamped).
+    best: Vec<u32>,
+    /// Predecessor router index (`u32::MAX` = none; valid only when
+    /// stamped).
+    prev: Vec<u32>,
+    heap: BinaryHeap<std::cmp::Reverse<(u32, (u16, u16))>>,
+    /// The most recent search result; its vectors are reused across calls.
+    path: Path,
+}
+
+impl RouteScratch {
+    /// A fresh scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+
+    /// Prepares for a search over `n_routers` routers: sizes the tables,
+    /// advances the generation, and clears the queue (keeping capacity).
+    fn begin(&mut self, n_routers: usize) {
+        if self.stamp.len() < n_routers {
+            self.stamp.resize(n_routers, 0);
+            self.best.resize(n_routers, u32::MAX);
+            self.prev.resize(n_routers, u32::MAX);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap-around: old stamps could alias the new generation,
+            // so reset them once every 2^32 searches.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    fn visit(&mut self, i: usize, cost: u32, prev: u32) {
+        self.stamp[i] = self.generation;
+        self.best[i] = cost;
+        self.prev[i] = prev;
+    }
+
+    fn best(&self, i: usize) -> u32 {
+        if self.stamp[i] == self.generation {
+            self.best[i]
+        } else {
+            u32::MAX
+        }
+    }
+
+    /// Begins refilling `self.path` for a new result.
+    fn reset_path(&mut self, from: TileId, to: TileId, demand: u64) {
+        self.path.from = from;
+        self.path.to = to;
+        self.path.demand = demand;
+        self.path.routers.clear();
+        self.path.links.clear();
+    }
+}
+
+impl Default for Path {
+    fn default() -> Self {
+        Path {
+            from: TileId(0),
+            to: TileId(0),
+            routers: Vec::new(),
+            links: Vec::new(),
+            demand: 0,
+        }
+    }
+}
+
 /// Finds a minimal-hop path from `from` to `to` using only links with at
 /// least `demand` words/second residual capacity, and with sufficient NI
 /// bandwidth at both endpoints.
 ///
 /// Ties between equal-hop paths are broken deterministically (lexicographic
 /// router coordinates), so mapping runs are reproducible.
+///
+/// Allocates a fresh [`RouteScratch`] per call; hot paths should hold one
+/// scratch and call [`route_with`] instead.
 ///
 /// # Errors
 ///
@@ -59,6 +159,25 @@ pub fn route(
     to: TileId,
     demand: u64,
 ) -> Result<Path, PlatformError> {
+    let mut scratch = RouteScratch::new();
+    route_with(platform, state, from, to, demand, &mut scratch).cloned()
+}
+
+/// [`route`] against caller-owned working memory: repeated calls perform no
+/// heap allocation once `scratch` is warm. The returned path borrows from
+/// `scratch` — clone it if the route is kept.
+///
+/// # Errors
+///
+/// [`PlatformError::NoRoute`] as for [`route`].
+pub fn route_with<'s>(
+    platform: &Platform,
+    state: &PlatformState,
+    from: TileId,
+    to: TileId,
+    demand: u64,
+    scratch: &'s mut RouteScratch,
+) -> Result<&'s Path, PlatformError> {
     let no_route = || PlatformError::NoRoute { from, to, demand };
     if state.residual_injection(platform, from) < demand
         || state.residual_ejection(platform, to) < demand
@@ -67,74 +186,75 @@ pub fn route(
     }
     let start = platform.tile(from).position;
     let goal = platform.tile(to).position;
+    scratch.reset_path(from, to, demand);
     if start == goal {
-        return Ok(Path {
-            from,
-            to,
-            routers: vec![start],
-            links: Vec::new(),
-            demand,
-        });
+        scratch.path.routers.push(start);
+        return Ok(&scratch.path);
     }
 
     // Dijkstra over routers; cost = hops; deterministic tie-break on
-    // (cost, coord). Mesh sizes are small (≤ tens of routers).
-    let index = |c: Coord| (c.y as usize) * (platform.width() as usize) + c.x as usize;
-    let n = (platform.width() as usize) * (platform.height() as usize);
-    let mut best: Vec<u32> = vec![u32::MAX; n];
-    let mut prev: Vec<Option<Coord>> = vec![None; n];
-    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, (u16, u16))>> = BinaryHeap::new();
-    best[index(start)] = 0;
-    heap.push(std::cmp::Reverse((0, (start.x, start.y))));
-    while let Some(std::cmp::Reverse((cost, (x, y)))) = heap.pop() {
+    // (cost, coord). Edges come from the platform's CSR adjacency table in
+    // the same west/east/north/south order the original hash-map walk used,
+    // so paths (including ties) are bit-for-bit identical.
+    let width = platform.width() as usize;
+    let index = |c: Coord| (c.y as usize) * width + c.x as usize;
+    scratch.begin(platform.n_routers());
+    scratch.visit(index(start), 0, u32::MAX);
+    scratch
+        .heap
+        .push(std::cmp::Reverse((0, (start.x, start.y))));
+    while let Some(std::cmp::Reverse((cost, (x, y)))) = scratch.heap.pop() {
         let here = Coord { x, y };
-        if cost > best[index(here)] {
+        if cost > scratch.best(index(here)) {
             continue;
         }
         if here == goal {
             break;
         }
-        for next in platform.neighbours(here) {
-            let Some(link) = platform.link_between(here, next) else {
-                continue;
-            };
-            if state.residual_link(platform, link) < demand {
+        for entry in platform.adjacency(here) {
+            if state.residual_link(platform, entry.link) < demand {
                 continue;
             }
             let ncost = cost + 1;
-            if ncost < best[index(next)] {
-                best[index(next)] = ncost;
-                prev[index(next)] = Some(here);
-                heap.push(std::cmp::Reverse((ncost, (next.x, next.y))));
+            let ni = index(entry.to);
+            if ncost < scratch.best(ni) {
+                scratch.visit(ni, ncost, index(here) as u32);
+                scratch
+                    .heap
+                    .push(std::cmp::Reverse((ncost, (entry.to.x, entry.to.y))));
             }
         }
     }
-    if best[index(goal)] == u32::MAX {
+    if scratch.best(index(goal)) == u32::MAX {
         return Err(no_route());
     }
 
-    let mut routers = vec![goal];
-    let mut cursor = goal;
-    while let Some(p) = prev[index(cursor)] {
-        routers.push(p);
-        cursor = p;
+    // Walk predecessors back from the goal, then reverse in place.
+    let coord_of = |i: usize| Coord {
+        x: (i % width) as u16,
+        y: (i / width) as u16,
+    };
+    let mut cursor = index(goal);
+    scratch.path.routers.push(goal);
+    loop {
+        let p = scratch.prev[cursor];
+        if p == u32::MAX {
+            break;
+        }
+        scratch.path.routers.push(coord_of(p as usize));
+        cursor = p as usize;
     }
-    routers.reverse();
-    let links = routers
-        .windows(2)
-        .map(|w| {
-            platform
-                .link_between(w[0], w[1])
-                .expect("consecutive routers are adjacent")
-        })
-        .collect();
-    Ok(Path {
-        from,
-        to,
-        routers,
-        links,
-        demand,
-    })
+    scratch.path.routers.reverse();
+    for w in scratch.path.routers.windows(2) {
+        let link = platform
+            .adjacency(w[0])
+            .iter()
+            .find(|e| e.to == w[1])
+            .expect("consecutive routers are adjacent")
+            .link;
+        scratch.path.links.push(link);
+    }
+    Ok(&scratch.path)
 }
 
 /// The path-search policy used when realising a channel.
@@ -162,9 +282,32 @@ impl RoutingPolicy {
         to: TileId,
         demand: u64,
     ) -> Result<Path, PlatformError> {
+        let mut scratch = RouteScratch::new();
+        self.route_with(platform, state, from, to, demand, &mut scratch)
+            .cloned()
+    }
+
+    /// Routes with this policy against caller-owned working memory
+    /// (allocation-free once `scratch` is warm; the returned path borrows
+    /// from it).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::NoRoute`] as the underlying router reports.
+    pub fn route_with<'s>(
+        &self,
+        platform: &Platform,
+        state: &PlatformState,
+        from: TileId,
+        to: TileId,
+        demand: u64,
+        scratch: &'s mut RouteScratch,
+    ) -> Result<&'s Path, PlatformError> {
         match self {
-            RoutingPolicy::Adaptive => route(platform, state, from, to, demand),
-            RoutingPolicy::DimensionOrdered => route_xy(platform, state, from, to, demand),
+            RoutingPolicy::Adaptive => route_with(platform, state, from, to, demand, scratch),
+            RoutingPolicy::DimensionOrdered => {
+                route_xy_with(platform, state, from, to, demand, scratch)
+            }
         }
     }
 }
@@ -187,6 +330,24 @@ pub fn route_xy(
     to: TileId,
     demand: u64,
 ) -> Result<Path, PlatformError> {
+    let mut scratch = RouteScratch::new();
+    route_xy_with(platform, state, from, to, demand, &mut scratch).cloned()
+}
+
+/// [`route_xy`] against caller-owned working memory (allocation-free once
+/// `scratch` is warm; the returned path borrows from it).
+///
+/// # Errors
+///
+/// [`PlatformError::NoRoute`] as for [`route_xy`].
+pub fn route_xy_with<'s>(
+    platform: &Platform,
+    state: &PlatformState,
+    from: TileId,
+    to: TileId,
+    demand: u64,
+    scratch: &'s mut RouteScratch,
+) -> Result<&'s Path, PlatformError> {
     let no_route = || PlatformError::NoRoute { from, to, demand };
     if state.residual_injection(platform, from) < demand
         || state.residual_ejection(platform, to) < demand
@@ -195,7 +356,8 @@ pub fn route_xy(
     }
     let start = platform.tile(from).position;
     let goal = platform.tile(to).position;
-    let mut routers = vec![start];
+    scratch.reset_path(from, to, demand);
+    scratch.path.routers.push(start);
     let mut cursor = start;
     while cursor.x != goal.x {
         let next = Coord {
@@ -206,7 +368,7 @@ pub fn route_xy(
             },
             y: cursor.y,
         };
-        routers.push(next);
+        scratch.path.routers.push(next);
         cursor = next;
     }
     while cursor.y != goal.y {
@@ -218,24 +380,22 @@ pub fn route_xy(
                 cursor.y - 1
             },
         };
-        routers.push(next);
+        scratch.path.routers.push(next);
         cursor = next;
     }
-    let mut links = Vec::with_capacity(routers.len().saturating_sub(1));
-    for w in routers.windows(2) {
-        let link = platform.link_between(w[0], w[1]).ok_or_else(no_route)?;
+    for w in scratch.path.routers.windows(2) {
+        let link = platform
+            .adjacency(w[0])
+            .iter()
+            .find(|e| e.to == w[1])
+            .map(|e| e.link)
+            .ok_or_else(no_route)?;
         if state.residual_link(platform, link) < demand {
             return Err(no_route());
         }
-        links.push(link);
+        scratch.path.links.push(link);
     }
-    Ok(Path {
-        from,
-        to,
-        routers,
-        links,
-        demand,
-    })
+    Ok(&scratch.path)
 }
 
 fn ni_claims(path: &Path) -> [(TileId, crate::state::TileClaim); 2] {

@@ -80,11 +80,27 @@ impl NocParams {
     }
 }
 
+/// One outgoing edge of a router in the precomputed adjacency table: the
+/// neighbouring router and the directed link towards it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjEntry {
+    /// The neighbouring router.
+    pub to: Coord,
+    /// The directed link from the owning router to [`AdjEntry::to`].
+    pub link: LinkId,
+}
+
 /// An immutable MPSoC platform: a `width × height` router mesh with tiles
 /// attached to (a subset of) routers.
 ///
 /// Run-time mutable resource state lives in [`PlatformState`], never here,
 /// so one `Platform` can serve many concurrent what-if explorations.
+///
+/// Besides the tile and link lists, the platform carries derived lookup
+/// tables built once at construction: a flat CSR adjacency table
+/// ([`Platform::adjacency`]) that resolves a router's neighbours and their
+/// directed links without hashing, and a name index making
+/// [`Platform::tile_by_name`] O(1). Both are rebuilt on deserialization.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(from = "PlatformSerde", into = "PlatformSerde")]
 pub struct Platform {
@@ -95,6 +111,53 @@ pub struct Platform {
     links: Vec<Link>,
     link_index: HashMap<(Coord, Coord), LinkId>,
     tile_at: HashMap<Coord, TileId>,
+    tile_by_name: HashMap<String, TileId>,
+    /// CSR offsets: router `r`'s adjacency is `adj[adj_offsets[r] .. adj_offsets[r+1]]`,
+    /// routers indexed row-major (`y * width + x`). Length `width*height + 1`.
+    adj_offsets: Vec<u32>,
+    /// CSR payload: neighbour coords and directed links, in the same
+    /// west/east/north/south order [`Platform::neighbours`] yields.
+    adj: Vec<AdjEntry>,
+}
+
+/// Builds the derived lookup tables (CSR adjacency and name index) shared
+/// by `PlatformBuilder::build` and deserialization.
+fn derived_tables(
+    width: u16,
+    height: u16,
+    tiles: &[Tile],
+    link_index: &HashMap<(Coord, Coord), LinkId>,
+) -> (HashMap<String, TileId>, Vec<u32>, Vec<AdjEntry>) {
+    // First insertion wins so duplicate names resolve to the lowest tile
+    // id, matching the linear scan this index replaced.
+    let mut tile_by_name: HashMap<String, TileId> = HashMap::with_capacity(tiles.len());
+    for (i, t) in tiles.iter().enumerate() {
+        tile_by_name.entry(t.name.clone()).or_insert(TileId(i));
+    }
+    let n_routers = width as usize * height as usize;
+    let mut adj_offsets = Vec::with_capacity(n_routers + 1);
+    let mut adj = Vec::with_capacity(4 * n_routers);
+    adj_offsets.push(0u32);
+    for y in 0..height {
+        for x in 0..width {
+            let here = Coord { x, y };
+            // Same order as `Platform::neighbours`: west, east, north, south.
+            let (xi, yi) = (x as i32, y as i32);
+            for (nx, ny) in [(xi - 1, yi), (xi + 1, yi), (xi, yi - 1), (xi, yi + 1)] {
+                if nx >= 0 && ny >= 0 && (nx as u16) < width && (ny as u16) < height {
+                    let there = Coord {
+                        x: nx as u16,
+                        y: ny as u16,
+                    };
+                    if let Some(&link) = link_index.get(&(here, there)) {
+                        adj.push(AdjEntry { to: there, link });
+                    }
+                }
+            }
+            adj_offsets.push(adj.len() as u32);
+        }
+    }
+    (tile_by_name, adj_offsets, adj)
 }
 
 /// Serde shadow of [`Platform`]: the coordinate-keyed lookup maps are
@@ -136,6 +199,8 @@ impl From<PlatformSerde> for Platform {
             .enumerate()
             .map(|(i, t)| (t.position, TileId(i)))
             .collect();
+        let (tile_by_name, adj_offsets, adj) =
+            derived_tables(s.width, s.height, &s.tiles, &link_index);
         Platform {
             width: s.width,
             height: s.height,
@@ -144,6 +209,9 @@ impl From<PlatformSerde> for Platform {
             links: s.links,
             link_index,
             tile_at,
+            tile_by_name,
+            adj_offsets,
+            adj,
         }
     }
 }
@@ -207,9 +275,10 @@ impl Platform {
         self.tiles().filter(move |(_, t)| t.kind == kind)
     }
 
-    /// Looks a tile up by name.
+    /// Looks a tile up by name (O(1) via the name index built at
+    /// construction).
     pub fn tile_by_name(&self, name: &str) -> Option<TileId> {
-        self.tiles.iter().position(|t| t.name == name).map(TileId)
+        self.tile_by_name.get(name).copied()
     }
 
     /// The tile attached to the router at `coord`, if any.
@@ -238,16 +307,31 @@ impl Platform {
 
     /// Neighbouring router coordinates of `c` (up to 4).
     pub fn neighbours(&self, c: Coord) -> impl Iterator<Item = Coord> + '_ {
-        let (x, y) = (c.x as i32, c.y as i32);
-        [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)]
-            .into_iter()
-            .filter(|&(nx, ny)| {
-                nx >= 0 && ny >= 0 && (nx as u16) < self.width && (ny as u16) < self.height
-            })
-            .map(|(nx, ny)| Coord {
-                x: nx as u16,
-                y: ny as u16,
-            })
+        self.adjacency(c).iter().map(|e| e.to)
+    }
+
+    /// Number of routers in the mesh (`width × height`).
+    pub fn n_routers(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Dense row-major index of the router at `c` — the key into the
+    /// adjacency table and the router-indexed scratch buffers of
+    /// [`crate::routing::RouteScratch`].
+    pub fn router_index(&self, c: Coord) -> usize {
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// The precomputed outgoing edges of the router at `c`: neighbour
+    /// coordinates and directed links, in west/east/north/south order.
+    ///
+    /// This is the flat CSR table the routing hot path walks instead of
+    /// probing the `(Coord, Coord) → LinkId` hash map per edge.
+    pub fn adjacency(&self, c: Coord) -> &[AdjEntry] {
+        let r = self.router_index(c);
+        let lo = self.adj_offsets[r] as usize;
+        let hi = self.adj_offsets[r + 1] as usize;
+        &self.adj[lo..hi]
     }
 }
 
@@ -384,6 +468,8 @@ impl PlatformBuilder {
                 }
             }
         }
+        let (tile_by_name, adj_offsets, adj) =
+            derived_tables(self.width, self.height, &self.tiles, &link_index);
         Ok(Platform {
             width: self.width,
             height: self.height,
@@ -392,6 +478,9 @@ impl PlatformBuilder {
             links,
             link_index,
             tile_at,
+            tile_by_name,
+            adj_offsets,
+            adj,
         })
     }
 }
@@ -462,6 +551,52 @@ mod tests {
         assert_eq!(p.link(ba).from, b);
         // Non-adjacent routers have no direct link.
         assert!(p.link_between(a, Coord { x: 2, y: 0 }).is_none());
+    }
+
+    #[test]
+    fn adjacency_matches_link_index_everywhere() {
+        let p = small();
+        for y in 0..p.height() {
+            for x in 0..p.width() {
+                let here = Coord { x, y };
+                let entries = p.adjacency(here);
+                let expected: Vec<Coord> = {
+                    let (xi, yi) = (x as i32, y as i32);
+                    [(xi - 1, yi), (xi + 1, yi), (xi, yi - 1), (xi, yi + 1)]
+                        .into_iter()
+                        .filter(|&(nx, ny)| {
+                            nx >= 0
+                                && ny >= 0
+                                && (nx as u16) < p.width()
+                                && (ny as u16) < p.height()
+                        })
+                        .map(|(nx, ny)| Coord {
+                            x: nx as u16,
+                            y: ny as u16,
+                        })
+                        .collect()
+                };
+                assert_eq!(
+                    entries.iter().map(|e| e.to).collect::<Vec<_>>(),
+                    expected,
+                    "adjacency order at {here}"
+                );
+                for e in entries {
+                    assert_eq!(p.link_between(here, e.to), Some(e.link));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn name_index_prefers_first_duplicate() {
+        let p = PlatformBuilder::mesh(2, 1)
+            .tile("dup", TileKind::Arm, Coord { x: 0, y: 0 })
+            .tile("dup", TileKind::Arm, Coord { x: 1, y: 0 })
+            .build()
+            .unwrap();
+        assert_eq!(p.tile_by_name("dup"), Some(TileId(0)));
+        assert_eq!(p.tile_by_name("missing"), None);
     }
 
     #[test]

@@ -87,11 +87,12 @@ enum Admission {
 }
 
 /// Times one `manager.start` call and classifies its result; fatal ledger
-/// errors propagate.
+/// errors propagate. The spec arrives as a shared handle — admitting a
+/// catalog entry never deep-copies the specification.
 fn try_admit<A: MappingAlgorithm>(
     manager: &mut RuntimeManager<A>,
     wall: &mut WallStats,
-    spec: ApplicationSpec,
+    spec: std::sync::Arc<ApplicationSpec>,
 ) -> Result<Admission, AdmissionError> {
     let started = Instant::now();
     let admission = manager.start(spec);

@@ -14,8 +14,14 @@ use rtsm_app::ApplicationSpec;
 use rtsm_platform::TileKind;
 use rtsm_workloads::apps::{dvbt_rx, jpeg_encoder, mp3_decoder, wlan_tx};
 use rtsm_workloads::{synthetic_app, GraphShape, SyntheticConfig};
+use std::sync::Arc;
 
 /// One catalog entry: an application specification with a sampling weight.
+///
+/// The spec is shared behind an [`Arc`]: every arrival that draws this
+/// entry hands the same specification to the runtime manager, so admission
+/// costs one reference-count bump instead of a deep copy of the process
+/// graph and implementation library.
 #[derive(Debug, Clone)]
 pub struct CatalogEntry {
     /// Display name (reports and histograms).
@@ -23,7 +29,7 @@ pub struct CatalogEntry {
     /// Relative sampling weight (> 0).
     pub weight: u64,
     /// The specification arrivals of this entry request.
-    pub spec: ApplicationSpec,
+    pub spec: Arc<ApplicationSpec>,
 }
 
 /// A weighted catalog of application specifications; arrivals and mode
@@ -45,13 +51,18 @@ impl Catalog {
     /// # Panics
     ///
     /// Panics if `weight` is 0.
-    pub fn with(mut self, name: impl Into<String>, weight: u64, spec: ApplicationSpec) -> Self {
+    pub fn with(
+        mut self,
+        name: impl Into<String>,
+        weight: u64,
+        spec: impl Into<Arc<ApplicationSpec>>,
+    ) -> Self {
         assert!(weight > 0, "catalog weights must be positive");
         self.total_weight += weight;
         self.entries.push(CatalogEntry {
             name: name.into(),
             weight,
-            spec,
+            spec: spec.into(),
         });
         self
     }

@@ -181,7 +181,14 @@ pub fn run_scenario<A: MappingAlgorithm>(
         running_energy_pj,
         running: still_running
             .into_iter()
-            .map(|(_, app)| (app.spec, app.outcome))
+            // The serialized outcome owns its spec; unwrap the shared
+            // handle (cloning only when another handle is still alive).
+            .map(|(_, app)| {
+                (
+                    std::sync::Arc::try_unwrap(app.spec).unwrap_or_else(|arc| (*arc).clone()),
+                    app.outcome,
+                )
+            })
             .collect(),
         final_state,
     })
