@@ -12,6 +12,7 @@ use crate::common::{
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rtsm_app::{ApplicationSpec, ProcessId};
+use rtsm_core::constraints::MappingConstraints;
 use rtsm_core::{MapError, Mapping, MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{EnergyModel, Platform, PlatformState};
 
@@ -49,10 +50,11 @@ impl AnnealingMapper {
         spec: &ApplicationSpec,
         platform: &Platform,
         working: &mut PlatformState,
+        constraints: &MappingConstraints,
     ) -> Option<Mapping> {
         let mut mapping = Mapping::new();
         for pid in spec.graph.topological_order().ok()? {
-            let options = viable_options(spec, platform, working, pid);
+            let options = viable_options(spec, platform, working, pid, constraints);
             let &(impl_index, tile) = options.first()?;
             claim_option(spec, platform, working, pid, impl_index, tile);
             mapping.assign(pid, impl_index, tile);
@@ -66,16 +68,17 @@ impl MappingAlgorithm for AnnealingMapper {
         "simulated annealing"
     }
 
-    fn map(
+    fn map_constrained(
         &self,
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
+        constraints: &MappingConstraints,
     ) -> Result<MappingOutcome, MapError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut working = base.clone();
         let mut mapping = self
-            .initial(spec, platform, &mut working)
+            .initial(spec, platform, &mut working, constraints)
             .ok_or_else(|| no_feasible_mapping(0))?;
         let processes: Vec<ProcessId> = spec.graph.stream_processes().map(|(pid, _)| pid).collect();
         let mut energy = mapping.energy_pj(spec, platform, &self.energy_model) as f64;
@@ -89,7 +92,7 @@ impl MappingAlgorithm for AnnealingMapper {
             let current = mapping.assignment(p).expect("all processes assigned");
             // Propose: release p, pick a random alternative option.
             release_option(spec, &mut working, p, current.impl_index, current.tile);
-            let options = viable_options(spec, platform, &working, p);
+            let options = viable_options(spec, platform, &working, p, constraints);
             if options.is_empty() {
                 claim_option(
                     spec,

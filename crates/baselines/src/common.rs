@@ -10,6 +10,7 @@
 
 use rtsm_app::ApplicationSpec;
 use rtsm_core::claims::{claim_for, reservation_of};
+use rtsm_core::constraints::MappingConstraints;
 use rtsm_core::error::MapError;
 use rtsm_core::step3::route_channels;
 use rtsm_core::step4::{check_constraints, Step4Config};
@@ -74,19 +75,22 @@ pub fn no_feasible_mapping(evaluated: u64) -> MapError {
     }
 }
 
-/// All `(impl_index, tile)` options of `process` that fit `working`:
-/// the shared candidate enumeration of the search-based baselines.
+/// All `(impl_index, tile)` options of `process` that fit `working` and
+/// satisfy `constraints`: the shared candidate enumeration of the
+/// search-based baselines. With [`MappingConstraints::none`] this is the
+/// unconstrained enumeration, bit-for-bit.
 pub fn viable_options(
     spec: &ApplicationSpec,
     platform: &Platform,
     working: &PlatformState,
     process: rtsm_app::ProcessId,
+    constraints: &MappingConstraints,
 ) -> Vec<(usize, rtsm_platform::TileId)> {
     let mut out = Vec::new();
     for (ix, implementation) in spec.library.impls_for(process).iter().enumerate() {
         let claim = claim_for(spec, process, implementation);
         for (tile, _) in platform.tiles_of_kind(implementation.tile_kind) {
-            if working.fits_tile(platform, tile, &claim) {
+            if constraints.allows(process, tile) && working.fits_tile(platform, tile, &claim) {
                 out.push((ix, tile));
             }
         }

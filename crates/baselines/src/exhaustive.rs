@@ -15,6 +15,7 @@ use crate::common::{
     claim_option, finalize_assignment, no_feasible_mapping, release_option, viable_options,
 };
 use rtsm_app::{ApplicationSpec, Endpoint, ProcessId};
+use rtsm_core::constraints::MappingConstraints;
 use rtsm_core::{MapError, Mapping, MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{EnergyModel, Platform, PlatformState};
 
@@ -41,6 +42,7 @@ struct Search<'a> {
     platform: &'a Platform,
     base: &'a PlatformState,
     model: &'a EnergyModel,
+    constraints: &'a MappingConstraints,
     order: Vec<ProcessId>,
     best: Option<(u64, Mapping)>,
     nodes: u64,
@@ -102,7 +104,9 @@ impl Search<'_> {
             }
             return;
         };
-        for (impl_index, tile) in viable_options(self.spec, self.platform, working, process) {
+        for (impl_index, tile) in
+            viable_options(self.spec, self.platform, working, process, self.constraints)
+        {
             if !claim_option(self.spec, self.platform, working, process, impl_index, tile) {
                 continue;
             }
@@ -123,11 +127,12 @@ impl MappingAlgorithm for ExhaustiveMapper {
         "exhaustive branch & bound"
     }
 
-    fn map(
+    fn map_constrained(
         &self,
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
+        constraints: &MappingConstraints,
     ) -> Result<MappingOutcome, MapError> {
         let order = spec
             .graph
@@ -138,6 +143,7 @@ impl MappingAlgorithm for ExhaustiveMapper {
             platform,
             base,
             model: &self.energy_model,
+            constraints,
             order,
             best: None,
             nodes: 0,

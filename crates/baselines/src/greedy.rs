@@ -7,6 +7,7 @@
 
 use crate::common::{finalize_assignment, no_feasible_mapping};
 use rtsm_app::ApplicationSpec;
+use rtsm_core::constraints::MappingConstraints;
 use rtsm_core::feedback::Constraints;
 use rtsm_core::step1::assign_implementations;
 use rtsm_core::{MapError, MappingAlgorithm, MappingOutcome};
@@ -21,16 +22,22 @@ impl MappingAlgorithm for GreedyMapper {
         "greedy first-fit (no step 2)"
     }
 
-    fn map(
+    fn map_constrained(
         &self,
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
+        constraints: &MappingConstraints,
     ) -> Result<MappingOutcome, MapError> {
-        assign_implementations(spec, platform, base, &Constraints::new())
-            .ok()
-            .and_then(|out| finalize_assignment(spec, platform, base, out.mapping, 1))
-            .ok_or_else(|| no_feasible_mapping(1))
+        assign_implementations(
+            spec,
+            platform,
+            base,
+            &Constraints::with_external(constraints.clone()),
+        )
+        .ok()
+        .and_then(|out| finalize_assignment(spec, platform, base, out.mapping, 1))
+        .ok_or_else(|| no_feasible_mapping(1))
     }
 }
 

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 use rtsm_app::ApplicationSpec;
+use rtsm_core::constraints::MappingConstraints;
 use rtsm_core::{MapError, Mapping, MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{EnergyModel, Platform, PlatformState};
 
@@ -36,6 +37,7 @@ impl RandomMapper {
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
+        constraints: &MappingConstraints,
         rng: &mut StdRng,
     ) -> Option<Mapping> {
         let mut order: Vec<_> = spec.graph.stream_processes().map(|(pid, _)| pid).collect();
@@ -43,7 +45,7 @@ impl RandomMapper {
         let mut working = base.clone();
         let mut mapping = Mapping::new();
         for pid in order {
-            let options = viable_options(spec, platform, &working, pid);
+            let options = viable_options(spec, platform, &working, pid, constraints);
             if options.is_empty() {
                 return None;
             }
@@ -60,17 +62,18 @@ impl MappingAlgorithm for RandomMapper {
         "random (best of N)"
     }
 
-    fn map(
+    fn map_constrained(
         &self,
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
+        constraints: &MappingConstraints,
     ) -> Result<MappingOutcome, MapError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<MappingOutcome> = None;
         let mut evaluated = 0u64;
         for _ in 0..self.samples {
-            let Some(mapping) = self.sample(spec, platform, base, &mut rng) else {
+            let Some(mapping) = self.sample(spec, platform, base, constraints, &mut rng) else {
                 continue;
             };
             evaluated += 1;

@@ -4,10 +4,19 @@
 //!
 //! ```text
 //! simulate [--seed N] [--arrivals N] [--algorithm NAME|all]
-//!          [--catalog hiperlan2|mixed|synthetic] [--platform-seed N]
+//!          [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N]
 //!          [--mean-gap N] [--mean-hold N] [--switch-prob PCT]
 //!          [--sample-interval N] [--horizon N] [--json]
+//!          [--reconfigure] [--max-migrations N] [--max-plans N]
 //! ```
+//!
+//! `--reconfigure` enables defragmentation-by-migration: blocked arrivals
+//! retry through `RuntimeManager::start_with_reconfiguration`, the report
+//! gains recovered-admission/migration counters plus per-sample
+//! fragmentation, and the run **asserts** that the counters are
+//! deterministic (each algorithm is simulated twice and byte-compared)
+//! and that at least one admission was recovered overall — the CI smoke
+//! for the reconfiguration path.
 //!
 //! `--seed` varies only the *workload* (arrival times, catalog draws,
 //! holding times); the platform layout and the synthetic application
@@ -21,11 +30,11 @@
 //! mapping latency is printed separately because it cannot be.
 
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
-use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
+use rtsm_core::{MapperConfig, MappingAlgorithm, ReconfigurationPolicy, SpatialMapper};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
 use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, SimRun};
-use rtsm_workloads::mesh_platform;
+use rtsm_workloads::{defrag_platform, mesh_platform};
 
 fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
     let all = which == "all";
@@ -56,7 +65,7 @@ fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
 }
 
 /// Flags that take a value, in usage order.
-const VALUE_FLAGS: [&str; 10] = [
+const VALUE_FLAGS: [&str; 12] = [
     "--seed",
     "--arrivals",
     "--algorithm",
@@ -67,6 +76,8 @@ const VALUE_FLAGS: [&str; 10] = [
     "--switch-prob",
     "--sample-interval",
     "--horizon",
+    "--max-migrations",
+    "--max-plans",
 ];
 
 /// Rejects unknown flags, `--flag=value` syntax, and value flags missing
@@ -80,7 +91,7 @@ fn validate_args(args: &[String]) {
                 usage_error(&format!("{arg} expects a value"));
             }
             i += 2;
-        } else if arg == "--json" {
+        } else if arg == "--json" || arg == "--reconfigure" {
             i += 1;
         } else {
             usage_error(&format!("unknown argument `{arg}`"));
@@ -92,9 +103,9 @@ fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: simulate [--seed N] [--arrivals N] [--algorithm all|paper|greedy|random|\
-         annealing|exhaustive] [--catalog hiperlan2|mixed|synthetic] [--platform-seed N] \
+         annealing|exhaustive] [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N] \
          [--mean-gap N] [--mean-hold N] [--switch-prob PCT] [--sample-interval N] \
-         [--horizon N] [--json]"
+         [--horizon N] [--json] [--reconfigure] [--max-migrations N] [--max-plans N]"
     );
     std::process::exit(2);
 }
@@ -129,9 +140,13 @@ fn main() {
     let which = parse_flag(&args, "--algorithm").unwrap_or_else(|| "all".into());
     let catalog_name = parse_flag(&args, "--catalog").unwrap_or_else(|| "hiperlan2".into());
     let json = args.iter().any(|a| a == "--json");
+    let reconfigure = args.iter().any(|a| a == "--reconfigure");
+    let max_migrations = parse_u64(&args, "--max-migrations", 2);
+    let max_plans = parse_u64(&args, "--max-plans", 8);
 
     // The paper's 3×3 platform carries the HIPERLAN/2 catalog; the bigger
-    // catalogs need a platform with DSPs and more tiles.
+    // catalogs need a platform with DSPs and more tiles; the defrag strip
+    // is the engineered fragmentation workload.
     let (platform, catalog) = match catalog_name.as_str() {
         "hiperlan2" => (paper_platform(), Catalog::hiperlan2()),
         "mixed" => (
@@ -156,6 +171,7 @@ fn main() {
             ),
             Catalog::synthetic(platform_seed, 6),
         ),
+        "defrag" => (defrag_platform(4), Catalog::defrag()),
         other => usage_error(&format!("unknown catalog `{other}`")),
     };
 
@@ -167,36 +183,64 @@ fn main() {
         mode_switch_probability: switch_pct as f64 / 100.0,
         sample_interval,
         horizon,
+        reconfiguration: reconfigure.then(|| ReconfigurationPolicy {
+            max_migrations: max_migrations as usize,
+            max_plans: max_plans as usize,
+            ..ReconfigurationPolicy::default()
+        }),
+        track_fragmentation: reconfigure,
     };
 
     println!(
         "simulating {arrivals} arrivals on `{catalog_name}` (seed {seed}, mean gap {mean_gap}, \
-         mean hold {mean_hold}, switch prob {switch_pct}%)"
+         mean hold {mean_hold}, switch prob {switch_pct}%{})",
+        if reconfigure {
+            format!(", reconfigure ≤{max_migrations} migrations × {max_plans} plans")
+        } else {
+            String::new()
+        }
     );
     println!(
-        "{:<32} {:>8} {:>8} {:>9} {:>10} {:>12} {:>12} {:>11}",
+        "{:<32} {:>8} {:>8} {:>9} {:>9} {:>10} {:>12} {:>12} {:>11}",
         "algorithm",
         "admitted",
         "blocked",
         "block ‰",
-        "peak run",
+        "recovered",
+        "migrations",
         "energy pJ·t",
         "mean slots‰",
         "map µs/call"
     );
 
     let mut runs: Vec<SimRun> = Vec::new();
+    let mut total_recovered = 0u64;
     for algorithm in algorithms(&which) {
-        let run = run_sim(&platform, algorithm, &catalog, &config)
+        let run = run_sim(&platform, &algorithm, &catalog, &config)
             .expect("the simulation never breaks its own ledger");
+        if reconfigure {
+            // Determinism gate for the reconfiguration path: a second run
+            // must serialize byte-identically.
+            let rerun = run_sim(&platform, &algorithm, &catalog, &config)
+                .expect("the simulation never breaks its own ledger");
+            let a = serde_json::to_string(&run.report).expect("reports serialize");
+            let b = serde_json::to_string(&rerun.report).expect("reports serialize");
+            assert_eq!(
+                a, b,
+                "fixed-seed reconfiguration reports must be byte-identical"
+            );
+        }
         let report = &run.report;
+        let reconfiguration = report.reconfiguration.unwrap_or_default();
+        total_recovered += reconfiguration.admissions_recovered;
         println!(
-            "{:<32} {:>8} {:>8} {:>9} {:>10} {:>12} {:>12} {:>11.1}",
+            "{:<32} {:>8} {:>8} {:>9} {:>9} {:>10} {:>12} {:>12} {:>11.1}",
             report.algorithm,
             report.admitted,
             report.blocked,
             report.blocking_permille,
-            report.peak_running,
+            reconfiguration.admissions_recovered,
+            reconfiguration.migrations_committed,
             report.energy_pj_ticks,
             report.mean_slots_permille(),
             run.wall.mean().as_secs_f64() * 1e6,
@@ -206,6 +250,13 @@ fn main() {
             "commit/release must stay exact inverses over the whole run"
         );
         runs.push(run);
+    }
+    if reconfigure {
+        assert!(
+            total_recovered > 0,
+            "reconfiguration must recover at least one admission on this workload"
+        );
+        println!("recovered admissions (all algorithms): {total_recovered}");
     }
 
     if json {

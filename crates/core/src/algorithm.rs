@@ -8,13 +8,14 @@
 //! ([`RuntimeManager`](crate::RuntimeManager)) plugs algorithms into.
 
 use crate::claims::{claim_for, reservation_of};
+use crate::constraints::MappingConstraints;
 use crate::error::MapError;
 use crate::mapping::{Mapping, RouteBinding};
 use crate::step4::ChannelBuffer;
 use crate::trace::MapTrace;
 use rtsm_app::ApplicationSpec;
 use rtsm_dataflow::CsdfGraph;
-use rtsm_platform::{routing, Platform, PlatformError, PlatformState, TileClaim};
+use rtsm_platform::{Platform, PlatformError, PlatformState, PlatformTransaction, TileClaim};
 use serde::{Deserialize, Serialize};
 
 /// A feasible spatial mapping with everything needed to report it, compare
@@ -63,43 +64,38 @@ impl MappingOutcome {
         platform: &Platform,
         state: &mut PlatformState,
     ) -> Result<(), PlatformError> {
-        let snapshot = state.clone();
-        match self.try_commit(spec, platform, state) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                *state = snapshot;
-                Err(e)
-            }
-        }
+        let mut tx = PlatformTransaction::begin(platform, state);
+        self.stage_commit(spec, &mut tx)?; // early return drops tx: rollback
+        tx.commit();
+        Ok(())
     }
 
-    fn try_commit(
+    /// Stages this mapping's reservations into an open transaction —
+    /// the composable form of [`MappingOutcome::commit`] that migration
+    /// plans use to combine several releases and commits into one
+    /// all-or-nothing unit.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError`] if a reservation does not fit the transaction's
+    /// current state. Reservations staged before the failure stay in the
+    /// transaction (aborting it undoes them with everything else).
+    pub fn stage_commit(
         &self,
         spec: &ApplicationSpec,
-        platform: &Platform,
-        state: &mut PlatformState,
+        tx: &mut PlatformTransaction<'_>,
     ) -> Result<(), PlatformError> {
         for (pid, assignment) in self.mapping.assignments() {
             let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
             let claim = claim_for(spec, pid, implementation);
-            state.claim_tile(platform, assignment.tile, &reservation_of(&claim))?;
+            tx.claim_tile(assignment.tile, &reservation_of(&claim))?;
         }
         for buffer in &self.buffers {
-            state.claim_tile(
-                platform,
-                buffer.tile,
-                &TileClaim {
-                    slots: 0,
-                    memory_bytes: buffer.capacity_words * 4,
-                    cycles_per_second: 0,
-                    injection: 0,
-                    ejection: 0,
-                },
-            )?;
+            tx.claim_tile(buffer.tile, &buffer_claim(buffer))?;
         }
         for (_, route) in self.mapping.routes() {
             if let RouteBinding::Path(path) = route {
-                routing::allocate(platform, state, path)?;
+                tx.allocate_path(path)?;
             }
         }
         Ok(())
@@ -119,45 +115,52 @@ impl MappingOutcome {
         platform: &Platform,
         state: &mut PlatformState,
     ) -> Result<(), PlatformError> {
-        let snapshot = state.clone();
-        match self.try_release(spec, platform, state) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                *state = snapshot;
-                Err(e)
-            }
-        }
+        let mut tx = PlatformTransaction::begin(platform, state);
+        self.stage_release(spec, &mut tx)?;
+        tx.commit();
+        Ok(())
     }
 
-    fn try_release(
+    /// Stages the release of this mapping's reservations into an open
+    /// transaction — the inverse of [`MappingOutcome::stage_commit`].
+    /// Migration plans stage the releases of every app they move *first*,
+    /// so re-mapping inside the same transaction can reuse the freed
+    /// resources (release-before-claim).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError`] if a reservation is not present in the
+    /// transaction's current state.
+    pub fn stage_release(
         &self,
         spec: &ApplicationSpec,
-        platform: &Platform,
-        state: &mut PlatformState,
+        tx: &mut PlatformTransaction<'_>,
     ) -> Result<(), PlatformError> {
         for (pid, assignment) in self.mapping.assignments() {
             let implementation = &spec.library.impls_for(pid)[assignment.impl_index];
             let claim = claim_for(spec, pid, implementation);
-            state.release_tile(assignment.tile, &reservation_of(&claim))?;
+            tx.release_tile(assignment.tile, &reservation_of(&claim))?;
         }
         for buffer in &self.buffers {
-            state.release_tile(
-                buffer.tile,
-                &TileClaim {
-                    slots: 0,
-                    memory_bytes: buffer.capacity_words * 4,
-                    cycles_per_second: 0,
-                    injection: 0,
-                    ejection: 0,
-                },
-            )?;
+            tx.release_tile(buffer.tile, &buffer_claim(buffer))?;
         }
         for (_, route) in self.mapping.routes() {
             if let RouteBinding::Path(path) = route {
-                routing::release(platform, state, path)?;
+                tx.release_path(path)?;
             }
         }
         Ok(())
+    }
+}
+
+/// The tile-memory claim of one computed channel buffer.
+fn buffer_claim(buffer: &ChannelBuffer) -> TileClaim {
+    TileClaim {
+        slots: 0,
+        memory_bytes: buffer.capacity_words * 4,
+        cycles_per_second: 0,
+        injection: 0,
+        ejection: 0,
     }
 }
 
@@ -169,29 +172,66 @@ impl MappingOutcome {
 /// separate, explicit step ([`MappingOutcome::commit`], or
 /// [`RuntimeManager::start`](crate::RuntimeManager::start) which does both
 /// atomically).
+///
+/// The required method is the constraint-aware
+/// [`map_constrained`](MappingAlgorithm::map_constrained); the familiar
+/// [`map`](MappingAlgorithm::map) is a provided wrapper passing
+/// [`MappingConstraints::none`], so unconstrained callers and outputs are
+/// untouched by the constraint machinery.
 pub trait MappingAlgorithm {
     /// Display name for tables and reports.
     fn name(&self) -> &str;
 
-    /// Maps `spec` onto `platform` over occupancy `base`.
+    /// Maps `spec` onto `platform` over occupancy `base`, honouring the
+    /// caller-imposed `constraints` (pinned processes, excluded tiles). A
+    /// returned mapping always satisfies
+    /// [`MappingConstraints::satisfied_by`].
     ///
     /// # Errors
     ///
     /// * [`MapError::NoFeasibleMapping`] when the algorithm's search
-    ///   exhausts without a feasible mapping;
+    ///   exhausts without a feasible mapping (including when the
+    ///   constraints leave no room);
     /// * algorithm-specific variants such as [`MapError::InvalidSpec`] or
     ///   [`MapError::Unmappable`] where applicable.
+    fn map_constrained(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+        constraints: &MappingConstraints,
+    ) -> Result<MappingOutcome, MapError>;
+
+    /// Maps `spec` onto `platform` over occupancy `base`, unconstrained —
+    /// shorthand for [`map_constrained`](MappingAlgorithm::map_constrained)
+    /// with [`MappingConstraints::none`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`map_constrained`](MappingAlgorithm::map_constrained).
     fn map(
         &self,
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
-    ) -> Result<MappingOutcome, MapError>;
+    ) -> Result<MappingOutcome, MapError> {
+        self.map_constrained(spec, platform, base, &MappingConstraints::none())
+    }
 }
 
 impl<A: MappingAlgorithm + ?Sized> MappingAlgorithm for &A {
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn map_constrained(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+        constraints: &MappingConstraints,
+    ) -> Result<MappingOutcome, MapError> {
+        (**self).map_constrained(spec, platform, base, constraints)
     }
 
     fn map(
@@ -207,6 +247,16 @@ impl<A: MappingAlgorithm + ?Sized> MappingAlgorithm for &A {
 impl<A: MappingAlgorithm + ?Sized> MappingAlgorithm for Box<A> {
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn map_constrained(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+        constraints: &MappingConstraints,
+    ) -> Result<MappingOutcome, MapError> {
+        (**self).map_constrained(spec, platform, base, constraints)
     }
 
     fn map(

@@ -49,11 +49,15 @@ pub enum Feedback {
     },
 }
 
-/// Accumulated constraints for a refinement attempt.
+/// Accumulated constraints for a refinement attempt: the feedback-derived
+/// exclusions plus any caller-imposed
+/// [`MappingConstraints`](crate::constraints::MappingConstraints), folded
+/// into one query surface so steps 1–2 consult a single oracle.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Constraints {
     excluded_impls: BTreeSet<(ProcessId, usize)>,
     forbidden_tiles: BTreeSet<(ProcessId, TileId)>,
+    external: crate::constraints::MappingConstraints,
 }
 
 impl Constraints {
@@ -62,14 +66,26 @@ impl Constraints {
         Constraints::default()
     }
 
+    /// An empty feedback set layered over caller-imposed `external`
+    /// constraints: pins and tile exclusions hold for every refinement
+    /// attempt, while feedback accumulates on top as usual.
+    pub fn with_external(external: crate::constraints::MappingConstraints) -> Self {
+        Constraints {
+            external,
+            ..Constraints::default()
+        }
+    }
+
     /// True if (`process`, `impl_index`) has been excluded.
     pub fn is_impl_excluded(&self, process: ProcessId, impl_index: usize) -> bool {
         self.excluded_impls.contains(&(process, impl_index))
     }
 
-    /// True if placing `process` on `tile` has been forbidden.
+    /// True if placing `process` on `tile` has been forbidden — by absorbed
+    /// feedback or by the external constraints (excluded tile, or a pin on
+    /// the process naming a different tile).
     pub fn is_tile_forbidden(&self, process: ProcessId, tile: TileId) -> bool {
-        self.forbidden_tiles.contains(&(process, tile))
+        self.forbidden_tiles.contains(&(process, tile)) || !self.external.allows(process, tile)
     }
 
     /// Folds a feedback item into the constraint set. Returns `true` if the
@@ -93,9 +109,9 @@ impl Constraints {
         }
     }
 
-    /// Number of accumulated constraints.
+    /// Number of accumulated constraints (feedback-derived plus external).
     pub fn len(&self) -> usize {
-        self.excluded_impls.len() + self.forbidden_tiles.len()
+        self.excluded_impls.len() + self.forbidden_tiles.len() + self.external.len()
     }
 
     /// True if no constraints have been accumulated.
@@ -127,5 +143,30 @@ mod tests {
         let mut c = Constraints::new();
         assert!(!c.absorb(&Feedback::Infeasible { detail: "x".into() }));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn external_constraints_forbid_through_the_same_oracle() {
+        use crate::constraints::MappingConstraints;
+        let p0 = ProcessId::from_index(0);
+        let p1 = ProcessId::from_index(1);
+        let t = |i| TileId::from_index(i);
+        let mut c =
+            Constraints::with_external(MappingConstraints::none().pin(p0, t(1)).exclude_tile(t(2)));
+        assert!(!c.is_empty());
+        // The pin forbids every tile but its target for p0 only.
+        assert!(!c.is_tile_forbidden(p0, t(1)));
+        assert!(c.is_tile_forbidden(p0, t(0)));
+        assert!(!c.is_tile_forbidden(p1, t(0)));
+        // The exclusion forbids t(2) for everyone.
+        assert!(c.is_tile_forbidden(p0, t(2)));
+        assert!(c.is_tile_forbidden(p1, t(2)));
+        // Feedback layers on top without disturbing the external set.
+        assert!(c.absorb(&Feedback::ForbidTile {
+            process: p1,
+            tile: t(0),
+        }));
+        assert!(c.is_tile_forbidden(p1, t(0)));
+        assert!(!c.is_tile_forbidden(p1, t(1)));
     }
 }

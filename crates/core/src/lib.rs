@@ -58,6 +58,7 @@
 
 pub mod algorithm;
 pub mod claims;
+pub mod constraints;
 pub mod cost;
 pub mod criteria;
 pub mod error;
@@ -73,12 +74,14 @@ pub mod step4;
 pub mod trace;
 
 pub use algorithm::{MappingAlgorithm, MappingOutcome};
+pub use constraints::MappingConstraints;
 pub use cost::CostModel;
 pub use error::{MapError, MapErrorKind};
 pub use feedback::Feedback;
 pub use mapper::{MapperConfig, SpatialMapper};
 pub use mapping::{Assignment, Mapping, RouteBinding};
 pub use runtime::{
-    AdmissionError, AdmissionErrorKind, AppHandle, RunningApp, RuntimeManager, StopAllError,
-    Utilization,
+    AdmissionError, AdmissionErrorKind, AppHandle, Migration, Reconfiguration,
+    ReconfigurationFailure, ReconfigurationPolicy, RunningApp, RuntimeError, RuntimeErrorKind,
+    RuntimeManager, StopAllError, Utilization,
 };

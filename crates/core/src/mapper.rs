@@ -5,6 +5,7 @@
 //! different mapping on a higher level in a next iteration." (§3.)
 
 use crate::algorithm::{MappingAlgorithm, MappingOutcome};
+use crate::constraints::MappingConstraints;
 use crate::cost::CostModel;
 use crate::error::MapError;
 use crate::feedback::Constraints;
@@ -102,11 +103,33 @@ impl SpatialMapper {
         platform: &Platform,
         base: &PlatformState,
     ) -> Result<MappingOutcome, MapError> {
+        self.map_constrained(spec, platform, base, &MappingConstraints::none())
+    }
+
+    /// Maps `spec` onto `platform` under caller-imposed `constraints`
+    /// (pinned process→tile assignments, excluded tiles): the external
+    /// constraints seed every refinement attempt, so steps 1–2 never place
+    /// a process where the caller forbade it, and a returned mapping always
+    /// satisfies [`MappingConstraints::satisfied_by`]. With
+    /// [`MappingConstraints::none`] this is exactly [`SpatialMapper::map`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`SpatialMapper::map`]; constraints that leave a process no
+    /// viable placement surface as [`MapError::Unmappable`] or
+    /// [`MapError::NoFeasibleMapping`].
+    pub fn map_constrained(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+        external: &MappingConstraints,
+    ) -> Result<MappingOutcome, MapError> {
         spec.validate()?;
         self.check_endpoints(spec, platform)?;
 
         let capture = self.config.capture;
-        let mut constraints = Constraints::new();
+        let mut constraints = Constraints::with_external(external.clone());
         let mut trace = MapTrace::default();
         let mut last_feedback = Vec::new();
         // Counters maintained independently of the trace so `evaluated` and
@@ -255,13 +278,14 @@ impl MappingAlgorithm for SpatialMapper {
         "hierarchical heuristic (paper)"
     }
 
-    fn map(
+    fn map_constrained(
         &self,
         spec: &ApplicationSpec,
         platform: &Platform,
         base: &PlatformState,
+        constraints: &MappingConstraints,
     ) -> Result<MappingOutcome, MapError> {
-        SpatialMapper::map(self, spec, platform, base)
+        SpatialMapper::map_constrained(self, spec, platform, base, constraints)
     }
 }
 
@@ -391,6 +415,118 @@ mod tests {
         assert_eq!(with.evaluated, without.evaluated, "counters stay exact");
         assert_eq!(with.attempts, without.attempts);
         assert_eq!(with.achieved_period, without.achieved_period);
+    }
+
+    #[test]
+    fn pinned_process_lands_on_its_tile() {
+        use crate::constraints::MappingConstraints;
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let pfx = spec.graph.process_by_name("Prefix removal").unwrap();
+        // Unconstrained, Prefix removal ends on ARM2 (Table 2); pin it to
+        // ARM1 and the mapper must honour that, still finding a feasible
+        // (if costlier) mapping.
+        let arm1 = platform.tile_by_name("ARM1").unwrap();
+        let constraints = MappingConstraints::none().pin(pfx, arm1);
+        let result = SpatialMapper::default()
+            .map_constrained(&spec, &platform, &platform.initial_state(), &constraints)
+            .expect("pinning Prefix removal to an ARM stays feasible");
+        assert_eq!(result.mapping.assignment(pfx).unwrap().tile, arm1);
+        assert!(constraints.satisfied_by(&result.mapping));
+    }
+
+    #[test]
+    fn excluded_tile_forces_relocation() {
+        use crate::constraints::MappingConstraints;
+        use rtsm_app::{Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec};
+        use rtsm_dataflow::PhaseVec;
+        use rtsm_platform::{Coord, PlatformBuilder};
+
+        // Two identical ARMs; first-fit prefers ARM-a. Excluding it must
+        // push the process to ARM-b without violating feasibility.
+        let platform = PlatformBuilder::mesh(4, 1)
+            .tile_defaults(200, 2, 64 * 1024, 200_000_000)
+            .tile("A/D", TileKind::AdcSource, Coord { x: 0, y: 0 })
+            .tile("ARM-a", TileKind::Arm, Coord { x: 1, y: 0 })
+            .tile("ARM-b", TileKind::Arm, Coord { x: 2, y: 0 })
+            .tile("Sink", TileKind::Sink, Coord { x: 3, y: 0 })
+            .build()
+            .unwrap();
+        let mut graph = ProcessGraph::new();
+        let p = graph.add_process("Stage");
+        graph
+            .add_channel(Endpoint::StreamInput, Endpoint::Process(p), 16)
+            .unwrap();
+        graph
+            .add_channel(Endpoint::Process(p), Endpoint::StreamOutput, 16)
+            .unwrap();
+        let mut library = ImplementationLibrary::new();
+        library.register(
+            p,
+            Implementation::simple(
+                "Stage @ ARM",
+                TileKind::Arm,
+                PhaseVec::from_slice(&[8, 60, 8]),
+                PhaseVec::from_slice(&[16, 0, 0]),
+                PhaseVec::from_slice(&[0, 0, 16]),
+                5_000,
+                2048,
+            ),
+        );
+        let spec = ApplicationSpec {
+            name: "relocatable app".into(),
+            graph,
+            qos: QosSpec::with_period(4_000_000),
+            library,
+        };
+
+        let arm_a = platform.tile_by_name("ARM-a").unwrap();
+        let arm_b = platform.tile_by_name("ARM-b").unwrap();
+        let unconstrained = SpatialMapper::default()
+            .map(&spec, &platform, &platform.initial_state())
+            .unwrap();
+        assert_eq!(unconstrained.mapping.assignment(p).unwrap().tile, arm_a);
+
+        let constraints = MappingConstraints::none().exclude_tile(arm_a);
+        let result = SpatialMapper::default()
+            .map_constrained(&spec, &platform, &platform.initial_state(), &constraints)
+            .expect("ARM-b can host the process");
+        assert_eq!(result.mapping.assignment(p).unwrap().tile, arm_b);
+        assert!(constraints.satisfied_by(&result.mapping));
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_fail_cleanly() {
+        use crate::constraints::MappingConstraints;
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        // Excluding both MONTIUMs leaves Inverse OFDM (MONTIUM-only at
+        // 200 MHz) nowhere to go.
+        let constraints = MappingConstraints::none()
+            .exclude_tile(platform.tile_by_name("MONTIUM1").unwrap())
+            .exclude_tile(platform.tile_by_name("MONTIUM2").unwrap());
+        let err = SpatialMapper::default()
+            .map_constrained(&spec, &platform, &platform.initial_state(), &constraints)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MapError::Unmappable { .. } | MapError::NoFeasibleMapping { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_constraints_reproduce_unconstrained_outcome() {
+        use crate::constraints::MappingConstraints;
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        let unconstrained = SpatialMapper::default()
+            .map(&spec, &platform, &state)
+            .unwrap();
+        let constrained = SpatialMapper::default()
+            .map_constrained(&spec, &platform, &state, &MappingConstraints::none())
+            .unwrap();
+        assert_eq!(unconstrained, constrained);
     }
 
     #[test]

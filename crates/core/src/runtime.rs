@@ -35,9 +35,11 @@
 //! ```
 
 use crate::algorithm::{MappingAlgorithm, MappingOutcome};
+use crate::constraints::MappingConstraints;
+use crate::cost::CostModel;
 use crate::error::{MapError, MapErrorKind};
 use rtsm_app::ApplicationSpec;
-use rtsm_platform::{Platform, PlatformError, PlatformState};
+use rtsm_platform::{EnergyModel, Platform, PlatformError, PlatformState, PlatformTransaction};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -63,7 +65,9 @@ impl fmt::Display for AppHandle {
     }
 }
 
-/// Why a lifecycle operation failed.
+/// Why an *admission* (a [`start`](RuntimeManager::start)) failed. Errors
+/// of the other lifecycle operations — stop, remap — are
+/// [`RuntimeError`]s, which this type converts into via `From`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdmissionError {
     /// The algorithm found no feasible mapping: the application is
@@ -74,13 +78,6 @@ pub enum AdmissionError {
     /// ledger is left unchanged. This cannot happen when the ledger is
     /// only mutated through one manager; it guards external mutation.
     CommitFailed(PlatformError),
-    /// Releasing a stopping application's reservations failed — the ledger
-    /// no longer matches what was committed (external mutation). The
-    /// partial release is rolled back; the ledger is unchanged.
-    ReleaseFailed(PlatformError),
-    /// The handle does not name a running application (already stopped,
-    /// or from another manager).
-    UnknownHandle(AppHandle),
 }
 
 /// The serializable discriminant of [`AdmissionError`]: which variant
@@ -93,10 +90,6 @@ pub enum AdmissionErrorKind {
     Rejected(MapErrorKind),
     /// See [`AdmissionError::CommitFailed`].
     CommitFailed,
-    /// See [`AdmissionError::ReleaseFailed`].
-    ReleaseFailed,
-    /// See [`AdmissionError::UnknownHandle`].
-    UnknownHandle,
 }
 
 impl fmt::Display for AdmissionErrorKind {
@@ -104,8 +97,6 @@ impl fmt::Display for AdmissionErrorKind {
         match self {
             AdmissionErrorKind::Rejected(kind) => write!(f, "rejected/{kind}"),
             AdmissionErrorKind::CommitFailed => f.write_str("commit-failed"),
-            AdmissionErrorKind::ReleaseFailed => f.write_str("release-failed"),
-            AdmissionErrorKind::UnknownHandle => f.write_str("unknown-handle"),
         }
     }
 }
@@ -116,8 +107,6 @@ impl AdmissionError {
         match self {
             AdmissionError::Rejected(e) => AdmissionErrorKind::Rejected(e.kind()),
             AdmissionError::CommitFailed(_) => AdmissionErrorKind::CommitFailed,
-            AdmissionError::ReleaseFailed(_) => AdmissionErrorKind::ReleaseFailed,
-            AdmissionError::UnknownHandle(_) => AdmissionErrorKind::UnknownHandle,
         }
     }
 }
@@ -129,12 +118,6 @@ impl fmt::Display for AdmissionError {
             AdmissionError::CommitFailed(e) => {
                 write!(f, "admission commit failed (ledger unchanged): {e}")
             }
-            AdmissionError::ReleaseFailed(e) => {
-                write!(f, "stop failed to release reservations: {e}")
-            }
-            AdmissionError::UnknownHandle(h) => {
-                write!(f, "no running application with handle {h}")
-            }
         }
     }
 }
@@ -143,9 +126,89 @@ impl std::error::Error for AdmissionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AdmissionError::Rejected(e) => Some(e),
-            AdmissionError::CommitFailed(e) | AdmissionError::ReleaseFailed(e) => Some(e),
-            AdmissionError::UnknownHandle(_) => None,
+            AdmissionError::CommitFailed(e) => Some(e),
         }
+    }
+}
+
+/// Why a lifecycle operation of the [`RuntimeManager`] failed. Admission
+/// failures keep their own [`AdmissionError`] type (they are the expected,
+/// recoverable outcome admission policies reason about); everything else —
+/// stopping or remapping an unknown handle, a release the ledger cannot
+/// honour — is a runtime fault, not an "admission" error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// An admission step failed (start, or the admission inside a remap).
+    Admission(AdmissionError),
+    /// The handle does not name a running application (already stopped,
+    /// or from another manager).
+    UnknownHandle(AppHandle),
+    /// Releasing an application's reservations failed — the ledger no
+    /// longer matches what was committed (external mutation). The partial
+    /// release is rolled back; the ledger is unchanged.
+    ReleaseFailed(PlatformError),
+}
+
+/// The serializable discriminant of [`RuntimeError`]; keeps the
+/// [`AdmissionErrorKind`] sub-discriminant for admission failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RuntimeErrorKind {
+    /// See [`RuntimeError::Admission`]; carries the admission failure kind.
+    Admission(AdmissionErrorKind),
+    /// See [`RuntimeError::UnknownHandle`].
+    UnknownHandle,
+    /// See [`RuntimeError::ReleaseFailed`].
+    ReleaseFailed,
+}
+
+impl fmt::Display for RuntimeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeErrorKind::Admission(kind) => write!(f, "admission/{kind}"),
+            RuntimeErrorKind::UnknownHandle => f.write_str("unknown-handle"),
+            RuntimeErrorKind::ReleaseFailed => f.write_str("release-failed"),
+        }
+    }
+}
+
+impl RuntimeError {
+    /// This error's [`RuntimeErrorKind`] discriminant.
+    pub fn kind(&self) -> RuntimeErrorKind {
+        match self {
+            RuntimeError::Admission(e) => RuntimeErrorKind::Admission(e.kind()),
+            RuntimeError::UnknownHandle(_) => RuntimeErrorKind::UnknownHandle,
+            RuntimeError::ReleaseFailed(_) => RuntimeErrorKind::ReleaseFailed,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Admission(e) => e.fmt(f),
+            RuntimeError::UnknownHandle(h) => {
+                write!(f, "no running application with handle {h}")
+            }
+            RuntimeError::ReleaseFailed(e) => {
+                write!(f, "failed to release reservations: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Admission(e) => Some(e),
+            RuntimeError::ReleaseFailed(e) => Some(e),
+            RuntimeError::UnknownHandle(_) => None,
+        }
+    }
+}
+
+impl From<AdmissionError> for RuntimeError {
+    fn from(e: AdmissionError) -> Self {
+        RuntimeError::Admission(e)
     }
 }
 
@@ -159,7 +222,7 @@ pub struct StopAllError {
     /// Records of the applications stopped before the failure.
     pub stopped: Vec<(AppHandle, RunningApp)>,
     /// Why the next release failed.
-    pub error: AdmissionError,
+    pub error: RuntimeError,
 }
 
 impl fmt::Display for StopAllError {
@@ -174,6 +237,100 @@ impl fmt::Display for StopAllError {
 }
 
 impl std::error::Error for StopAllError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// How [`RuntimeManager::start_with_reconfiguration`] may defragment the
+/// platform when plain admission fails: how many running applications one
+/// migration plan may move, how many plans to try, how candidate victims
+/// are ranked, and how migration energy is accounted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigurationPolicy {
+    /// Most running applications one plan may migrate (`k`). 0 disables
+    /// reconfiguration (plain admission only).
+    pub max_migrations: usize,
+    /// Most migration plans tried before giving up.
+    pub max_plans: usize,
+    /// Ranks candidate victims by per-application *move cost*: the
+    /// [`CostModel::assignment_cost`] of their current mapping. Cheap-to-
+    /// move (little communication) applications are tried first.
+    pub cost_model: CostModel,
+    /// Prices the state transfer of a migrated process: its
+    /// implementation's memory image, in words, shipped over the Manhattan
+    /// distance between old and new tile.
+    pub migration_energy: EnergyModel,
+}
+
+impl Default for ReconfigurationPolicy {
+    fn default() -> Self {
+        ReconfigurationPolicy {
+            max_migrations: 2,
+            max_plans: 8,
+            cost_model: CostModel::HopCount,
+            migration_energy: EnergyModel::default(),
+        }
+    }
+}
+
+/// One committed migration: a running application released its resources
+/// and was re-admitted elsewhere inside the same transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Migration {
+    /// The migrated application (its handle is unchanged).
+    pub handle: AppHandle,
+    /// The move cost that ranked it (see
+    /// [`ReconfigurationPolicy::cost_model`]).
+    pub move_cost: u64,
+    /// Processes whose tile actually changed.
+    pub processes_moved: usize,
+    /// Modelled state-transfer energy of the move, in picojoules.
+    pub energy_pj: u64,
+}
+
+/// A successful [`RuntimeManager::start_with_reconfiguration`]: the new
+/// application's handle plus what (if anything) had to move to admit it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reconfiguration {
+    /// Handle of the newly admitted application.
+    pub handle: AppHandle,
+    /// Migrations committed to make room (empty when plain admission
+    /// succeeded).
+    pub migrations: Vec<Migration>,
+    /// Total modelled migration energy, in picojoules.
+    pub migration_energy_pj: u64,
+    /// Migration plans evaluated (0 when plain admission succeeded).
+    pub plans_tried: u64,
+    /// Victim re-mappings attempted across all plans, including plans that
+    /// were rolled back.
+    pub migrations_attempted: u64,
+}
+
+/// A failed [`RuntimeManager::start_with_reconfiguration`]: no plan within
+/// the policy's bounds admitted the application. The ledger and every
+/// running application are exactly as before the call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigurationFailure {
+    /// The original (pre-search) admission failure.
+    pub error: AdmissionError,
+    /// Migration plans evaluated before giving up.
+    pub plans_tried: u64,
+    /// Victim re-mappings attempted across all evaluated plans.
+    pub migrations_attempted: u64,
+}
+
+impl fmt::Display for ReconfigurationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "admission not recovered after {} migration plan(s): {}",
+            self.plans_tried, self.error
+        )
+    }
+}
+
+impl std::error::Error for ReconfigurationFailure {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.error)
     }
@@ -211,6 +368,16 @@ pub struct Utilization {
     pub total_link_bandwidth: u64,
     /// Number of running applications.
     pub running_apps: usize,
+    /// Free compute slots in the largest contiguous free region (tiles
+    /// with free slots whose routers are mesh-adjacent).
+    pub largest_free_slot_region: u32,
+    /// How fragmented the free compute capacity is, in permille: 0‰ when
+    /// all free slots form one contiguous region, rising towards 1000‰ as
+    /// they shatter into islands (see
+    /// [`Fragmentation`](rtsm_platform::Fragmentation)). Defragmentation
+    /// by migration ([`RuntimeManager::start_with_reconfiguration`]) is
+    /// exactly the lever that drives this back down.
+    pub fragmentation_permille: u32,
 }
 
 impl Utilization {
@@ -333,21 +500,260 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
     ///
     /// # Errors
     ///
-    /// * [`AdmissionError::UnknownHandle`] — `handle` is not running;
-    /// * [`AdmissionError::ReleaseFailed`] — the ledger no longer holds the
+    /// * [`RuntimeError::UnknownHandle`] — `handle` is not running;
+    /// * [`RuntimeError::ReleaseFailed`] — the ledger no longer holds the
     ///   committed reservations (external mutation). The release is rolled
     ///   back and the application stays registered, so the ledger is
     ///   exactly as before the call.
-    pub fn stop(&mut self, handle: AppHandle) -> Result<RunningApp, AdmissionError> {
+    pub fn stop(&mut self, handle: AppHandle) -> Result<RunningApp, RuntimeError> {
         let app = self
             .running
             .get(&handle)
-            .ok_or(AdmissionError::UnknownHandle(handle))?;
+            .ok_or(RuntimeError::UnknownHandle(handle))?;
         app.outcome
             .release(&app.spec, &self.platform, &mut self.state)
-            .map_err(AdmissionError::ReleaseFailed)?;
+            .map_err(RuntimeError::ReleaseFailed)?;
         Ok(self.running.remove(&handle).expect("handle checked above"))
     }
+
+    /// Re-maps the running application behind `handle` under
+    /// `constraints`, atomically: inside one transaction its current
+    /// reservations are released *first* (so the new mapping may reuse its
+    /// own freed resources), the algorithm maps the spec against the freed
+    /// occupancy, and the new mapping's reservations are committed. On any
+    /// failure the transaction aborts and the ledger — including the
+    /// application's original reservations and routes — is restored
+    /// exactly; the application keeps running under its old mapping.
+    ///
+    /// Returns the *previous* outcome, so callers can diff placements or
+    /// account migration costs.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownHandle`] — `handle` is not running;
+    /// * [`RuntimeError::Admission`] — no feasible mapping under
+    ///   `constraints` (the application keeps its old mapping), or the
+    ///   re-commit failed;
+    /// * [`RuntimeError::ReleaseFailed`] — the ledger no longer holds the
+    ///   committed reservations (external mutation).
+    pub fn remap(
+        &mut self,
+        handle: AppHandle,
+        constraints: &MappingConstraints,
+    ) -> Result<MappingOutcome, RuntimeError> {
+        let app = self
+            .running
+            .get(&handle)
+            .ok_or(RuntimeError::UnknownHandle(handle))?;
+        let mut tx = PlatformTransaction::begin(&self.platform, &mut self.state);
+        app.outcome
+            .stage_release(&app.spec, &mut tx)
+            .map_err(RuntimeError::ReleaseFailed)?; // tx drop restores
+        let mut outcome = self
+            .algorithm
+            .map_constrained(&app.spec, &self.platform, tx.state(), constraints)
+            .map_err(|e| RuntimeError::Admission(AdmissionError::Rejected(e)))?;
+        outcome
+            .stage_commit(&app.spec, &mut tx)
+            .map_err(|e| RuntimeError::Admission(AdmissionError::CommitFailed(e)))?;
+        tx.commit();
+        outcome.trace = None;
+        outcome.csdf = None;
+        let record = self.running.get_mut(&handle).expect("checked above");
+        Ok(std::mem::replace(&mut record.outcome, outcome))
+    }
+
+    /// Attempts to start `spec`; when plain admission fails, searches
+    /// bounded migration plans that *defragment* the platform: up to
+    /// [`ReconfigurationPolicy::max_migrations`] running applications —
+    /// tried cheapest-to-move first, ranked by
+    /// [`ReconfigurationPolicy::cost_model`] — are released inside one
+    /// transaction, the arriving application is mapped against the freed
+    /// occupancy, and every victim is re-mapped after it. The whole plan
+    /// commits all-or-nothing: if any step fails the transaction aborts,
+    /// the ledger and every running application are exactly as before, and
+    /// the next plan is tried.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigurationFailure`] when no plan within the policy's bounds
+    /// admits the application; it carries the original
+    /// [`AdmissionError`] plus the search effort spent.
+    pub fn start_with_reconfiguration(
+        &mut self,
+        spec: impl Into<Arc<ApplicationSpec>>,
+        policy: &ReconfigurationPolicy,
+    ) -> Result<Reconfiguration, ReconfigurationFailure> {
+        let spec: Arc<ApplicationSpec> = spec.into();
+        let error = match self.start(spec.clone()) {
+            Ok(handle) => {
+                return Ok(Reconfiguration {
+                    handle,
+                    migrations: Vec::new(),
+                    migration_energy_pj: 0,
+                    plans_tried: 0,
+                    migrations_attempted: 0,
+                })
+            }
+            Err(error) => error,
+        };
+        let mut plans_tried = 0u64;
+        let mut migrations_attempted = 0u64;
+        let fail = |plans_tried, migrations_attempted| ReconfigurationFailure {
+            error: error.clone(),
+            plans_tried,
+            migrations_attempted,
+        };
+        if matches!(error, AdmissionError::CommitFailed(_)) || policy.max_migrations == 0 {
+            return Err(fail(0, 0));
+        }
+
+        // Candidate victims, cheapest move first; ties break on handle so
+        // the search order — and therefore every fixed-seed simulation —
+        // is deterministic.
+        let candidates: Vec<(u64, AppHandle)> = {
+            let mut c: Vec<(u64, AppHandle)> = self
+                .running
+                .iter()
+                .map(|(h, app)| {
+                    (
+                        policy.cost_model.assignment_cost(
+                            &app.outcome.mapping,
+                            &app.spec,
+                            &self.platform,
+                        ),
+                        *h,
+                    )
+                })
+                .collect();
+            c.sort_unstable();
+            c
+        };
+
+        // Plans: single migrations cheapest-first, then pairs, … up to
+        // `max_migrations` victims, `max_plans` plans overall.
+        for size in 1..=policy.max_migrations.min(candidates.len()) {
+            let mut indices: Vec<usize> = (0..size).collect();
+            loop {
+                if plans_tried >= policy.max_plans as u64 {
+                    return Err(fail(plans_tried, migrations_attempted));
+                }
+                plans_tried += 1;
+                let victims: Vec<(u64, AppHandle)> =
+                    indices.iter().map(|&i| candidates[i]).collect();
+                if let Some(reconfiguration) = self.try_migration_plan(
+                    &spec,
+                    &victims,
+                    policy,
+                    plans_tried,
+                    &mut migrations_attempted,
+                ) {
+                    return Ok(reconfiguration);
+                }
+                if !next_combination(&mut indices, candidates.len()) {
+                    break;
+                }
+            }
+        }
+        Err(fail(plans_tried, migrations_attempted))
+    }
+
+    /// Tries one migration plan inside a single transaction. Returns
+    /// `None` (with the ledger fully restored) when any step fails.
+    fn try_migration_plan(
+        &mut self,
+        spec: &Arc<ApplicationSpec>,
+        victims: &[(u64, AppHandle)],
+        policy: &ReconfigurationPolicy,
+        plans_tried: u64,
+        migrations_attempted: &mut u64,
+    ) -> Option<Reconfiguration> {
+        let mut tx = PlatformTransaction::begin(&self.platform, &mut self.state);
+        // Release every victim first, so both the arriving application and
+        // the re-mapped victims can use the freed resources.
+        for &(_, victim) in victims {
+            let app = self.running.get(&victim).expect("plan names running apps");
+            app.outcome.stage_release(&app.spec, &mut tx).ok()?;
+        }
+        let mut new_outcome = self
+            .algorithm
+            .map_constrained(
+                spec,
+                &self.platform,
+                tx.state(),
+                &MappingConstraints::none(),
+            )
+            .ok()?;
+        new_outcome.stage_commit(spec, &mut tx).ok()?;
+        // Re-place each victim against what remains.
+        let mut moved: Vec<(AppHandle, u64, MappingOutcome)> = Vec::with_capacity(victims.len());
+        for &(move_cost, victim) in victims {
+            *migrations_attempted += 1;
+            let app = self.running.get(&victim).expect("plan names running apps");
+            let mut outcome = self
+                .algorithm
+                .map_constrained(
+                    &app.spec,
+                    &self.platform,
+                    tx.state(),
+                    &MappingConstraints::none(),
+                )
+                .ok()?;
+            outcome.stage_commit(&app.spec, &mut tx).ok()?;
+            outcome.trace = None;
+            outcome.csdf = None;
+            moved.push((victim, move_cost, outcome));
+        }
+        tx.commit();
+
+        new_outcome.trace = None;
+        new_outcome.csdf = None;
+        let handle = AppHandle(self.next_handle);
+        self.next_handle += 1;
+        self.running.insert(
+            handle,
+            RunningApp {
+                spec: spec.clone(),
+                outcome: new_outcome,
+            },
+        );
+
+        let mut migrations = Vec::with_capacity(moved.len());
+        let mut migration_energy_pj = 0u64;
+        for (victim, move_cost, outcome) in moved {
+            let record = self.running.get_mut(&victim).expect("victim still runs");
+            let old = std::mem::replace(&mut record.outcome, outcome);
+            let (processes_moved, energy_pj) = migration_cost(
+                &record.spec,
+                &self.platform,
+                &old,
+                &record.outcome,
+                &policy.migration_energy,
+            );
+            migration_energy_pj += energy_pj;
+            // A victim whose re-map landed on exactly its old tiles did not
+            // migrate (the arriving app fit into space freed by the others):
+            // its outcome is refreshed but no migration is reported.
+            if processes_moved > 0 {
+                migrations.push(Migration {
+                    handle: victim,
+                    move_cost,
+                    processes_moved,
+                    energy_pj,
+                });
+            }
+        }
+        Some(Reconfiguration {
+            handle,
+            migrations,
+            migration_energy_pj,
+            plans_tried,
+            migrations_attempted: *migrations_attempted,
+        })
+    }
+
+    // (start_with_reconfiguration and try_migration_plan above; the
+    // remaining lifecycle methods follow.)
 
     /// Stops every running application in handle (admission) order,
     /// releasing all their resources, and returns the stopped records.
@@ -393,8 +799,10 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         self.running.values().map(|app| app.outcome.energy_pj).sum()
     }
 
-    /// Aggregate occupancy of the managed platform.
+    /// Aggregate occupancy of the managed platform, including the
+    /// fragmentation of its free compute capacity.
     pub fn utilization(&self) -> Utilization {
+        let fragmentation = self.state.fragmentation(&self.platform);
         let mut util = Utilization {
             used_slots: 0,
             total_slots: 0,
@@ -403,6 +811,8 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             used_link_bandwidth: 0,
             total_link_bandwidth: 0,
             running_apps: self.running.len(),
+            largest_free_slot_region: fragmentation.largest_free_region_slots,
+            fragmentation_permille: fragmentation.fragmentation_permille,
         };
         for (tile, spec) in self.platform.tiles() {
             util.used_slots += self.state.used_slots(tile);
@@ -423,6 +833,52 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
     pub fn into_parts(self) -> (PlatformState, Vec<(AppHandle, RunningApp)>) {
         (self.state, self.running.into_iter().collect())
     }
+}
+
+/// Advances `indices` to the next lexicographic `k`-combination of
+/// `0..n`. Returns `false` when exhausted.
+fn next_combination(indices: &mut [usize], n: usize) -> bool {
+    let k = indices.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if indices[i] < n - (k - i) {
+            indices[i] += 1;
+            for j in i + 1..k {
+                indices[j] = indices[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Processes whose tile changed between `old` and `new`, and the modelled
+/// state-transfer energy: each moved process ships its implementation's
+/// memory image (in 32-bit words) over the Manhattan distance between the
+/// tiles.
+fn migration_cost(
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    old: &MappingOutcome,
+    new: &MappingOutcome,
+    model: &EnergyModel,
+) -> (usize, u64) {
+    let mut processes_moved = 0;
+    let mut energy_pj = 0u64;
+    for (pid, old_assignment) in old.mapping.assignments() {
+        let Some(new_assignment) = new.mapping.assignment(pid) else {
+            continue;
+        };
+        if new_assignment.tile == old_assignment.tile {
+            continue;
+        }
+        processes_moved += 1;
+        let memory_words = spec.library.impls_for(pid)[old_assignment.impl_index].memory_bytes / 4;
+        let hops = platform.manhattan(old_assignment.tile, new_assignment.tile);
+        energy_pj += model.channel_energy_pj(memory_words, hops);
+    }
+    (processes_moved, energy_pj)
 }
 
 #[cfg(test)]
@@ -467,7 +923,7 @@ mod tests {
         assert_ne!(h0, h1, "handles are never reused");
         assert!(matches!(
             m.stop(h0),
-            Err(AdmissionError::UnknownHandle(stale)) if stale == h0
+            Err(RuntimeError::UnknownHandle(stale)) if stale == h0
         ));
         assert_eq!(m.n_running(), 1);
         m.stop(h1).unwrap();
@@ -534,7 +990,11 @@ mod tests {
         }
         m.stop(h).unwrap();
         let stale = m.stop(h).unwrap_err();
-        assert_eq!(stale.kind(), AdmissionErrorKind::UnknownHandle);
+        assert_eq!(stale.kind(), RuntimeErrorKind::UnknownHandle);
+        assert!(
+            !matches!(stale, RuntimeError::Admission(_)),
+            "stopping an unknown handle is a runtime fault, not an admission error"
+        );
     }
 
     #[test]
@@ -544,5 +1004,262 @@ mod tests {
         let h = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
         assert_eq!(m.n_running(), 1);
         m.stop(h).unwrap();
+    }
+
+    // --- Remapping and defragmentation ----------------------------------
+    //
+    // The engineered scenario: two 2-slot ARMs with 64 KiB each. Light
+    // single-process applications take 24 KiB, a heavy one 48 KiB. Churn
+    // leaves one light app on *each* ARM: 40 KiB free per tile — enough
+    // total for the heavy app but fragmented. Migrating one light app onto
+    // the other's tile frees a whole ARM and recovers the admission.
+
+    fn defrag_platform() -> rtsm_platform::Platform {
+        use rtsm_platform::{Coord, PlatformBuilder, TileKind};
+        PlatformBuilder::mesh(4, 1)
+            .tile_defaults(200, 2, 64 * 1024, 200_000_000)
+            .tile("A/D", TileKind::AdcSource, Coord { x: 0, y: 0 })
+            .tile("ARM-a", TileKind::Arm, Coord { x: 1, y: 0 })
+            .tile("ARM-b", TileKind::Arm, Coord { x: 2, y: 0 })
+            .tile("Sink", TileKind::Sink, Coord { x: 3, y: 0 })
+            .build()
+            .unwrap()
+    }
+
+    fn pipe_app(name: &str, memory_bytes: u64) -> ApplicationSpec {
+        use rtsm_app::{Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec};
+        use rtsm_dataflow::PhaseVec;
+        use rtsm_platform::TileKind;
+        let mut graph = ProcessGraph::new();
+        let p = graph.add_process("Stage");
+        graph
+            .add_channel(Endpoint::StreamInput, Endpoint::Process(p), 16)
+            .unwrap();
+        graph
+            .add_channel(Endpoint::Process(p), Endpoint::StreamOutput, 16)
+            .unwrap();
+        let mut library = ImplementationLibrary::new();
+        library.register(
+            p,
+            Implementation::simple(
+                format!("{name} @ ARM"),
+                TileKind::Arm,
+                PhaseVec::from_slice(&[8, 60, 8]),
+                PhaseVec::from_slice(&[16, 0, 0]),
+                PhaseVec::from_slice(&[0, 0, 16]),
+                5_000,
+                memory_bytes,
+            ),
+        );
+        ApplicationSpec {
+            name: name.into(),
+            graph,
+            qos: QosSpec::with_period(4_000_000),
+            library,
+        }
+    }
+
+    fn light() -> ApplicationSpec {
+        pipe_app("light", 24 * 1024)
+    }
+
+    fn heavy() -> ApplicationSpec {
+        pipe_app("heavy", 48 * 1024)
+    }
+
+    /// Builds the fragmented state: one light app on each ARM, 40 KiB free
+    /// on both tiles. Returns the manager and the two survivors' handles.
+    fn fragmented_manager() -> (RuntimeManager<SpatialMapper>, AppHandle, AppHandle) {
+        let mut m = RuntimeManager::new(defrag_platform(), SpatialMapper::default());
+        let a = m.start(light()).unwrap();
+        let b = m.start(light()).unwrap();
+        let c = m.start(light()).unwrap();
+        let d = m.start(light()).unwrap();
+        m.stop(b).unwrap();
+        m.stop(c).unwrap();
+        (m, a, d)
+    }
+
+    #[test]
+    fn remap_honours_constraints_and_keeps_the_ledger_consistent() {
+        let platform = defrag_platform();
+        let arm_a = platform.tile_by_name("ARM-a").unwrap();
+        let arm_b = platform.tile_by_name("ARM-b").unwrap();
+        let mut m = RuntimeManager::new(platform, SpatialMapper::default());
+        let before = m.state().clone();
+        let h = m.start(light()).unwrap();
+        let spec = m.get(h).unwrap().spec.clone();
+        let process = spec.graph.process_by_name("Stage").unwrap();
+        assert_eq!(
+            m.get(h)
+                .unwrap()
+                .outcome
+                .mapping
+                .assignment(process)
+                .unwrap()
+                .tile,
+            arm_a,
+            "first fit places the light app on ARM-a"
+        );
+        let old = m
+            .remap(h, &MappingConstraints::none().exclude_tile(arm_a))
+            .expect("ARM-b can host the process");
+        assert_eq!(old.mapping.assignment(process).unwrap().tile, arm_a);
+        assert_eq!(
+            m.get(h)
+                .unwrap()
+                .outcome
+                .mapping
+                .assignment(process)
+                .unwrap()
+                .tile,
+            arm_b
+        );
+        // The remapped app stops cleanly: the ledger drains to empty.
+        m.stop(h).unwrap();
+        assert_eq!(m.state(), &before);
+    }
+
+    #[test]
+    fn failed_remap_restores_state_and_routes_exactly() {
+        let platform = defrag_platform();
+        let arm_a = platform.tile_by_name("ARM-a").unwrap();
+        let arm_b = platform.tile_by_name("ARM-b").unwrap();
+        let mut m = RuntimeManager::new(platform, SpatialMapper::default());
+        let h = m.start(light()).unwrap();
+        let ledger = m.state().clone();
+        let record = m.get(h).unwrap().clone();
+        // Excluding both ARMs leaves the process nowhere to go.
+        let err = m
+            .remap(
+                h,
+                &MappingConstraints::none()
+                    .exclude_tile(arm_a)
+                    .exclude_tile(arm_b),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Admission(AdmissionError::Rejected(_))
+        ));
+        assert_eq!(m.state(), &ledger, "rollback restores the exact ledger");
+        assert_eq!(
+            m.get(h).unwrap(),
+            &record,
+            "the app keeps its old mapping, routes and buffers"
+        );
+        // Still fully functional: the old reservations release cleanly.
+        m.stop(h).unwrap();
+        assert!(m.utilization().is_idle());
+    }
+
+    #[test]
+    fn remap_unknown_handle_is_a_runtime_error() {
+        let mut m = RuntimeManager::new(defrag_platform(), SpatialMapper::default());
+        let h = m.start(light()).unwrap();
+        m.stop(h).unwrap();
+        let err = m.remap(h, &MappingConstraints::none()).unwrap_err();
+        assert_eq!(err.kind(), RuntimeErrorKind::UnknownHandle);
+    }
+
+    #[test]
+    fn fragmented_admission_fails_plain_but_recovers_by_migration() {
+        let (mut m, a, d) = fragmented_manager();
+        // The defining property of fragmentation: total free ARM memory
+        // (2 × 40 KiB) exceeds the heavy app's 48 KiB, but no single tile
+        // has room — the admission is lost to *placement*, not capacity.
+        let platform = m.platform().clone();
+        let free_mem: Vec<u64> = ["ARM-a", "ARM-b"]
+            .iter()
+            .map(|name| {
+                let t = platform.tile_by_name(name).unwrap();
+                platform.tile(t).memory_bytes - m.state().used_memory(t)
+            })
+            .collect();
+        assert!(free_mem.iter().sum::<u64>() > 48 * 1024);
+        assert!(free_mem.iter().all(|&f| f < 48 * 1024));
+        // Plain admission is blocked: 40 KiB free per ARM < 48 KiB.
+        assert!(matches!(m.start(heavy()), Err(AdmissionError::Rejected(_))));
+        let before = m.state().clone();
+        let reconfiguration = m
+            .start_with_reconfiguration(heavy(), &ReconfigurationPolicy::default())
+            .expect("migrating one light app frees a whole ARM");
+        assert_eq!(reconfiguration.migrations.len(), 1);
+        assert!(reconfiguration.plans_tried >= 1);
+        assert!(reconfiguration.migration_energy_pj > 0);
+        assert_eq!(m.n_running(), 3);
+        // The migrated light app kept its handle; both light handles live.
+        assert!(m.get(a).is_some());
+        assert!(m.get(d).is_some());
+        assert_ne!(m.state(), &before, "the heavy app holds resources now");
+        // Everything still stops cleanly — the transactional bookkeeping
+        // left no stray claims behind.
+        m.stop_all().unwrap();
+        assert!(m.utilization().is_idle());
+    }
+
+    #[test]
+    fn reconfiguration_failure_restores_everything() {
+        let (mut m, _, _) = fragmented_manager();
+        // Two heavies need two whole ARMs; only one can be freed.
+        let ok = m
+            .start_with_reconfiguration(heavy(), &ReconfigurationPolicy::default())
+            .expect("first heavy recovers by migration");
+        let ledger = m.state().clone();
+        let records: Vec<_> = m.running().map(|(h, app)| (h, app.clone())).collect();
+        let failure = m
+            .start_with_reconfiguration(heavy(), &ReconfigurationPolicy::default())
+            .expect_err("no plan can free 48 KiB more");
+        assert!(matches!(failure.error, AdmissionError::Rejected(_)));
+        assert!(failure.plans_tried >= 1);
+        assert_eq!(m.state(), &ledger, "failed search leaves the ledger intact");
+        let after: Vec<_> = m.running().map(|(h, app)| (h, app.clone())).collect();
+        assert_eq!(records, after, "no running app was disturbed");
+        m.stop(ok.handle).unwrap();
+        m.stop_all().unwrap();
+        assert!(m.utilization().is_idle());
+    }
+
+    #[test]
+    fn reconfiguration_fast_path_skips_migration_when_room_exists() {
+        let mut m = RuntimeManager::new(defrag_platform(), SpatialMapper::default());
+        let reconfiguration = m
+            .start_with_reconfiguration(light(), &ReconfigurationPolicy::default())
+            .unwrap();
+        assert!(reconfiguration.migrations.is_empty());
+        assert_eq!(reconfiguration.plans_tried, 0);
+        assert_eq!(reconfiguration.migration_energy_pj, 0);
+    }
+
+    #[test]
+    fn zero_migration_policy_degenerates_to_plain_admission() {
+        let (mut m, _, _) = fragmented_manager();
+        let policy = ReconfigurationPolicy {
+            max_migrations: 0,
+            ..ReconfigurationPolicy::default()
+        };
+        let failure = m.start_with_reconfiguration(heavy(), &policy).unwrap_err();
+        assert_eq!(failure.plans_tried, 0);
+        assert_eq!(failure.migrations_attempted, 0);
+    }
+
+    #[test]
+    fn next_combination_enumerates_lexicographically() {
+        let mut indices = vec![0, 1];
+        let mut seen = vec![indices.clone()];
+        while next_combination(&mut indices, 4) {
+            seen.push(indices.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
     }
 }

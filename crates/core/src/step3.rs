@@ -9,7 +9,7 @@
 use crate::feedback::Feedback;
 use crate::mapping::{Mapping, RouteBinding};
 use rtsm_app::{ApplicationSpec, KpnChannelId};
-use rtsm_platform::{routing, Platform, PlatformState, RouteScratch, RoutingPolicy};
+use rtsm_platform::{Platform, PlatformState, PlatformTransaction, RouteScratch, RoutingPolicy};
 
 /// Routes every data-stream channel of `mapping` with the paper's adaptive
 /// (capacity-aware shortest path) policy. See [`route_channels_with`].
@@ -58,35 +58,28 @@ pub fn route_channels_with(
 
     // One scratch serves every channel of this call: the path searches
     // themselves allocate nothing, and a path is cloned exactly once — into
-    // the mapping — when it is actually kept. Rollback releases the paths
-    // the mapping holds (every `Path` binding present was allocated here,
-    // since routing starts from a route-free mapping).
+    // the mapping — when it is actually kept. All bandwidth reservations are
+    // staged in one transaction: a failed channel drops the transaction,
+    // which rolls every earlier allocation back; only a fully routed
+    // mapping commits.
     debug_assert!(
         mapping.routes().next().is_none(),
-        "route_channels_with requires a route-free mapping (stale routes \
-         would be released against `working` on rollback)"
+        "route_channels_with requires a route-free mapping (its routes \
+         double as the record of what this call allocated)"
     );
     let mut scratch = RouteScratch::new();
-    let rollback = |mapping: &mut Mapping, working: &mut PlatformState| {
-        for (_, binding) in mapping.routes() {
-            if let RouteBinding::Path(path) = binding {
-                routing::release(platform, working, path)
-                    .expect("releasing an allocation made in this call");
-            }
-        }
-        mapping.clear_routes();
-    };
+    let mut tx = PlatformTransaction::begin(platform, working);
 
     for (channel_id, tokens) in channels {
         let ch = spec.graph.channel(channel_id);
         let Some(from) = mapping.endpoint_tile(platform, ch.src) else {
-            rollback(mapping, working);
+            mapping.clear_routes();
             return Err(vec![Feedback::Infeasible {
                 detail: format!("channel {channel_id:?} has an unmapped producer"),
             }]);
         };
         let Some(to) = mapping.endpoint_tile(platform, ch.dst) else {
-            rollback(mapping, working);
+            mapping.clear_routes();
             return Err(vec![Feedback::Infeasible {
                 detail: format!("channel {channel_id:?} has an unmapped consumer"),
             }]);
@@ -96,11 +89,12 @@ pub fn route_channels_with(
             continue;
         }
         let demand = spec.qos.words_per_second(tokens);
-        match policy.route_with(platform, working, from, to, demand, &mut scratch) {
+        match policy.route_with(platform, tx.state(), from, to, demand, &mut scratch) {
             Ok(path) => {
-                routing::allocate(platform, working, path)
+                let path = path.clone();
+                tx.allocate_path(&path)
                     .expect("route() verified residual capacity");
-                mapping.bind_route(channel_id, RouteBinding::Path(path.clone()));
+                mapping.bind_route(channel_id, RouteBinding::Path(path));
             }
             Err(_) => {
                 let mut feedback = vec![Feedback::RouteFailed {
@@ -119,11 +113,12 @@ pub fn route_channels_with(
                         tile: to,
                     });
                 }
-                rollback(mapping, working);
-                return Err(feedback);
+                mapping.clear_routes();
+                return Err(feedback); // tx dropped: allocations rolled back
             }
         }
     }
+    tx.commit();
     Ok(())
 }
 

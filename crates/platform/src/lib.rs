@@ -16,6 +16,9 @@
 //! * [`PlatformState`] — the run-time occupancy ledger: which resources are
 //!   claimed by which application (the paper's core motivation is that this
 //!   is only known at run time).
+//! * [`PlatformTransaction`] — staged, all-or-nothing mutation of the
+//!   ledger: the single audited claim/release path that admission, stop,
+//!   and migration are built on.
 //! * [`EnergyModel`] — processing + communication energy accounting.
 //!
 //! # Example
@@ -42,10 +45,12 @@ pub mod routing;
 pub mod state;
 pub mod tile;
 pub mod topology;
+pub mod transaction;
 
 pub use energy::EnergyModel;
 pub use error::PlatformError;
 pub use routing::{route, route_xy, Path, RouteScratch, RoutingPolicy};
-pub use state::{PlatformState, TileClaim};
+pub use state::{Fragmentation, PlatformState, TileClaim};
 pub use tile::{Tile, TileId, TileKind};
 pub use topology::{AdjEntry, Coord, Link, LinkId, NocParams, Platform, PlatformBuilder};
+pub use transaction::PlatformTransaction;

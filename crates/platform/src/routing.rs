@@ -398,7 +398,7 @@ pub fn route_xy_with<'s>(
     Ok(&scratch.path)
 }
 
-fn ni_claims(path: &Path) -> [(TileId, crate::state::TileClaim); 2] {
+pub(crate) fn ni_claims(path: &Path) -> [(TileId, crate::state::TileClaim); 2] {
     let inject = crate::state::TileClaim {
         slots: 0,
         memory_bytes: 0,
@@ -431,59 +431,29 @@ pub fn allocate(
     state: &mut PlatformState,
     path: &Path,
 ) -> Result<(), PlatformError> {
-    let mut done = Vec::with_capacity(path.links.len());
-    for &link in &path.links {
-        match state.allocate_link(platform, link, path.demand) {
-            Ok(()) => done.push(link),
-            Err(e) => {
-                for &undo in &done {
-                    state
-                        .release_link(undo, path.demand)
-                        .expect("rollback of a reservation just made");
-                }
-                return Err(e);
-            }
-        }
-    }
-    let [inject, eject] = ni_claims(path);
-    let rollback_links = |state: &mut PlatformState| {
-        for &undo in &done {
-            state
-                .release_link(undo, path.demand)
-                .expect("rollback of a reservation just made");
-        }
-    };
-    if let Err(e) = state.claim_tile(platform, inject.0, &inject.1) {
-        rollback_links(state);
-        return Err(e);
-    }
-    if let Err(e) = state.claim_tile(platform, eject.0, &eject.1) {
-        state
-            .release_tile(inject.0, &inject.1)
-            .expect("rollback of a claim just made");
-        rollback_links(state);
-        return Err(e);
-    }
+    let mut tx = crate::transaction::PlatformTransaction::begin(platform, state);
+    tx.allocate_path(path)?; // an early return drops the tx, rolling back
+    tx.commit();
     Ok(())
 }
 
 /// Releases a previously allocated path (links and endpoint NI).
+///
+/// On failure the ledger is left exactly as found (partial releases are
+/// rolled back).
 ///
 /// # Errors
 ///
 /// [`PlatformError::LinkAccounting`] / [`PlatformError::UnknownClaim`] if
 /// the path was not allocated.
 pub fn release(
-    _platform: &Platform,
+    platform: &Platform,
     state: &mut PlatformState,
     path: &Path,
 ) -> Result<(), PlatformError> {
-    for &link in &path.links {
-        state.release_link(link, path.demand)?;
-    }
-    let [inject, eject] = ni_claims(path);
-    state.release_tile(inject.0, &inject.1)?;
-    state.release_tile(eject.0, &eject.1)?;
+    let mut tx = crate::transaction::PlatformTransaction::begin(platform, state);
+    tx.release_path(path)?;
+    tx.commit();
     Ok(())
 }
 

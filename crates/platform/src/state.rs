@@ -207,6 +207,97 @@ impl PlatformState {
     pub fn residual_ejection(&self, platform: &Platform, tile: TileId) -> u64 {
         platform.tile(tile).ni_ejection - self.used_ejection[tile.index()]
     }
+
+    /// How fragmented the free compute capacity is (see [`Fragmentation`]).
+    ///
+    /// Two tiles belong to the same free region when both have at least one
+    /// free compute slot and their routers are mesh neighbours. A platform
+    /// whose free slots all sit in one contiguous region scores 0‰; free
+    /// capacity scattered into many small islands scores high — exactly the
+    /// situation where an arriving application is rejected although enough
+    /// total capacity exists, and where migrating a running application can
+    /// recover the admission.
+    pub fn fragmentation(&self, platform: &Platform) -> Fragmentation {
+        let n = platform.n_tiles();
+        let free: Vec<u32> = (0..n)
+            .map(|i| {
+                let tile = platform.tile(TileId::from_index(i));
+                tile.compute_slots - self.used_slots[i]
+            })
+            .collect();
+        let free_slots: u32 = free.iter().sum();
+
+        // Largest connected free region (4-neighbourhood over router
+        // coordinates), in free slots.
+        let mut seen = vec![false; n];
+        let mut largest: u32 = 0;
+        let mut stack: Vec<usize> = Vec::new();
+        for start in 0..n {
+            if seen[start] || free[start] == 0 {
+                continue;
+            }
+            let mut region: u32 = 0;
+            seen[start] = true;
+            stack.push(start);
+            while let Some(i) = stack.pop() {
+                region += free[i];
+                let pos = platform.tile(TileId::from_index(i)).position;
+                for neighbour in platform.neighbours(pos) {
+                    if let Some(id) = platform.tile_at(neighbour) {
+                        let j = id.index();
+                        if !seen[j] && free[j] > 0 {
+                            seen[j] = true;
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+            largest = largest.max(region);
+        }
+
+        // Gini coefficient of the per-tile free-slot distribution:
+        // Σᵢ Σⱼ |xᵢ − xⱼ| / (2 n Σ x), in permille.
+        let total = u64::from(free_slots);
+        let gini_permille = if total == 0 || n == 0 {
+            0
+        } else {
+            let mut abs_diff_sum: u64 = 0;
+            for i in 0..n {
+                for j in 0..n {
+                    abs_diff_sum += u64::from(free[i].abs_diff(free[j]));
+                }
+            }
+            (abs_diff_sum * 1000 / (2 * n as u64 * total)) as u32
+        };
+
+        Fragmentation {
+            free_slots,
+            largest_free_region_slots: largest,
+            fragmentation_permille: (largest * 1000)
+                .checked_div(free_slots)
+                .map_or(0, |share| 1000 - share),
+            free_slot_gini_permille: gini_permille,
+        }
+    }
+}
+
+/// How scattered a platform's free compute slots are — the measurable
+/// counterpart of "the NoC has fragmented", produced by
+/// [`PlatformState::fragmentation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fragmentation {
+    /// Free compute slots over all tiles.
+    pub free_slots: u32,
+    /// Free slots in the largest contiguous free region (tiles with free
+    /// slots whose routers are mesh-adjacent).
+    pub largest_free_region_slots: u32,
+    /// `1000 × (1 − largest_region ⁄ free)`: 0‰ when all free capacity is
+    /// one contiguous region, approaching 1000‰ as it shatters. 0 when no
+    /// slot is free.
+    pub fragmentation_permille: u32,
+    /// Gini coefficient of the per-tile free-slot distribution, in
+    /// permille: 0‰ = evenly spread free capacity, high = a few islands.
+    pub free_slot_gini_permille: u32,
 }
 
 #[cfg(test)]
@@ -315,6 +406,52 @@ mod tests {
         s.release_link(lid, cap).unwrap();
         assert_eq!(s.residual_link(&p, lid), cap);
         assert!(s.release_link(lid, 1).is_err());
+    }
+
+    #[test]
+    fn fragmentation_tracks_free_slot_islands() {
+        use crate::topology::NocParams;
+        // A 3×1 strip of single-slot tiles: occupying the middle tile
+        // splits the free slots into two islands of one.
+        let p = PlatformBuilder::mesh(3, 1)
+            .noc(NocParams::default())
+            .tile_defaults(200, 1, 1000, 1_000_000)
+            .tile("a", TileKind::Arm, Coord { x: 0, y: 0 })
+            .tile("b", TileKind::Arm, Coord { x: 1, y: 0 })
+            .tile("c", TileKind::Arm, Coord { x: 2, y: 0 })
+            .build()
+            .unwrap();
+        let mut s = p.initial_state();
+        let idle = s.fragmentation(&p);
+        assert_eq!(idle.free_slots, 3);
+        assert_eq!(idle.largest_free_region_slots, 3);
+        assert_eq!(idle.fragmentation_permille, 0, "one contiguous region");
+
+        let slot = TileClaim {
+            slots: 1,
+            memory_bytes: 0,
+            cycles_per_second: 0,
+            injection: 0,
+            ejection: 0,
+        };
+        s.claim_tile(&p, p.tile_by_name("b").unwrap(), &slot)
+            .unwrap();
+        let split = s.fragmentation(&p);
+        assert_eq!(split.free_slots, 2);
+        assert_eq!(split.largest_free_region_slots, 1, "two islands of one");
+        assert_eq!(split.fragmentation_permille, 500);
+        assert!(split.free_slot_gini_permille > 0);
+
+        for name in ["a", "c"] {
+            s.claim_tile(&p, p.tile_by_name(name).unwrap(), &slot)
+                .unwrap();
+        }
+        let full = s.fragmentation(&p);
+        assert_eq!(full.free_slots, 0);
+        assert_eq!(
+            full.fragmentation_permille, 0,
+            "nothing free, nothing fragmented"
+        );
     }
 
     #[test]

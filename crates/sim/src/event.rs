@@ -46,6 +46,19 @@ pub enum SimEvent {
         /// The switching instance.
         instance: InstanceId,
     },
+    /// A blocked arrival retries admission *with reconfiguration*: the
+    /// manager may migrate up to the policy's bound of running
+    /// applications inside one transaction to defragment the platform.
+    /// Scheduled at the same virtual instant as the blocked arrival, only
+    /// when the simulation's reconfiguration policy is set; its success is
+    /// a *recovered admission*, its failure the instance's definitive
+    /// blocking.
+    Reconfigure {
+        /// The instance whose arrival was blocked.
+        instance: InstanceId,
+        /// Catalog index the blocked arrival requested.
+        catalog_index: usize,
+    },
 }
 
 /// A scheduled event: ordering key `(time, seq)` where `seq` is the

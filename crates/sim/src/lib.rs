@@ -62,6 +62,8 @@ pub mod sim;
 pub mod workload;
 
 pub use event::{EventQueue, InstanceId, SimEvent, SimTime};
-pub use metrics::{MetricsCollector, SimReport, UtilizationSample, WallStats};
+pub use metrics::{
+    MetricsCollector, ReconfigurationReport, SimReport, UtilizationSample, WallStats,
+};
 pub use sim::{run_sim, SimConfig, SimRun};
 pub use workload::{ArrivalProcess, Catalog, CatalogEntry, HoldingTime};

@@ -19,7 +19,12 @@ use std::time::Duration;
 
 /// Platform occupancy at one sample instant. Ratios are in permille
 /// (integers keep the serialized report byte-stable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written so the optional fragmentation figure is
+/// *omitted* — not `null` — when tracking is off: runs without
+/// fragmentation tracking serialize byte-identically to reports from
+/// before the field existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UtilizationSample {
     /// Sample instant, in ticks.
     pub time: SimTime,
@@ -33,6 +38,10 @@ pub struct UtilizationSample {
     pub link_permille: u32,
     /// Energy of the running set, pJ per application period.
     pub energy_pj_per_period: u64,
+    /// Fragmentation of the free compute capacity, ‰ (see
+    /// [`Utilization::fragmentation_permille`]); `None` when the run did
+    /// not track fragmentation.
+    pub frag_permille: Option<u32>,
 }
 
 fn permille(used: u64, total: u64) -> u32 {
@@ -41,8 +50,14 @@ fn permille(used: u64, total: u64) -> u32 {
 
 impl UtilizationSample {
     /// Captures `util` at `time`, with the energy of the running set
-    /// (`running_energy_pj`, pJ per period).
-    pub fn capture(time: SimTime, util: &Utilization, running_energy_pj: u64) -> Self {
+    /// (`running_energy_pj`, pJ per period). `track_fragmentation`
+    /// controls whether the sample carries the fragmentation figure.
+    pub fn capture(
+        time: SimTime,
+        util: &Utilization,
+        running_energy_pj: u64,
+        track_fragmentation: bool,
+    ) -> Self {
         UtilizationSample {
             time,
             running_apps: util.running_apps as u32,
@@ -50,13 +65,77 @@ impl UtilizationSample {
             memory_permille: permille(util.used_memory_bytes, util.total_memory_bytes),
             link_permille: permille(util.used_link_bandwidth, util.total_link_bandwidth),
             energy_pj_per_period: running_energy_pj,
+            frag_permille: track_fragmentation.then_some(util.fragmentation_permille),
         }
     }
 }
 
+impl Serialize for UtilizationSample {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("time".to_string(), self.time.to_value()),
+            ("running_apps".to_string(), self.running_apps.to_value()),
+            ("slots_permille".to_string(), self.slots_permille.to_value()),
+            (
+                "memory_permille".to_string(),
+                self.memory_permille.to_value(),
+            ),
+            ("link_permille".to_string(), self.link_permille.to_value()),
+            (
+                "energy_pj_per_period".to_string(),
+                self.energy_pj_per_period.to_value(),
+            ),
+        ];
+        if let Some(frag) = self.frag_permille {
+            entries.push(("frag_permille".to_string(), frag.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for UtilizationSample {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        Ok(UtilizationSample {
+            time: serde::de::field(value, "time")?,
+            running_apps: serde::de::field(value, "running_apps")?,
+            slots_permille: serde::de::field(value, "slots_permille")?,
+            memory_permille: serde::de::field(value, "memory_permille")?,
+            link_permille: serde::de::field(value, "link_permille")?,
+            energy_pj_per_period: serde::de::field(value, "energy_pj_per_period")?,
+            frag_permille: serde::de::field(value, "frag_permille")?,
+        })
+    }
+}
+
+/// Reconfiguration counters of one simulation run — present in the
+/// [`SimReport`] only when the run was configured with a
+/// [`ReconfigurationPolicy`](rtsm_core::ReconfigurationPolicy), so plain
+/// runs serialize byte-identically to pre-reconfiguration reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigurationReport {
+    /// Blocked arrivals that retried with reconfiguration.
+    pub reconfigure_attempts: u64,
+    /// Retries that admitted the application (blocked → running). The
+    /// headline: each one is an admission the plain policy lost.
+    pub admissions_recovered: u64,
+    /// Migration plans evaluated across all retries.
+    pub plans_tried: u64,
+    /// Victim re-mappings attempted, including plans that rolled back.
+    pub migrations_attempted: u64,
+    /// Migrations actually committed (running apps moved).
+    pub migrations_committed: u64,
+    /// Total modelled state-transfer energy of committed migrations, pJ.
+    pub migration_energy_pj: u64,
+}
+
 /// The deterministic result of one simulation run: same seed, same
 /// platform, same algorithm ⇒ byte-identical serialized report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: the optional
+/// [`reconfiguration`](SimReport::reconfiguration) section is omitted —
+/// not `null` — when absent, keeping plain runs byte-identical to reports
+/// from before reconfiguration existed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Name of the mapping algorithm that admitted applications.
     pub algorithm: String,
@@ -105,6 +184,98 @@ pub struct SimReport {
     /// Whether the ledger was idle after teardown — commit/release stayed
     /// exact inverses over the whole run.
     pub ledger_idle_at_end: bool,
+    /// Reconfiguration counters; `Some` exactly when the run was
+    /// configured with a reconfiguration policy.
+    pub reconfiguration: Option<ReconfigurationReport>,
+}
+
+impl Serialize for SimReport {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("algorithm".to_string(), self.algorithm.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("end_time".to_string(), self.end_time.to_value()),
+            ("arrivals".to_string(), self.arrivals.to_value()),
+            ("admitted".to_string(), self.admitted.to_value()),
+            ("blocked".to_string(), self.blocked.to_value()),
+            ("departures".to_string(), self.departures.to_value()),
+            (
+                "mode_switch_attempts".to_string(),
+                self.mode_switch_attempts.to_value(),
+            ),
+            (
+                "mode_switch_admitted".to_string(),
+                self.mode_switch_admitted.to_value(),
+            ),
+            (
+                "mode_switch_blocked".to_string(),
+                self.mode_switch_blocked.to_value(),
+            ),
+            (
+                "blocking_permille".to_string(),
+                self.blocking_permille.to_value(),
+            ),
+            (
+                "rejection_histogram".to_string(),
+                self.rejection_histogram.to_value(),
+            ),
+            (
+                "admitted_by_app".to_string(),
+                self.admitted_by_app.to_value(),
+            ),
+            (
+                "evaluated_assignments".to_string(),
+                self.evaluated_assignments.to_value(),
+            ),
+            (
+                "refinement_attempts".to_string(),
+                self.refinement_attempts.to_value(),
+            ),
+            ("peak_running".to_string(), self.peak_running.to_value()),
+            (
+                "energy_pj_ticks".to_string(),
+                self.energy_pj_ticks.to_value(),
+            ),
+            ("samples".to_string(), self.samples.to_value()),
+            ("final_running".to_string(), self.final_running.to_value()),
+            (
+                "ledger_idle_at_end".to_string(),
+                self.ledger_idle_at_end.to_value(),
+            ),
+        ];
+        if let Some(reconfiguration) = &self.reconfiguration {
+            entries.push(("reconfiguration".to_string(), reconfiguration.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for SimReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        Ok(SimReport {
+            algorithm: serde::de::field(value, "algorithm")?,
+            seed: serde::de::field(value, "seed")?,
+            end_time: serde::de::field(value, "end_time")?,
+            arrivals: serde::de::field(value, "arrivals")?,
+            admitted: serde::de::field(value, "admitted")?,
+            blocked: serde::de::field(value, "blocked")?,
+            departures: serde::de::field(value, "departures")?,
+            mode_switch_attempts: serde::de::field(value, "mode_switch_attempts")?,
+            mode_switch_admitted: serde::de::field(value, "mode_switch_admitted")?,
+            mode_switch_blocked: serde::de::field(value, "mode_switch_blocked")?,
+            blocking_permille: serde::de::field(value, "blocking_permille")?,
+            rejection_histogram: serde::de::field(value, "rejection_histogram")?,
+            admitted_by_app: serde::de::field(value, "admitted_by_app")?,
+            evaluated_assignments: serde::de::field(value, "evaluated_assignments")?,
+            refinement_attempts: serde::de::field(value, "refinement_attempts")?,
+            peak_running: serde::de::field(value, "peak_running")?,
+            energy_pj_ticks: serde::de::field(value, "energy_pj_ticks")?,
+            samples: serde::de::field(value, "samples")?,
+            final_running: serde::de::field(value, "final_running")?,
+            ledger_idle_at_end: serde::de::field(value, "ledger_idle_at_end")?,
+            reconfiguration: serde::de::field(value, "reconfiguration")?,
+        })
+    }
 }
 
 impl SimReport {
@@ -165,6 +336,7 @@ impl WallStats {
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
     sample_interval: SimTime,
+    track_fragmentation: bool,
     next_sample: SimTime,
     last_time: SimTime,
     arrivals: u64,
@@ -181,14 +353,17 @@ pub struct MetricsCollector {
     peak_running: u64,
     energy_pj_ticks: u64,
     samples: Vec<UtilizationSample>,
+    reconfiguration: Option<ReconfigurationReport>,
 }
 
 impl MetricsCollector {
     /// A collector sampling occupancy every `sample_interval` ticks
-    /// (clamped to ≥ 1).
+    /// (clamped to ≥ 1), without fragmentation tracking or reconfiguration
+    /// counters.
     pub fn new(sample_interval: SimTime) -> Self {
         MetricsCollector {
             sample_interval: sample_interval.max(1),
+            track_fragmentation: false,
             next_sample: 0,
             last_time: 0,
             arrivals: 0,
@@ -205,7 +380,24 @@ impl MetricsCollector {
             peak_running: 0,
             energy_pj_ticks: 0,
             samples: Vec::new(),
+            reconfiguration: None,
         }
+    }
+
+    /// Adds the fragmentation figure to every occupancy sample (builder
+    /// style).
+    #[must_use]
+    pub fn with_fragmentation_tracking(mut self) -> Self {
+        self.track_fragmentation = true;
+        self
+    }
+
+    /// Enables the reconfiguration counters (builder style); the finished
+    /// report then carries a [`ReconfigurationReport`].
+    #[must_use]
+    pub fn with_reconfiguration_counters(mut self) -> Self {
+        self.reconfiguration = Some(ReconfigurationReport::default());
+        self
     }
 
     /// Advances virtual time to `now` given the state that held since the
@@ -218,6 +410,7 @@ impl MetricsCollector {
                 self.next_sample,
                 util,
                 running_energy_pj,
+                self.track_fragmentation,
             ));
             self.next_sample += self.sample_interval;
         }
@@ -285,6 +478,66 @@ impl MetricsCollector {
         self.note_rejected(kind, attempts);
     }
 
+    /// Records the search effort of a blocked arrival whose fate is
+    /// deferred to a same-instant reconfiguration retry: the failed plain
+    /// attempt's refinement effort is accounted immediately (it was really
+    /// spent), while the blocked/recovered decision and the rejection
+    /// histogram wait for the retry's outcome.
+    pub fn record_retry_scheduled(&mut self, attempts: u64) {
+        self.refinement_attempts += attempts;
+    }
+
+    /// The reconfiguration counters, for in-flight updates. Panics when
+    /// the collector was built without
+    /// [`with_reconfiguration_counters`](MetricsCollector::with_reconfiguration_counters).
+    fn reconfig(&mut self) -> &mut ReconfigurationReport {
+        self.reconfiguration
+            .as_mut()
+            .expect("reconfiguration counters were enabled")
+    }
+
+    /// Records a recovered admission: a blocked arrival that the
+    /// reconfiguration retry admitted. Counts as the arrival's admission
+    /// (so blocking probability reflects the recovery) plus the plan
+    /// search's effort and committed migrations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_admission_recovered(
+        &mut self,
+        app_name: &str,
+        evaluated: u64,
+        attempts: u64,
+        plans_tried: u64,
+        migrations_attempted: u64,
+        migrations_committed: u64,
+        migration_energy_pj: u64,
+    ) {
+        self.record_admission(app_name, evaluated, attempts);
+        let r = self.reconfig();
+        r.reconfigure_attempts += 1;
+        r.admissions_recovered += 1;
+        r.plans_tried += plans_tried;
+        r.migrations_attempted += migrations_attempted;
+        r.migrations_committed += migrations_committed;
+        r.migration_energy_pj += migration_energy_pj;
+    }
+
+    /// Records a reconfiguration retry that still could not admit the
+    /// arrival — the instance's definitive blocking, plus the failed
+    /// search's effort.
+    pub fn record_reconfigure_blocked(
+        &mut self,
+        kind: AdmissionErrorKind,
+        attempts: u64,
+        plans_tried: u64,
+        migrations_attempted: u64,
+    ) {
+        self.record_blocked(kind, attempts);
+        let r = self.reconfig();
+        r.reconfigure_attempts += 1;
+        r.plans_tried += plans_tried;
+        r.migrations_attempted += migrations_attempted;
+    }
+
     /// Notes the current number of running applications (peak tracking).
     pub fn note_running(&mut self, running: usize) {
         self.peak_running = self.peak_running.max(running as u64);
@@ -323,6 +576,7 @@ impl MetricsCollector {
             samples: self.samples,
             final_running,
             ledger_idle_at_end,
+            reconfiguration: self.reconfiguration,
         }
     }
 }
@@ -340,6 +594,8 @@ mod tests {
             used_link_bandwidth: 0,
             total_link_bandwidth: 1000,
             running_apps: 0,
+            largest_free_slot_region: 10,
+            fragmentation_permille: 0,
         }
     }
 

@@ -7,7 +7,10 @@ use crate::workload::{ArrivalProcess, Catalog, HoldingTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rtsm_app::ApplicationSpec;
-use rtsm_core::runtime::{AdmissionError, AdmissionErrorKind, AppHandle, RuntimeManager};
+use rtsm_core::runtime::{
+    AdmissionError, AdmissionErrorKind, AppHandle, ReconfigurationPolicy, RuntimeError,
+    RuntimeManager,
+};
 use rtsm_core::{MapError, MappingAlgorithm};
 use rtsm_platform::Platform;
 use std::collections::BTreeMap;
@@ -35,6 +38,16 @@ pub struct SimConfig {
     /// instances still running are torn down via
     /// [`RuntimeManager::stop_all`]. `None` drains the queue naturally.
     pub horizon: Option<SimTime>,
+    /// When set, blocked arrivals retry admission through
+    /// [`RuntimeManager::start_with_reconfiguration`] (a
+    /// [`SimEvent::Reconfigure`] at the same virtual instant), and the
+    /// report carries reconfiguration counters. `None` — the default —
+    /// reproduces the plain admit-or-reject behaviour byte-for-byte.
+    pub reconfiguration: Option<ReconfigurationPolicy>,
+    /// Record the fragmentation figure in every occupancy sample. Off by
+    /// default so plain reports stay byte-identical to pre-fragmentation
+    /// runs.
+    pub track_fragmentation: bool,
 }
 
 impl Default for SimConfig {
@@ -47,6 +60,8 @@ impl Default for SimConfig {
             mode_switch_probability: 0.1,
             sample_interval: 1000,
             horizon: None,
+            reconfiguration: None,
+            track_fragmentation: false,
         }
     }
 }
@@ -123,16 +138,24 @@ fn try_admit<A: MappingAlgorithm>(
 ///   is scheduled after a drawn holding time (and possibly one mode
 ///   switch strictly before it); if rejected, the instance is *blocked*
 ///   and leaves (no retry — blocked-calls-cleared, the classic admission
-///   model).
+///   model) — unless a reconfiguration policy is set, in which case a
+///   [`SimEvent::Reconfigure`] at the same instant decides its fate.
 /// * **Departure** — the instance stops and releases its resources.
 /// * **ModeSwitch** — the instance stops, redraws a spec from the
 ///   catalog, and requests re-admission at the same virtual instant; if
 ///   rejected it leaves (its scheduled departure becomes stale and is
-///   ignored).
+///   ignored). Mode switches never reconfigure: the instance already held
+///   resources, so its blocking is a switching loss, not an admission
+///   loss.
+/// * **Reconfigure** — the blocked instance retries through
+///   [`RuntimeManager::start_with_reconfiguration`]: bounded migration
+///   plans may move running applications (all-or-nothing) to make room.
+///   Success is counted as a *recovered admission*; failure is the
+///   instance's definitive blocking.
 ///
 /// # Errors
 ///
-/// [`AdmissionError::CommitFailed`] / [`AdmissionError::ReleaseFailed`]
+/// [`AdmissionError::CommitFailed`] / [`RuntimeError::ReleaseFailed`]
 /// if the manager's own ledger rejects a commit or release — impossible
 /// unless the platform state is mutated outside the simulation.
 ///
@@ -144,7 +167,7 @@ pub fn run_sim<A: MappingAlgorithm>(
     algorithm: A,
     catalog: &Catalog,
     config: &SimConfig,
-) -> Result<SimRun, AdmissionError> {
+) -> Result<SimRun, RuntimeError> {
     assert!(
         !catalog.is_empty(),
         "the workload catalog must not be empty"
@@ -153,6 +176,12 @@ pub fn run_sim<A: MappingAlgorithm>(
     let mut manager = RuntimeManager::new(platform.clone(), algorithm);
     let mut queue = EventQueue::new();
     let mut metrics = MetricsCollector::new(config.sample_interval);
+    if config.track_fragmentation {
+        metrics = metrics.with_fragmentation_tracking();
+    }
+    if config.reconfiguration.is_some() {
+        metrics = metrics.with_reconfiguration_counters();
+    }
     let mut wall = WallStats::default();
     // Instance → current handle; absent once departed or blocked.
     let mut handles: BTreeMap<InstanceId, AppHandle> = BTreeMap::new();
@@ -213,7 +242,70 @@ pub fn run_sim<A: MappingAlgorithm>(
                         }
                     }
                     Admission::Blocked { kind, attempts } => {
-                        metrics.record_blocked(kind, attempts);
+                        if config.reconfiguration.is_some() {
+                            // The retry at the same instant decides whether
+                            // this counts as blocked or recovered; the
+                            // failed attempt's search effort is booked now.
+                            metrics.record_retry_scheduled(attempts);
+                            queue.push(
+                                now,
+                                SimEvent::Reconfigure {
+                                    instance,
+                                    catalog_index,
+                                },
+                            );
+                        } else {
+                            metrics.record_blocked(kind, attempts);
+                        }
+                    }
+                }
+            }
+            SimEvent::Reconfigure {
+                instance,
+                catalog_index,
+            } => {
+                let policy = config
+                    .reconfiguration
+                    .as_ref()
+                    .expect("Reconfigure events are only scheduled with a policy");
+                let entry = &catalog.entries()[catalog_index];
+                let started = Instant::now();
+                let result = manager.start_with_reconfiguration(entry.spec.clone(), policy);
+                wall.record(started.elapsed());
+                match result {
+                    Ok(reconfiguration) => {
+                        let outcome = &manager
+                            .get(reconfiguration.handle)
+                            .expect("just admitted")
+                            .outcome;
+                        metrics.record_admission_recovered(
+                            &entry.name,
+                            outcome.evaluated,
+                            outcome.attempts as u64,
+                            reconfiguration.plans_tried,
+                            reconfiguration.migrations_attempted,
+                            reconfiguration.migrations.len() as u64,
+                            reconfiguration.migration_energy_pj,
+                        );
+                        metrics.note_running(manager.n_running());
+                        handles.insert(instance, reconfiguration.handle);
+                        let holding = config.holding.draw(&mut rng);
+                        queue.push(now + holding, SimEvent::Departure { instance });
+                        if holding >= 2 && rng.random_bool(config.mode_switch_probability) {
+                            let at = now + rng.random_range(1..holding);
+                            queue.push(at, SimEvent::ModeSwitch { instance });
+                        }
+                    }
+                    Err(failure) => {
+                        if let AdmissionError::CommitFailed(_) = &failure.error {
+                            return Err(RuntimeError::Admission(failure.error));
+                        }
+                        metrics.record_reconfigure_blocked(
+                            failure.error.kind(),
+                            rejected_attempts(&failure.error),
+                            failure.plans_tried,
+                            failure.migrations_attempted,
+                        );
                     }
                 }
             }

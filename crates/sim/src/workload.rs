@@ -127,6 +127,20 @@ impl Catalog {
             )
     }
 
+    /// The engineered fragmentation workload
+    /// ([`rtsm_workloads::defrag`]): light applications (two share an ARM
+    /// tile) heavily outnumber heavy ones (which need an ARM without a
+    /// light co-tenant), so churn strands free memory and heavy arrivals
+    /// block on placement rather than capacity. Pair with
+    /// [`rtsm_workloads::defrag_platform`] and a
+    /// [`ReconfigurationPolicy`](rtsm_core::ReconfigurationPolicy) to
+    /// measure recovered admissions.
+    pub fn defrag() -> Self {
+        Catalog::new()
+            .with("defrag light", 3, rtsm_workloads::defrag_light())
+            .with("defrag heavy", 1, rtsm_workloads::defrag_heavy())
+    }
+
     /// `n` seeded synthetic chain applications (3–7 processes, MONTIUM
     /// preferred with ARM alternatives), equally weighted. Deterministic
     /// per `seed`.

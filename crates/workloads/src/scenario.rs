@@ -22,7 +22,9 @@
 //! [`ScenarioOutcome::ignored_stops`] and otherwise ignored.
 
 use rtsm_app::ApplicationSpec;
-use rtsm_core::runtime::{AdmissionError, AdmissionErrorKind, AppHandle, RuntimeManager};
+use rtsm_core::runtime::{
+    AdmissionError, AdmissionErrorKind, AppHandle, RuntimeError, RuntimeManager,
+};
 use rtsm_core::{MappingAlgorithm, MappingOutcome};
 use rtsm_platform::{Platform, PlatformState};
 use serde::{Deserialize, Serialize};
@@ -129,14 +131,14 @@ pub struct ScenarioSummary {
 ///
 /// # Errors
 ///
-/// [`AdmissionError::CommitFailed`] / [`AdmissionError::ReleaseFailed`] if
+/// [`AdmissionError::CommitFailed`] / [`RuntimeError::ReleaseFailed`] if
 /// the ledger rejects a commit or release (impossible unless the platform
 /// state is mutated outside the replay — a bug, reported not panicked).
 pub fn run_scenario<A: MappingAlgorithm>(
     platform: &Platform,
     events: Vec<AppEvent>,
     algorithm: A,
-) -> Result<ScenarioOutcome, AdmissionError> {
+) -> Result<ScenarioOutcome, RuntimeError> {
     let mut manager = RuntimeManager::new(platform.clone(), algorithm);
     // Handle of each Start event, in script order; `None` once stopped or
     // when the start was rejected.
@@ -158,12 +160,12 @@ pub fn run_scenario<A: MappingAlgorithm>(
                     handles.push(None);
                     rejected += 1;
                 }
-                Err(fatal) => return Err(fatal),
+                Err(fatal) => return Err(fatal.into()),
             },
             AppEvent::Stop(AppId(id)) => match handles.get_mut(id).and_then(Option::take) {
                 Some(handle) => match manager.stop(handle) {
                     Ok(_) => {}
-                    Err(AdmissionError::UnknownHandle(_)) => ignored_stops += 1,
+                    Err(RuntimeError::UnknownHandle(_)) => ignored_stops += 1,
                     Err(fatal) => return Err(fatal),
                 },
                 None => ignored_stops += 1,

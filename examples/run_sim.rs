@@ -26,6 +26,8 @@ fn main() {
         mode_switch_probability: 0.15,
         sample_interval: 50_000,
         horizon: None,
+        reconfiguration: None,
+        track_fragmentation: false,
     };
 
     let run = run_sim(

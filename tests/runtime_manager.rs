@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rtsm::core::{AdmissionError, AppHandle, RuntimeManager, SpatialMapper};
+use rtsm::core::{
+    AdmissionError, AppHandle, MappingConstraints, RuntimeError, RuntimeManager, SpatialMapper,
+};
 use rtsm::platform::TileKind;
 use rtsm::workloads::{mesh_platform, synthetic_app, GraphShape, SyntheticConfig};
 
@@ -115,8 +117,71 @@ fn stale_handles_fail_cleanly() {
     let running_before = m.n_running();
     assert!(matches!(
         m.stop(h0),
-        Err(AdmissionError::UnknownHandle(stale)) if stale == h0
+        Err(RuntimeError::UnknownHandle(stale)) if stale == h0
     ));
     assert_eq!(m.state(), &snapshot);
     assert_eq!(m.n_running(), running_before);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Churn plus forced-to-fail remaps: a remap whose constraints exclude
+    /// every tile must roll back to the *exact* ledger — claims, buffer
+    /// memory, and allocated routes — and the app must keep functioning
+    /// (it still stops cleanly at drain time).
+    #[test]
+    fn churned_remap_rollback_restores_state_and_routes(seed in 0u64..40) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEFA6);
+        let mut m = manager(seed);
+        let empty = m.state().clone();
+        let unsatisfiable = {
+            // Excluding every tile leaves any remap nowhere to go.
+            let mut c = MappingConstraints::none();
+            for (tile, _) in m.platform().clone().tiles() {
+                c = c.exclude_tile(tile);
+            }
+            c
+        };
+        let mut live: Vec<AppHandle> = Vec::new();
+        let mut app_seed = seed;
+
+        for _ in 0..16 {
+            let action = rng.random_range(0usize..3);
+            if live.is_empty() || action == 0 {
+                app_seed += 1;
+                match m.start(app(app_seed, rng.random_range(2usize..=4))) {
+                    Ok(handle) => live.push(handle),
+                    Err(AdmissionError::Rejected(_)) => {}
+                    Err(other) => prop_assert!(false, "unexpected error: {other}"),
+                }
+            } else if action == 1 {
+                let victim = live.swap_remove(rng.random_range(0usize..live.len()));
+                m.stop(victim).expect("live handle stops");
+            } else {
+                // Induced remap failure: ledger and record must not move.
+                let target = live[rng.random_range(0usize..live.len())];
+                let ledger = m.state().clone();
+                let record = m.get(target).expect("live handle").clone();
+                let err = m.remap(target, &unsatisfiable).expect_err("cannot satisfy");
+                prop_assert!(matches!(err, RuntimeError::Admission(_)));
+                prop_assert!(
+                    m.state() == &ledger,
+                    "failed remap must restore the exact ledger (seed {seed})"
+                );
+                prop_assert!(
+                    m.get(target) == Some(&record),
+                    "failed remap must keep the old mapping and routes (seed {seed})"
+                );
+            }
+        }
+
+        for handle in live.drain(..) {
+            m.stop(handle).expect("live handle stops");
+        }
+        prop_assert!(
+            m.state() == &empty,
+            "ledger leaked claims after churn with failed remaps (seed {seed})"
+        );
+    }
 }

@@ -170,6 +170,10 @@ fn sim_event_roundtrips() {
         SimEvent::ModeSwitch {
             instance: InstanceId(9),
         },
+        SimEvent::Reconfigure {
+            instance: InstanceId(12),
+            catalog_index: 1,
+        },
     ];
     for event in events {
         let json = serde_json::to_string(&event).expect("serialize");
@@ -197,4 +201,44 @@ fn sim_report_roundtrips() {
     // The rejection histogram's enum keys survive the round trip.
     assert_eq!(back.rejection_histogram, run.report.rejection_histogram);
     assert!(!back.samples.is_empty());
+    // Without a reconfiguration policy, the optional section is *absent*
+    // from the JSON (not null) — the byte-compatibility contract with
+    // pre-reconfiguration reports.
+    assert!(run.report.reconfiguration.is_none());
+    assert!(!json.contains("\"reconfiguration\""));
+    assert!(!json.contains("frag_permille"));
+}
+
+#[test]
+fn sim_report_with_reconfiguration_roundtrips() {
+    use rtsm::core::ReconfigurationPolicy;
+    use rtsm::workloads::defrag_platform;
+    let run = run_sim(
+        &defrag_platform(4),
+        SpatialMapper::default(),
+        &Catalog::defrag(),
+        &SimConfig {
+            seed: 2008,
+            arrivals: 300,
+            reconfiguration: Some(ReconfigurationPolicy::default()),
+            track_fragmentation: true,
+            ..SimConfig::default()
+        },
+    )
+    .expect("simulation never breaks its own ledger");
+    let reconfiguration = run.report.reconfiguration.expect("counters present");
+    assert!(
+        reconfiguration.admissions_recovered > 0,
+        "the engineered defrag workload recovers admissions: {reconfiguration:?}"
+    );
+    assert!(reconfiguration.migrations_committed > 0);
+    assert!(reconfiguration.migration_energy_pj > 0);
+    assert!(
+        run.report.samples.iter().any(|s| s.frag_permille.is_some()),
+        "fragmentation tracked per sample"
+    );
+    let json = serde_json::to_string(&run.report).expect("serialize");
+    assert!(json.contains("\"reconfiguration\""));
+    let back: SimReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(run.report, back);
 }

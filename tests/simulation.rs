@@ -19,6 +19,8 @@ fn config(seed: u64, arrivals: u64) -> SimConfig {
         mode_switch_probability: 0.2,
         sample_interval: 5000,
         horizon: None,
+        reconfiguration: None,
+        track_fragmentation: false,
     }
 }
 
@@ -135,6 +137,72 @@ fn mixed_workload_on_a_mesh_platform() {
         "several catalog entries admitted"
     );
     assert!(report.ledger_idle_at_end);
+}
+
+/// The acceptance scenario for reconfiguration: at the same seed, the
+/// mixed workload's blocking probability is *strictly lower* with
+/// reconfiguration than without, the recovered-admission counters are
+/// populated and deterministic, and the ledger still drains to idle.
+#[test]
+fn reconfiguration_strictly_lowers_mixed_workload_blocking() {
+    use rtsm::core::ReconfigurationPolicy;
+    let platform = mesh_platform(
+        42,
+        4,
+        4,
+        &[
+            (TileKind::Montium, 4),
+            (TileKind::Arm, 4),
+            (TileKind::Dsp, 2),
+        ],
+    );
+    let base = SimConfig {
+        seed: 2008,
+        arrivals: 300,
+        ..SimConfig::default()
+    };
+    let plain = run_sim(
+        &platform,
+        SpatialMapper::default(),
+        &Catalog::mixed_dsp(),
+        &base,
+    )
+    .unwrap()
+    .report;
+    let with_reconfig = || {
+        run_sim(
+            &platform,
+            SpatialMapper::default(),
+            &Catalog::mixed_dsp(),
+            &SimConfig {
+                reconfiguration: Some(ReconfigurationPolicy::default()),
+                track_fragmentation: true,
+                ..base.clone()
+            },
+        )
+        .unwrap()
+        .report
+    };
+    let reconfigured = with_reconfig();
+    assert!(plain.reconfiguration.is_none());
+    let counters = reconfigured.reconfiguration.expect("counters present");
+    assert!(
+        counters.admissions_recovered > 0,
+        "the mixed workload must recover admissions: {counters:?}"
+    );
+    assert!(
+        reconfigured.blocking_permille < plain.blocking_permille,
+        "blocking must be strictly lower with reconfiguration \
+         ({} vs {})",
+        reconfigured.blocking_permille,
+        plain.blocking_permille
+    );
+    assert!(reconfigured.ledger_idle_at_end);
+    // Deterministic down to the serialized bytes.
+    assert_eq!(
+        serde_json::to_string(&reconfigured).unwrap(),
+        serde_json::to_string(&with_reconfig()).unwrap()
+    );
 }
 
 /// A horizon cuts the run short; `stop_all` still drains the ledger and

@@ -1,0 +1,158 @@
+//! The transactional contract of [`PlatformTransaction`], checked against
+//! a naive model: for *any* interleaving of claims, releases, link and
+//! path (de)allocations — including operations that fail mid-build — a
+//! committed transaction leaves the ledger byte-identical to applying the
+//! successful operations directly, and an aborted (or dropped) one leaves
+//! it byte-identical to the snapshot taken at `begin`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtsm::platform::{
+    routing, Coord, NocParams, Platform, PlatformBuilder, PlatformState, PlatformTransaction,
+    TileClaim, TileId, TileKind,
+};
+
+/// A deliberately tight platform so random operations fail often: 2-slot
+/// tiles, 4 KiB memory, small NI and link budgets.
+fn tight_platform() -> Platform {
+    PlatformBuilder::mesh(2, 2)
+        .noc(NocParams {
+            hop_latency_cycles: 4,
+            clock_mhz: 200,
+            link_capacity: 5_000,
+        })
+        .tile_defaults(200, 2, 4096, 10_000)
+        .tile("a", TileKind::Arm, Coord { x: 0, y: 0 })
+        .tile("b", TileKind::Arm, Coord { x: 1, y: 0 })
+        .tile("c", TileKind::Arm, Coord { x: 0, y: 1 })
+        .tile("d", TileKind::Arm, Coord { x: 1, y: 1 })
+        .build()
+        .unwrap()
+}
+
+fn random_claim(rng: &mut StdRng) -> TileClaim {
+    TileClaim {
+        slots: rng.random_range(0u64..3) as u32,
+        memory_bytes: rng.random_range(0u64..3000),
+        cycles_per_second: rng.random_range(0u64..150_000_000),
+        injection: rng.random_range(0u64..8_000),
+        ejection: rng.random_range(0u64..8_000),
+    }
+}
+
+/// Applies one random operation to both the transaction and the naive
+/// model, asserting they agree on success/failure.
+fn apply_random_op(
+    platform: &Platform,
+    rng: &mut StdRng,
+    tx: &mut PlatformTransaction<'_>,
+    naive: &mut PlatformState,
+) {
+    let tile = TileId::from_index(rng.random_range(0usize..platform.n_tiles()));
+    match rng.random_range(0usize..6) {
+        0 => {
+            let claim = random_claim(rng);
+            let a = tx.claim_tile(tile, &claim).is_ok();
+            let b = naive.claim_tile(platform, tile, &claim).is_ok();
+            prop_assert_eq!(a, b, "claim_tile outcome diverged");
+        }
+        1 => {
+            let claim = random_claim(rng);
+            let a = tx.release_tile(tile, &claim).is_ok();
+            let b = naive.release_tile(tile, &claim).is_ok();
+            prop_assert_eq!(a, b, "release_tile outcome diverged");
+        }
+        2 => {
+            let links: Vec<_> = platform.links().map(|(id, _)| id).collect();
+            let link = links[rng.random_range(0usize..links.len())];
+            let demand = rng.random_range(0u64..4_000);
+            let a = tx.allocate_link(link, demand).is_ok();
+            let b = naive.allocate_link(platform, link, demand).is_ok();
+            prop_assert_eq!(a, b, "allocate_link outcome diverged");
+        }
+        3 => {
+            let links: Vec<_> = platform.links().map(|(id, _)| id).collect();
+            let link = links[rng.random_range(0usize..links.len())];
+            let demand = rng.random_range(0u64..4_000);
+            let a = tx.release_link(link, demand).is_ok();
+            let b = naive.release_link(link, demand).is_ok();
+            prop_assert_eq!(a, b, "release_link outcome diverged");
+        }
+        4 => {
+            // Allocate a whole routed path — the composite operation the
+            // mapping commit path uses.
+            let from = TileId::from_index(rng.random_range(0usize..platform.n_tiles()));
+            let to = TileId::from_index(rng.random_range(0usize..platform.n_tiles()));
+            let demand = rng.random_range(1u64..4_000);
+            if let Ok(path) = routing::route(platform, tx.state(), from, to, demand) {
+                let a = tx.allocate_path(&path).is_ok();
+                let b = routing::allocate(platform, naive, &path).is_ok();
+                prop_assert_eq!(a, b, "allocate_path outcome diverged");
+            }
+        }
+        _ => {
+            // Release a (probably unallocated) path: exercises the
+            // mid-build failure path where some links release and a later
+            // step fails — the transaction must stay consistent.
+            let from = TileId::from_index(rng.random_range(0usize..platform.n_tiles()));
+            let to = TileId::from_index(rng.random_range(0usize..platform.n_tiles()));
+            let demand = rng.random_range(1u64..2_000);
+            if let Ok(path) = routing::route(platform, &platform.initial_state(), from, to, demand)
+            {
+                let a = tx.release_path(&path).is_ok();
+                // The naive model must mirror the partial-then-rollback
+                // semantics, so replay it under its own transaction.
+                let b = routing::release(platform, naive, &path).is_ok();
+                prop_assert_eq!(a, b, "release_path outcome diverged");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunks of random operations run inside transactions that randomly
+    /// commit or abort; after every chunk the transactional ledger is
+    /// byte-identical to the naive snapshot-and-replay model.
+    #[test]
+    fn any_interleaving_matches_naive_replay(seed in 0u64..400) {
+        let platform = tight_platform();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut real = platform.initial_state();
+
+        for _chunk in 0..6 {
+            let snapshot = real.clone();
+            let mut naive = snapshot.clone();
+            let n_ops = rng.random_range(0usize..8);
+            let commit = rng.random_bool(0.5);
+            let explicit_abort = rng.random_bool(0.5);
+            {
+                let mut tx = PlatformTransaction::begin(&platform, &mut real);
+                for _ in 0..n_ops {
+                    apply_random_op(&platform, &mut rng, &mut tx, &mut naive);
+                    prop_assert!(
+                        tx.state() == &naive,
+                        "mid-transaction state diverged from naive replay (seed {seed})"
+                    );
+                }
+                if commit {
+                    tx.commit();
+                } else if explicit_abort {
+                    tx.abort();
+                }
+                // else: drop without commit — the implicit abort.
+            }
+            let expected = if commit { naive } else { snapshot };
+            prop_assert!(
+                real == expected,
+                "post-transaction ledger diverged (seed {seed}, commit {commit})"
+            );
+            // Byte-identical, not merely structurally equal.
+            let real_json = serde_json::to_string(&real).expect("serialize");
+            let expected_json = serde_json::to_string(&expected).expect("serialize");
+            prop_assert_eq!(real_json, expected_json);
+        }
+    }
+}
