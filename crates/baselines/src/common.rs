@@ -2,7 +2,7 @@
 //!
 //! All baselines implement the workspace-wide
 //! [`MappingAlgorithm`](rtsm_core::MappingAlgorithm) trait and produce the
-//! same [`MappingOutcome`](rtsm_core::MappingOutcome) the heuristic does.
+//! same [`MappingOutcome`] the heuristic does.
 //! [`finalize_assignment`] is the shared back-end that makes their scores
 //! comparable: identical step-3 routing and identical step-4 dataflow
 //! analysis, with buffers populated so the outcome can be committed onto a

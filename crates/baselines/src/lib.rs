@@ -15,9 +15,9 @@
 //!   ablation for step 2.
 //!
 //! Every baseline implements the workspace-wide
-//! [`MappingAlgorithm`](rtsm_core::MappingAlgorithm) trait (the paper's
+//! [`MappingAlgorithm`] trait (the paper's
 //! full heuristic is [`rtsm_core::SpatialMapper`], behind the same trait)
-//! and returns the shared [`MappingOutcome`](rtsm_core::MappingOutcome)
+//! and returns the shared [`MappingOutcome`]
 //! type, so results are interchangeable: any of them can drive a
 //! [`RuntimeManager`](rtsm_core::RuntimeManager) or a benchmark table.
 //!

@@ -8,6 +8,11 @@
 //! * synthetic-chain scaling (map latency vs. application size);
 //! * simulated events/second for all five mapping algorithms under a
 //!   fixed-seed stochastic workload;
+//! * the energy-aware reconfiguration **Pareto front** (`pareto` section):
+//!   blocking ‰ vs. total migration energy for a sweep of the objective
+//!   weight λ and the admission-policy set on the defrag workload, with
+//!   sanity gates (bounded policies must still recover admissions while
+//!   spending strictly less migration energy than always-admit);
 //! * peak live heap allocation during one `map()` call, via the workspace's
 //!   [`PeakAlloc`] global allocator.
 //!
@@ -25,7 +30,8 @@ use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
 use rtsm_bench::alloc_track::PeakAlloc;
 use rtsm_core::{
-    MapperConfig, MappingAlgorithm, ReconfigurationPolicy, RuntimeManager, SpatialMapper,
+    AdmissionPolicy, MapperConfig, MappingAlgorithm, ReconfigurationObjective,
+    ReconfigurationPolicy, RuntimeManager, SpatialMapper,
 };
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
@@ -103,6 +109,21 @@ struct FragmentedAdmission {
     remap_median_ns: u64,
 }
 
+/// One point of the energy-aware reconfiguration Pareto front: a (policy,
+/// λ) configuration simulated on the defrag workload. Deterministic per
+/// seed — the λ-sweep table in the README is generated from these.
+#[derive(Serialize)]
+struct ParetoPoint {
+    policy: String,
+    lambda_permille: u64,
+    blocking_permille: u64,
+    admissions_recovered: u64,
+    migrations_committed: u64,
+    migration_energy_pj: u64,
+    plans_refused: u64,
+    mode_switches_survived: u64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: String,
@@ -112,6 +133,7 @@ struct BenchReport {
     synthetic_chain: Vec<ChainPoint>,
     sim: Vec<SimPoint>,
     fragmented_admission: FragmentedAdmission,
+    pareto: Vec<ParetoPoint>,
     sanity_checks_passed: bool,
 }
 
@@ -296,6 +318,112 @@ fn main() {
         "reconfiguration must recover every engineered fragmented admission"
     );
 
+    // --- Energy-aware reconfiguration Pareto front ------------------------
+    // Sweep the migration-energy weight λ and the admission-policy set on
+    // the defrag workload: blocking ‰ against total migration energy. The
+    // sweep is fully deterministic per seed (only virtual-time counters are
+    // recorded), so the emitted front is CI-comparable run to run.
+    let pareto_catalog = Catalog::defrag();
+    let pareto_platform = defrag_platform(4);
+    let pareto_config = SimConfig {
+        seed,
+        arrivals: sim_arrivals.clamp(200, 1000),
+        ..SimConfig::default()
+    };
+    let policies = [
+        AdmissionPolicy::AlwaysAdmit,
+        AdmissionPolicy::EnergyBudget {
+            max_transfer_pj: 500_000,
+        },
+        AdmissionPolicy::AmortizedPayback {
+            horizon_periods: 64,
+        },
+    ];
+    let mut pareto = Vec::new();
+    println!(
+        "{:<26} {:>8} {:>9} {:>10} {:>10} {:>12} {:>8} {:>9}",
+        "pareto/policy",
+        "λ‰",
+        "block ‰",
+        "recovered",
+        "migrations",
+        "migr. pJ",
+        "refused",
+        "survived"
+    );
+    for admission in policies {
+        for lambda_permille in [0u64, 1000, 4000] {
+            let config = SimConfig {
+                reconfiguration: Some(ReconfigurationPolicy {
+                    objective: ReconfigurationObjective { lambda_permille },
+                    admission,
+                    ..ReconfigurationPolicy::default()
+                }),
+                track_fragmentation: true,
+                ..pareto_config.clone()
+            };
+            let run = run_sim(
+                &pareto_platform,
+                SpatialMapper::new(MapperConfig::default().without_capture()),
+                &pareto_catalog,
+                &config,
+            )
+            .expect("the simulation never breaks its own ledger");
+            let r = run
+                .report
+                .reconfiguration
+                .clone()
+                .expect("reconfiguration counters present");
+            println!(
+                "{:<26} {:>8} {:>9} {:>10} {:>10} {:>12} {:>8} {:>9}",
+                r.policy,
+                lambda_permille,
+                run.report.blocking_permille,
+                r.admissions_recovered,
+                r.migrations_committed,
+                r.migration_energy_pj,
+                r.plans_refused,
+                r.mode_switches_survived,
+            );
+            pareto.push(ParetoPoint {
+                policy: r.policy,
+                lambda_permille,
+                blocking_permille: run.report.blocking_permille,
+                admissions_recovered: r.admissions_recovered,
+                migrations_committed: r.migrations_committed,
+                migration_energy_pj: r.migration_energy_pj,
+                plans_refused: r.plans_refused,
+                mode_switches_survived: r.mode_switches_survived,
+            });
+        }
+    }
+    // Sanity gates on the front itself: always-admit recovers the most,
+    // and every bounded policy spends strictly less migration energy than
+    // always-admit at the same λ.
+    for lambda in [0u64, 1000, 4000] {
+        let energy_of = |policy_prefix: &str| {
+            pareto
+                .iter()
+                .find(|p| p.lambda_permille == lambda && p.policy.starts_with(policy_prefix))
+                .map(|p| (p.admissions_recovered, p.migration_energy_pj))
+                .expect("sweep covers this point")
+        };
+        let (always_recovered, always_energy) = energy_of("always-admit");
+        assert!(always_recovered > 0, "always-admit must recover admissions");
+        for bounded in ["energy-budget", "amortized-payback"] {
+            let (recovered, energy) = energy_of(bounded);
+            assert!(
+                recovered > 0,
+                "{bounded} must still recover some admissions at λ={lambda}"
+            );
+            assert!(
+                energy < always_energy,
+                "{bounded} must spend strictly less migration energy than always-admit \
+                 at λ={lambda} ({energy} vs {always_energy})"
+            );
+        }
+    }
+
     // --- Simulated events/second, all five algorithms ---------------------
     let algorithms: Vec<(&str, Box<dyn MappingAlgorithm>)> = vec![
         (
@@ -352,7 +480,7 @@ fn main() {
     assert!(deterministic, "fixed-seed reports must be byte-identical");
 
     let report = BenchReport {
-        schema: "rtsm-bench-map/2".into(),
+        schema: "rtsm-bench-map/3".into(),
         seed,
         baseline: Baseline {
             commit: "c9eb51b".into(),
@@ -370,6 +498,7 @@ fn main() {
         synthetic_chain,
         sim,
         fragmented_admission,
+        pareto,
         sanity_checks_passed: true,
     };
     let json = serde_json::to_string(&report).expect("report serializes");

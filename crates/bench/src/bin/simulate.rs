@@ -6,8 +6,10 @@
 //! simulate [--seed N] [--arrivals N] [--algorithm NAME|all]
 //!          [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N]
 //!          [--mean-gap N] [--mean-hold N] [--switch-prob PCT]
-//!          [--sample-interval N] [--horizon N] [--json]
+//!          [--sample-interval N] [--horizon N] [--json] [--out PATH]
 //!          [--reconfigure] [--max-migrations N] [--max-plans N]
+//!          [--policy always|energy-budget|amortized-payback]
+//!          [--lambda PERMILLE] [--budget-pj N] [--payback N]
 //! ```
 //!
 //! `--reconfigure` enables defragmentation-by-migration: blocked arrivals
@@ -17,6 +19,19 @@
 //! deterministic (each algorithm is simulated twice and byte-compared)
 //! and that at least one admission was recovered overall — the CI smoke
 //! for the reconfiguration path.
+//!
+//! `--lambda` sets the migration-energy weight λ (permille) of the plan
+//! objective; `--policy` picks the admission policy (`energy-budget`
+//! takes `--budget-pj`, `amortized-payback` takes `--payback` periods).
+//! With a policy other than `always`, every algorithm is *also* simulated
+//! under `AlwaysAdmit` at the same λ, and the run **asserts** the Pareto
+//! trade: the bounded policy still recovers at least one admission while
+//! spending strictly less total migration energy than `AlwaysAdmit` —
+//! the CI Pareto smoke.
+//!
+//! `--out PATH` writes the serialized reports (one JSON line per
+//! algorithm) to a file — what the CI determinism gate byte-compares
+//! across two invocations.
 //!
 //! `--seed` varies only the *workload* (arrival times, catalog draws,
 //! holding times); the platform layout and the synthetic application
@@ -30,7 +45,10 @@
 //! mapping latency is printed separately because it cannot be.
 
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
-use rtsm_core::{MapperConfig, MappingAlgorithm, ReconfigurationPolicy, SpatialMapper};
+use rtsm_core::{
+    AdmissionPolicy, MapperConfig, MappingAlgorithm, ReconfigurationObjective,
+    ReconfigurationPolicy, SpatialMapper,
+};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
 use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, SimRun};
@@ -65,7 +83,7 @@ fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
 }
 
 /// Flags that take a value, in usage order.
-const VALUE_FLAGS: [&str; 12] = [
+const VALUE_FLAGS: [&str; 17] = [
     "--seed",
     "--arrivals",
     "--algorithm",
@@ -76,8 +94,13 @@ const VALUE_FLAGS: [&str; 12] = [
     "--switch-prob",
     "--sample-interval",
     "--horizon",
+    "--out",
     "--max-migrations",
     "--max-plans",
+    "--policy",
+    "--lambda",
+    "--budget-pj",
+    "--payback",
 ];
 
 /// Rejects unknown flags, `--flag=value` syntax, and value flags missing
@@ -105,7 +128,9 @@ fn usage_error(message: &str) -> ! {
         "usage: simulate [--seed N] [--arrivals N] [--algorithm all|paper|greedy|random|\
          annealing|exhaustive] [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N] \
          [--mean-gap N] [--mean-hold N] [--switch-prob PCT] [--sample-interval N] \
-         [--horizon N] [--json] [--reconfigure] [--max-migrations N] [--max-plans N]"
+         [--horizon N] [--json] [--out PATH] [--reconfigure] [--max-migrations N] \
+         [--max-plans N] [--policy always|energy-budget|amortized-payback] \
+         [--lambda PERMILLE] [--budget-pj N] [--payback N]"
     );
     std::process::exit(2);
 }
@@ -140,9 +165,24 @@ fn main() {
     let which = parse_flag(&args, "--algorithm").unwrap_or_else(|| "all".into());
     let catalog_name = parse_flag(&args, "--catalog").unwrap_or_else(|| "hiperlan2".into());
     let json = args.iter().any(|a| a == "--json");
+    let out = parse_flag(&args, "--out");
     let reconfigure = args.iter().any(|a| a == "--reconfigure");
     let max_migrations = parse_u64(&args, "--max-migrations", 2);
     let max_plans = parse_u64(&args, "--max-plans", 8);
+    let lambda_permille = parse_u64(&args, "--lambda", 1000);
+    let budget_pj = parse_u64(&args, "--budget-pj", 500_000);
+    let payback = parse_u64(&args, "--payback", 64);
+    let policy_name = parse_flag(&args, "--policy").unwrap_or_else(|| "always".into());
+    let admission = match policy_name.as_str() {
+        "always" => AdmissionPolicy::AlwaysAdmit,
+        "energy-budget" => AdmissionPolicy::EnergyBudget {
+            max_transfer_pj: budget_pj,
+        },
+        "amortized-payback" => AdmissionPolicy::AmortizedPayback {
+            horizon_periods: payback,
+        },
+        other => usage_error(&format!("unknown admission policy `{other}`")),
+    };
 
     // The paper's 3×3 platform carries the HIPERLAN/2 catalog; the bigger
     // catalogs need a platform with DSPs and more tiles; the defrag strip
@@ -175,6 +215,13 @@ fn main() {
         other => usage_error(&format!("unknown catalog `{other}`")),
     };
 
+    let reconfiguration_policy = |admission: AdmissionPolicy| ReconfigurationPolicy {
+        max_migrations: max_migrations as usize,
+        max_plans: max_plans as usize,
+        objective: ReconfigurationObjective { lambda_permille },
+        admission,
+        ..ReconfigurationPolicy::default()
+    };
     let config = SimConfig {
         seed,
         arrivals,
@@ -183,31 +230,40 @@ fn main() {
         mode_switch_probability: switch_pct as f64 / 100.0,
         sample_interval,
         horizon,
-        reconfiguration: reconfigure.then(|| ReconfigurationPolicy {
-            max_migrations: max_migrations as usize,
-            max_plans: max_plans as usize,
-            ..ReconfigurationPolicy::default()
-        }),
+        reconfiguration: reconfigure.then(|| reconfiguration_policy(admission)),
         track_fragmentation: reconfigure,
     };
+    // The Pareto smoke: a bounded policy is compared against AlwaysAdmit
+    // at the same λ — same recoveries where affordable, strictly less
+    // migration energy overall.
+    let baseline_config =
+        (reconfigure && admission != AdmissionPolicy::AlwaysAdmit).then(|| SimConfig {
+            reconfiguration: Some(reconfiguration_policy(AdmissionPolicy::AlwaysAdmit)),
+            ..config.clone()
+        });
 
     println!(
         "simulating {arrivals} arrivals on `{catalog_name}` (seed {seed}, mean gap {mean_gap}, \
          mean hold {mean_hold}, switch prob {switch_pct}%{})",
         if reconfigure {
-            format!(", reconfigure ≤{max_migrations} migrations × {max_plans} plans")
+            format!(
+                ", reconfigure ≤{max_migrations} migrations × {max_plans} plans, \
+                 λ={lambda_permille}‰, policy {}",
+                admission.label()
+            )
         } else {
             String::new()
         }
     );
     println!(
-        "{:<32} {:>8} {:>8} {:>9} {:>9} {:>10} {:>12} {:>12} {:>11}",
+        "{:<32} {:>8} {:>8} {:>9} {:>9} {:>10} {:>12} {:>12} {:>12} {:>11}",
         "algorithm",
         "admitted",
         "blocked",
         "block ‰",
         "recovered",
         "migrations",
+        "migr. pJ",
         "energy pJ·t",
         "mean slots‰",
         "map µs/call"
@@ -215,6 +271,10 @@ fn main() {
 
     let mut runs: Vec<SimRun> = Vec::new();
     let mut total_recovered = 0u64;
+    let mut total_migration_energy = 0u64;
+    let mut total_plans_refused = 0u64;
+    let mut baseline_recovered = 0u64;
+    let mut baseline_migration_energy = 0u64;
     for algorithm in algorithms(&which) {
         let run = run_sim(&platform, &algorithm, &catalog, &config)
             .expect("the simulation never breaks its own ledger");
@@ -230,17 +290,28 @@ fn main() {
                 "fixed-seed reconfiguration reports must be byte-identical"
             );
         }
+        if let Some(baseline) = &baseline_config {
+            let always = run_sim(&platform, &algorithm, &catalog, baseline)
+                .expect("the simulation never breaks its own ledger");
+            if let Some(r) = &always.report.reconfiguration {
+                baseline_recovered += r.admissions_recovered;
+                baseline_migration_energy += r.migration_energy_pj;
+            }
+        }
         let report = &run.report;
-        let reconfiguration = report.reconfiguration.unwrap_or_default();
+        let reconfiguration = report.reconfiguration.clone().unwrap_or_default();
         total_recovered += reconfiguration.admissions_recovered;
+        total_migration_energy += reconfiguration.migration_energy_pj;
+        total_plans_refused += reconfiguration.plans_refused;
         println!(
-            "{:<32} {:>8} {:>8} {:>9} {:>9} {:>10} {:>12} {:>12} {:>11.1}",
+            "{:<32} {:>8} {:>8} {:>9} {:>9} {:>10} {:>12} {:>12} {:>12} {:>11.1}",
             report.algorithm,
             report.admitted,
             report.blocked,
             report.blocking_permille,
             reconfiguration.admissions_recovered,
             reconfiguration.migrations_committed,
+            reconfiguration.migration_energy_pj,
             report.energy_pj_ticks,
             report.mean_slots_permille(),
             run.wall.mean().as_secs_f64() * 1e6,
@@ -252,19 +323,61 @@ fn main() {
         runs.push(run);
     }
     if reconfigure {
-        assert!(
-            total_recovered > 0,
-            "reconfiguration must recover at least one admission on this workload"
-        );
         println!("recovered admissions (all algorithms): {total_recovered}");
-    }
-
-    if json {
-        for run in &runs {
+        if baseline_config.is_some() {
+            assert!(
+                baseline_recovered > 0,
+                "the always-admit twin run must recover at least one admission"
+            );
+            assert!(
+                total_recovered > 0,
+                "no admission recovered under {} — {total_plans_refused} feasible plan(s) \
+                 were refused; loosen the bound (--budget-pj / --payback) or use \
+                 --policy always",
+                admission.label()
+            );
             println!(
-                "{}",
-                serde_json::to_string(&run.report).expect("reports serialize")
+                "migration energy: {total_migration_energy} pJ under {}, \
+                 {baseline_migration_energy} pJ under always-admit \
+                 ({total_plans_refused} plans refused)",
+                admission.label()
+            );
+            if total_plans_refused > 0 {
+                assert!(
+                    total_migration_energy < baseline_migration_energy,
+                    "a binding admission policy must spend strictly less migration energy \
+                     than always-admit ({total_migration_energy} vs {baseline_migration_energy} pJ)"
+                );
+            } else {
+                // A bound that never binds filters nothing: the runs must
+                // coincide exactly.
+                assert_eq!(
+                    total_migration_energy, baseline_migration_energy,
+                    "a non-binding admission policy must behave exactly like always-admit"
+                );
+            }
+        } else {
+            assert!(
+                total_recovered > 0,
+                "reconfiguration must recover at least one admission on this workload"
             );
         }
+    }
+
+    let json_lines = || -> Vec<String> {
+        runs.iter()
+            .map(|run| serde_json::to_string(&run.report).expect("reports serialize"))
+            .collect()
+    };
+    if json {
+        for line in json_lines() {
+            println!("{line}");
+        }
+    }
+    if let Some(path) = out {
+        let mut contents = json_lines().join("\n");
+        contents.push('\n');
+        std::fs::write(&path, contents).expect("write --out file");
+        println!("wrote {path}");
     }
 }

@@ -97,6 +97,47 @@ impl CostModel {
                 })
                 .sum::<u64>()
     }
+
+    /// The state-transfer cost of reconfiguring an application from `old`
+    /// to `new`: every process whose tile changed ships its
+    /// implementation's memory image (in 32-bit words) between the tiles,
+    /// priced by this model's per-channel term
+    /// ([`CostModel::channel_cost`]) — the *same* decomposition victim
+    /// ranking and step 2 use, so migration energy is not a side-band
+    /// account. Returns `(processes_moved, total_cost)`; units follow the
+    /// model (hops, word-hops, or picojoules for [`CostModel::Energy`]).
+    ///
+    /// Processes present only in one of the two mappings contribute
+    /// nothing: there is no state to transfer for a process that was not
+    /// running before or does not run after.
+    pub fn migration_cost(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        old: &Mapping,
+        new: &Mapping,
+    ) -> (usize, u64) {
+        let mut processes_moved = 0;
+        let mut cost = 0u64;
+        for (pid, old_assignment) in old.assignments() {
+            let Some(new_assignment) = new.assignment(pid) else {
+                continue;
+            };
+            if new_assignment.tile == old_assignment.tile {
+                continue;
+            }
+            processes_moved += 1;
+            let memory_words =
+                spec.library.impls_for(pid)[old_assignment.impl_index].memory_bytes / 4;
+            cost += self.channel_cost(
+                platform,
+                memory_words,
+                old_assignment.tile,
+                new_assignment.tile,
+            );
+        }
+        (processes_moved, cost)
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +187,36 @@ mod tests {
     #[test]
     fn default_is_paper_mode() {
         assert_eq!(CostModel::default(), CostModel::HopCount);
+    }
+
+    #[test]
+    fn migration_cost_prices_moved_state_through_channel_terms() {
+        let (spec, platform, old) = paper_initial();
+        // Unchanged mapping: nothing moves, nothing is charged.
+        for model in [
+            CostModel::HopCount,
+            CostModel::TrafficWeighted,
+            CostModel::Energy(EnergyModel::default()),
+        ] {
+            assert_eq!(model.migration_cost(&spec, &platform, &old, &old), (0, 0));
+        }
+        // Swap the two ARM processes: both memory images travel the
+        // ARM1↔ARM2 distance, priced exactly by the per-channel term.
+        let mut new = old.clone();
+        let pfx = spec.graph.process_by_name("Prefix removal").unwrap();
+        let frq = spec.graph.process_by_name("Freq. off. correction").unwrap();
+        let arm1 = platform.tile_by_name("ARM1").unwrap();
+        let arm2 = platform.tile_by_name("ARM2").unwrap();
+        new.assign(pfx, 0, arm2);
+        new.assign(frq, 0, arm1);
+        let model = CostModel::Energy(EnergyModel::default());
+        let (moved, cost) = model.migration_cost(&spec, &platform, &old, &new);
+        assert_eq!(moved, 2);
+        let words = |p| spec.library.impls_for(p)[0].memory_bytes / 4;
+        let expected = model.channel_cost(&platform, words(pfx), arm1, arm2)
+            + model.channel_cost(&platform, words(frq), arm2, arm1);
+        assert_eq!(cost, expected);
+        assert!(cost > 0);
     }
 
     #[test]

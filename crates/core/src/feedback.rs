@@ -88,6 +88,14 @@ impl Constraints {
         self.forbidden_tiles.contains(&(process, tile)) || !self.external.allows(process, tile)
     }
 
+    /// The tile `process` is externally pinned to, if any. A pinned
+    /// process can never move or swap (every other tile is forbidden for
+    /// it), so step 2 skips its candidate generation outright instead of
+    /// letting the oracle reject each candidate one by one.
+    pub fn pinned_tile(&self, process: ProcessId) -> Option<TileId> {
+        self.external.pinned_tile(process)
+    }
+
     /// Folds a feedback item into the constraint set. Returns `true` if the
     /// constraint set changed (no change ⇒ the feedback is not actionable
     /// and refinement should stop rather than loop).

@@ -436,6 +436,58 @@ mod tests {
     }
 
     #[test]
+    fn pinned_processes_generate_no_step2_candidates() {
+        use crate::constraints::MappingConstraints;
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        let mapper = SpatialMapper::default();
+        let generated = |constraints: &MappingConstraints| {
+            let outcome = mapper
+                .map_constrained(&spec, &platform, &state, constraints)
+                .expect("paper case maps");
+            let trace = outcome.trace.as_ref().expect("capture is on by default");
+            (
+                outcome.clone(),
+                trace
+                    .attempts
+                    .iter()
+                    .map(|a| a.step2.generated)
+                    .sum::<u64>(),
+            )
+        };
+        let (_, unpinned_generated) = generated(&MappingConstraints::none());
+        // Pin Inverse OFDM where step 1 already puts it: the mapping is
+        // unchanged, but its moves and every swap naming it are pruned
+        // before the constraint oracle ever sees them.
+        let inv = spec.graph.process_by_name("Inverse OFDM").unwrap();
+        let (pinned_outcome, pinned_generated) = generated(
+            &MappingConstraints::none().pin(inv, platform.tile_by_name("MONTIUM1").unwrap()),
+        );
+        assert!(
+            pinned_generated < unpinned_generated,
+            "pruning must shrink the generated neighbourhood \
+             ({pinned_generated} vs {unpinned_generated})"
+        );
+        assert_eq!(
+            pinned_outcome.mapping.assignment(inv).unwrap().tile,
+            platform.tile_by_name("MONTIUM1").unwrap()
+        );
+        // No generated candidate ever names the pinned process.
+        for attempt in &pinned_outcome.trace.as_ref().unwrap().attempts {
+            for event in &attempt.step2.events {
+                match event.candidate {
+                    crate::trace::Step2Move::Move { process, .. } => assert_ne!(process, inv),
+                    crate::trace::Step2Move::Swap { a, b } => {
+                        assert_ne!(a, inv);
+                        assert_ne!(b, inv);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn excluded_tile_forces_relocation() {
         use crate::constraints::MappingConstraints;
         use rtsm_app::{Endpoint, Implementation, ImplementationLibrary, ProcessGraph, QosSpec};

@@ -242,25 +242,148 @@ impl std::error::Error for StopAllError {
     }
 }
 
+/// The unified objective [`RuntimeManager::start_with_reconfiguration`]
+/// minimizes over migration plans:
+///
+/// ```text
+/// objective = steady_state_energy_pj · 1000 + λ‰ · migration_energy_pj
+/// ```
+///
+/// where *steady-state energy* is the total per-period energy of every
+/// running application after the plan commits (the arriving application
+/// plus all victims under their new mappings plus everything untouched),
+/// and *migration energy* is the one-off state-transfer cost of the plan
+/// priced through [`CostModel::migration_cost`]. λ is carried in permille
+/// so the trade-off sweeps exactly in integers: λ‰ = 0 ignores transfer
+/// cost entirely, λ‰ = 1000 weights one picojoule of transfer like one
+/// picojoule of steady-state energy per period, larger values make the
+/// manager increasingly reluctant to move state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigurationObjective {
+    /// Weight of migration energy against steady-state energy, in
+    /// permille (see the type docs).
+    pub lambda_permille: u64,
+}
+
+impl Default for ReconfigurationObjective {
+    fn default() -> Self {
+        ReconfigurationObjective {
+            lambda_permille: 1000,
+        }
+    }
+}
+
+impl ReconfigurationObjective {
+    /// An objective ignoring migration energy entirely (λ‰ = 0): plans are
+    /// ranked purely by post-plan steady-state energy.
+    pub fn steady_state_only() -> Self {
+        ReconfigurationObjective { lambda_permille: 0 }
+    }
+
+    /// Scores one plan; lower is better. Saturating, so extreme λ values
+    /// degrade to "worst possible" instead of wrapping.
+    pub fn score(&self, steady_state_energy_pj: u64, migration_energy_pj: u64) -> u64 {
+        steady_state_energy_pj
+            .saturating_mul(1000)
+            .saturating_add(self.lambda_permille.saturating_mul(migration_energy_pj))
+    }
+}
+
+/// Whether a feasible migration plan may actually be committed: the Pareto
+/// lever trading recovered admissions against reconfiguration energy.
+/// [`AlwaysAdmit`](AdmissionPolicy::AlwaysAdmit) recovers everything it
+/// can; the bounded policies refuse recoveries whose state-transfer energy
+/// is not worth the admission, accepting a little more blocking for much
+/// less migration traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AdmissionPolicy {
+    /// Commit the cheapest feasible plan unconditionally (the pre-policy
+    /// behaviour).
+    #[default]
+    AlwaysAdmit,
+    /// Refuse plans whose total migration energy exceeds a hard per-plan
+    /// budget.
+    EnergyBudget {
+        /// Most state-transfer picojoules one plan may spend.
+        max_transfer_pj: u64,
+    },
+    /// Refuse plans whose migration energy cannot be amortized: the
+    /// transfer must cost no more than `horizon_periods` periods of the
+    /// *admitted* application's steady-state energy — a proxy for the
+    /// energy the recovered admission is expected to be worth over its
+    /// lifetime (holding time).
+    AmortizedPayback {
+        /// Periods of the admitted application's energy the transfer may
+        /// cost at most.
+        horizon_periods: u64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Whether a plan spending `migration_energy_pj` to admit an
+    /// application consuming `admitted_energy_pj` per period may commit.
+    pub fn admits(&self, migration_energy_pj: u64, admitted_energy_pj: u64) -> bool {
+        match self {
+            AdmissionPolicy::AlwaysAdmit => true,
+            AdmissionPolicy::EnergyBudget { max_transfer_pj } => {
+                migration_energy_pj <= *max_transfer_pj
+            }
+            AdmissionPolicy::AmortizedPayback { horizon_periods } => {
+                migration_energy_pj <= horizon_periods.saturating_mul(admitted_energy_pj)
+            }
+        }
+    }
+
+    /// A stable label for reports and Pareto tables.
+    pub fn label(&self) -> String {
+        match self {
+            AdmissionPolicy::AlwaysAdmit => "always-admit".to_string(),
+            AdmissionPolicy::EnergyBudget { max_transfer_pj } => {
+                format!("energy-budget({max_transfer_pj}pJ)")
+            }
+            AdmissionPolicy::AmortizedPayback { horizon_periods } => {
+                format!("amortized-payback({horizon_periods})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// How [`RuntimeManager::start_with_reconfiguration`] may defragment the
 /// platform when plain admission fails: how many running applications one
-/// migration plan may move, how many plans to try, how candidate victims
-/// are ranked, and how migration energy is accounted.
+/// migration plan may move, how many plans to enumerate, how candidate
+/// victims are ranked, how plans are scored, and which feasible plans the
+/// admission policy lets commit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReconfigurationPolicy {
     /// Most running applications one plan may migrate (`k`). 0 disables
     /// reconfiguration (plain admission only).
     pub max_migrations: usize,
-    /// Most migration plans tried before giving up.
+    /// Most migration plans enumerated before the search stops and the
+    /// cheapest feasible plan found so far (if any) commits.
     pub max_plans: usize,
     /// Ranks candidate victims by per-application *move cost*: the
     /// [`CostModel::assignment_cost`] of their current mapping. Cheap-to-
-    /// move (little communication) applications are tried first.
+    /// move (little communication) applications are enumerated first.
     pub cost_model: CostModel,
-    /// Prices the state transfer of a migrated process: its
-    /// implementation's memory image, in words, shipped over the Manhattan
-    /// distance between old and new tile.
-    pub migration_energy: EnergyModel,
+    /// Prices the *state-transfer* (migration) term of the objective:
+    /// [`CostModel::Energy`] over this model via
+    /// [`CostModel::migration_cost`] — the same per-channel decomposition
+    /// victim ranking uses, not a separate account. The steady-state term
+    /// comes from each mapping outcome's own energy account (the mapping
+    /// algorithm's energy model), so keep the two models consistent when
+    /// overriding either.
+    pub energy: EnergyModel,
+    /// Scores candidate plans; the *cheapest* feasible plan commits, not
+    /// the first.
+    pub objective: ReconfigurationObjective,
+    /// Which feasible plans may commit at all.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ReconfigurationPolicy {
@@ -269,7 +392,9 @@ impl Default for ReconfigurationPolicy {
             max_migrations: 2,
             max_plans: 8,
             cost_model: CostModel::HopCount,
-            migration_energy: EnergyModel::default(),
+            energy: EnergyModel::default(),
+            objective: ReconfigurationObjective::default(),
+            admission: AdmissionPolicy::AlwaysAdmit,
         }
     }
 }
@@ -290,7 +415,9 @@ pub struct Migration {
 }
 
 /// A successful [`RuntimeManager::start_with_reconfiguration`]: the new
-/// application's handle plus what (if anything) had to move to admit it.
+/// application's handle plus what (if anything) had to move to admit it,
+/// and how the committed plan scored under the policy's
+/// [`ReconfigurationObjective`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reconfiguration {
     /// Handle of the newly admitted application.
@@ -298,13 +425,29 @@ pub struct Reconfiguration {
     /// Migrations committed to make room (empty when plain admission
     /// succeeded).
     pub migrations: Vec<Migration>,
-    /// Total modelled migration energy, in picojoules.
+    /// Total modelled migration energy of the committed plan, in
+    /// picojoules.
     pub migration_energy_pj: u64,
+    /// Total per-period energy of every running application after the
+    /// commit (the arriving application included), in picojoules.
+    pub steady_state_energy_pj: u64,
+    /// The committed plan's [`ReconfigurationObjective::score`]. For a
+    /// plain (no-migration) admission this is the score of the new steady
+    /// state with zero transfer energy.
+    pub objective: u64,
+    /// Objective scores of *every feasible plan enumerated*, in
+    /// enumeration order — including plans the admission policy refused.
+    /// Under [`AdmissionPolicy::AlwaysAdmit`] the committed plan's
+    /// [`objective`](Reconfiguration::objective) is the minimum of this
+    /// list; empty when plain admission succeeded.
+    pub plan_objectives: Vec<u64>,
     /// Migration plans evaluated (0 when plain admission succeeded).
     pub plans_tried: u64,
     /// Victim re-mappings attempted across all plans, including plans that
-    /// were rolled back.
+    /// were not committed.
     pub migrations_attempted: u64,
+    /// Feasible plans the [`AdmissionPolicy`] refused to commit.
+    pub plans_refused: u64,
 }
 
 /// A failed [`RuntimeManager::start_with_reconfiguration`]: no plan within
@@ -318,6 +461,10 @@ pub struct ReconfigurationFailure {
     pub plans_tried: u64,
     /// Victim re-mappings attempted across all evaluated plans.
     pub migrations_attempted: u64,
+    /// Feasible plans found but refused by the [`AdmissionPolicy`] — when
+    /// non-zero, the blocking was a *policy* decision, not a placement
+    /// failure.
+    pub plans_refused: u64,
 }
 
 impl fmt::Display for ReconfigurationFailure {
@@ -541,6 +688,29 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         handle: AppHandle,
         constraints: &MappingConstraints,
     ) -> Result<MappingOutcome, RuntimeError> {
+        let spec = self
+            .running
+            .get(&handle)
+            .ok_or(RuntimeError::UnknownHandle(handle))?
+            .spec
+            .clone();
+        self.replace_mapping(handle, spec, constraints)
+    }
+
+    /// The shared transactional core of [`RuntimeManager::remap`] and
+    /// [`RuntimeManager::switch`]: inside one transaction the running
+    /// application's reservations are released *first* (so the new mapping
+    /// may reuse its own freed resources), `spec` is mapped against the
+    /// freed occupancy under `constraints`, and the new reservations are
+    /// committed. On success the record holds `spec` and the new outcome
+    /// (the previous outcome is returned); on any failure the transaction
+    /// aborts and the application keeps running exactly as before.
+    fn replace_mapping(
+        &mut self,
+        handle: AppHandle,
+        spec: Arc<ApplicationSpec>,
+        constraints: &MappingConstraints,
+    ) -> Result<MappingOutcome, RuntimeError> {
         let app = self
             .running
             .get(&handle)
@@ -551,34 +721,42 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             .map_err(RuntimeError::ReleaseFailed)?; // tx drop restores
         let mut outcome = self
             .algorithm
-            .map_constrained(&app.spec, &self.platform, tx.state(), constraints)
+            .map_constrained(&spec, &self.platform, tx.state(), constraints)
             .map_err(|e| RuntimeError::Admission(AdmissionError::Rejected(e)))?;
         outcome
-            .stage_commit(&app.spec, &mut tx)
+            .stage_commit(&spec, &mut tx)
             .map_err(|e| RuntimeError::Admission(AdmissionError::CommitFailed(e)))?;
         tx.commit();
         outcome.trace = None;
         outcome.csdf = None;
         let record = self.running.get_mut(&handle).expect("checked above");
+        record.spec = spec;
         Ok(std::mem::replace(&mut record.outcome, outcome))
     }
 
     /// Attempts to start `spec`; when plain admission fails, searches
     /// bounded migration plans that *defragment* the platform: up to
     /// [`ReconfigurationPolicy::max_migrations`] running applications —
-    /// tried cheapest-to-move first, ranked by
+    /// enumerated cheapest-to-move first, ranked by
     /// [`ReconfigurationPolicy::cost_model`] — are released inside one
     /// transaction, the arriving application is mapped against the freed
-    /// occupancy, and every victim is re-mapped after it. The whole plan
-    /// commits all-or-nothing: if any step fails the transaction aborts,
-    /// the ledger and every running application are exactly as before, and
-    /// the next plan is tried.
+    /// occupancy, and every victim is re-mapped after it.
+    ///
+    /// Unlike a first-feasible search, *every* plan within
+    /// [`ReconfigurationPolicy::max_plans`] is evaluated (staged in a
+    /// transaction that is then aborted) and scored by the policy's
+    /// [`ReconfigurationObjective`]; the **cheapest** feasible plan the
+    /// [`AdmissionPolicy`] accepts is then re-staged and committed
+    /// all-or-nothing. Evaluation never re-runs the mapping algorithm at
+    /// commit time — the staged outcomes are replayed verbatim — so even
+    /// randomized algorithms commit exactly the plan that was scored.
     ///
     /// # Errors
     ///
     /// [`ReconfigurationFailure`] when no plan within the policy's bounds
-    /// admits the application; it carries the original
-    /// [`AdmissionError`] plus the search effort spent.
+    /// both admits the application and passes the admission policy; it
+    /// carries the original [`AdmissionError`] plus the search effort
+    /// spent and how many feasible plans the policy refused.
     pub fn start_with_reconfiguration(
         &mut self,
         spec: impl Into<Arc<ApplicationSpec>>,
@@ -587,25 +765,31 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         let spec: Arc<ApplicationSpec> = spec.into();
         let error = match self.start(spec.clone()) {
             Ok(handle) => {
+                let steady_state_energy_pj = self.running_energy_pj();
                 return Ok(Reconfiguration {
                     handle,
                     migrations: Vec::new(),
                     migration_energy_pj: 0,
+                    steady_state_energy_pj,
+                    objective: policy.objective.score(steady_state_energy_pj, 0),
+                    plan_objectives: Vec::new(),
                     plans_tried: 0,
                     migrations_attempted: 0,
-                })
+                    plans_refused: 0,
+                });
             }
             Err(error) => error,
         };
         let mut plans_tried = 0u64;
         let mut migrations_attempted = 0u64;
-        let fail = |plans_tried, migrations_attempted| ReconfigurationFailure {
-            error: error.clone(),
-            plans_tried,
-            migrations_attempted,
-        };
+        let mut plans_refused = 0u64;
         if matches!(error, AdmissionError::CommitFailed(_)) || policy.max_migrations == 0 {
-            return Err(fail(0, 0));
+            return Err(ReconfigurationFailure {
+                error,
+                plans_tried: 0,
+                migrations_attempted: 0,
+                plans_refused: 0,
+            });
         }
 
         // Candidate victims, cheapest move first; ties break on handle so
@@ -629,49 +813,83 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             c.sort_unstable();
             c
         };
+        let current_total_energy_pj = self.running_energy_pj();
 
         // Plans: single migrations cheapest-first, then pairs, … up to
-        // `max_migrations` victims, `max_plans` plans overall.
-        for size in 1..=policy.max_migrations.min(candidates.len()) {
+        // `max_migrations` victims, `max_plans` plans overall. Every plan
+        // is evaluated; ties on the objective keep the earliest plan, so
+        // the choice is deterministic.
+        let mut best: Option<PlanCandidate> = None;
+        let mut plan_objectives = Vec::new();
+        'sizes: for size in 1..=policy.max_migrations.min(candidates.len()) {
             let mut indices: Vec<usize> = (0..size).collect();
             loop {
                 if plans_tried >= policy.max_plans as u64 {
-                    return Err(fail(plans_tried, migrations_attempted));
+                    break 'sizes;
                 }
                 plans_tried += 1;
                 let victims: Vec<(u64, AppHandle)> =
                     indices.iter().map(|&i| candidates[i]).collect();
-                if let Some(reconfiguration) = self.try_migration_plan(
+                if let Some(candidate) = self.evaluate_migration_plan(
                     &spec,
-                    &victims,
+                    victims,
                     policy,
-                    plans_tried,
+                    current_total_energy_pj,
                     &mut migrations_attempted,
                 ) {
-                    return Ok(reconfiguration);
+                    plan_objectives.push(candidate.objective);
+                    if !policy
+                        .admission
+                        .admits(candidate.migration_energy_pj, candidate.admitted_energy_pj)
+                    {
+                        plans_refused += 1;
+                    } else if best
+                        .as_ref()
+                        .is_none_or(|b| candidate.objective < b.objective)
+                    {
+                        best = Some(candidate);
+                    }
                 }
                 if !next_combination(&mut indices, candidates.len()) {
                     break;
                 }
             }
         }
-        Err(fail(plans_tried, migrations_attempted))
+        match best {
+            Some(plan) => Ok(self.commit_migration_plan(
+                &spec,
+                plan,
+                plan_objectives,
+                plans_tried,
+                migrations_attempted,
+                plans_refused,
+            )),
+            None => Err(ReconfigurationFailure {
+                error,
+                plans_tried,
+                migrations_attempted,
+                plans_refused,
+            }),
+        }
     }
 
-    /// Tries one migration plan inside a single transaction. Returns
-    /// `None` (with the ledger fully restored) when any step fails.
-    fn try_migration_plan(
+    /// Evaluates one migration plan: stages every release, the new
+    /// admission, and every victim re-map into a transaction, scores the
+    /// result, then **aborts** the transaction (the ledger is untouched).
+    /// Returns `None` when any step fails.
+    fn evaluate_migration_plan(
         &mut self,
         spec: &Arc<ApplicationSpec>,
-        victims: &[(u64, AppHandle)],
+        victims: Vec<(u64, AppHandle)>,
         policy: &ReconfigurationPolicy,
-        plans_tried: u64,
+        current_total_energy_pj: u64,
         migrations_attempted: &mut u64,
-    ) -> Option<Reconfiguration> {
+    ) -> Option<PlanCandidate> {
+        let migration_pricing = CostModel::Energy(policy.energy);
         let mut tx = PlatformTransaction::begin(&self.platform, &mut self.state);
         // Release every victim first, so both the arriving application and
         // the re-mapped victims can use the freed resources.
-        for &(_, victim) in victims {
+        for &(_, victim) in &victims {
             let app = self.running.get(&victim).expect("plan names running apps");
             app.outcome.stage_release(&app.spec, &mut tx).ok()?;
         }
@@ -685,9 +903,14 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             )
             .ok()?;
         new_outcome.stage_commit(spec, &mut tx).ok()?;
+        new_outcome.trace = None;
+        new_outcome.csdf = None;
         // Re-place each victim against what remains.
-        let mut moved: Vec<(AppHandle, u64, MappingOutcome)> = Vec::with_capacity(victims.len());
-        for &(move_cost, victim) in victims {
+        let mut moved: Vec<PlannedMigration> = Vec::with_capacity(victims.len());
+        let mut migration_energy_pj = 0u64;
+        let mut steady_state_energy_pj =
+            current_total_energy_pj.saturating_add(new_outcome.energy_pj);
+        for &(move_cost, victim) in &victims {
             *migrations_attempted += 1;
             let app = self.running.get(&victim).expect("plan names running apps");
             let mut outcome = self
@@ -702,58 +925,144 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             outcome.stage_commit(&app.spec, &mut tx).ok()?;
             outcome.trace = None;
             outcome.csdf = None;
-            moved.push((victim, move_cost, outcome));
+            let (processes_moved, energy_pj) = migration_pricing.migration_cost(
+                &app.spec,
+                &self.platform,
+                &app.outcome.mapping,
+                &outcome.mapping,
+            );
+            migration_energy_pj += energy_pj;
+            steady_state_energy_pj = steady_state_energy_pj
+                .saturating_sub(app.outcome.energy_pj)
+                .saturating_add(outcome.energy_pj);
+            moved.push(PlannedMigration {
+                handle: victim,
+                move_cost,
+                processes_moved,
+                energy_pj,
+                outcome,
+            });
+        }
+        // Evaluation only: dropping the transaction aborts every staged
+        // operation, restoring the ledger exactly.
+        drop(tx);
+        let admitted_energy_pj = new_outcome.energy_pj;
+        Some(PlanCandidate {
+            victims,
+            new_outcome,
+            moved,
+            migration_energy_pj,
+            steady_state_energy_pj,
+            admitted_energy_pj,
+            objective: policy
+                .objective
+                .score(steady_state_energy_pj, migration_energy_pj),
+        })
+    }
+
+    /// Replays the winning plan's staged outcomes into a fresh transaction
+    /// and commits it, updating every record. The ledger has not changed
+    /// since the plan was evaluated (evaluation aborts its transaction and
+    /// the search never mutates state), so re-staging cannot fail.
+    fn commit_migration_plan(
+        &mut self,
+        spec: &Arc<ApplicationSpec>,
+        plan: PlanCandidate,
+        plan_objectives: Vec<u64>,
+        plans_tried: u64,
+        migrations_attempted: u64,
+        plans_refused: u64,
+    ) -> Reconfiguration {
+        let mut tx = PlatformTransaction::begin(&self.platform, &mut self.state);
+        for &(_, victim) in &plan.victims {
+            let app = self.running.get(&victim).expect("plan names running apps");
+            app.outcome
+                .stage_release(&app.spec, &mut tx)
+                .expect("re-staging an evaluated plan's release cannot fail");
+        }
+        plan.new_outcome
+            .stage_commit(spec, &mut tx)
+            .expect("re-staging an evaluated plan's admission cannot fail");
+        for migration in &plan.moved {
+            let app = self
+                .running
+                .get(&migration.handle)
+                .expect("plan names running apps");
+            migration
+                .outcome
+                .stage_commit(&app.spec, &mut tx)
+                .expect("re-staging an evaluated plan's re-map cannot fail");
         }
         tx.commit();
 
-        new_outcome.trace = None;
-        new_outcome.csdf = None;
         let handle = AppHandle(self.next_handle);
         self.next_handle += 1;
         self.running.insert(
             handle,
             RunningApp {
                 spec: spec.clone(),
-                outcome: new_outcome,
+                outcome: plan.new_outcome,
             },
         );
-
-        let mut migrations = Vec::with_capacity(moved.len());
-        let mut migration_energy_pj = 0u64;
-        for (victim, move_cost, outcome) in moved {
-            let record = self.running.get_mut(&victim).expect("victim still runs");
-            let old = std::mem::replace(&mut record.outcome, outcome);
-            let (processes_moved, energy_pj) = migration_cost(
-                &record.spec,
-                &self.platform,
-                &old,
-                &record.outcome,
-                &policy.migration_energy,
-            );
-            migration_energy_pj += energy_pj;
+        let mut migrations = Vec::with_capacity(plan.moved.len());
+        for migration in plan.moved {
+            let record = self
+                .running
+                .get_mut(&migration.handle)
+                .expect("victim still runs");
+            record.outcome = migration.outcome;
             // A victim whose re-map landed on exactly its old tiles did not
             // migrate (the arriving app fit into space freed by the others):
             // its outcome is refreshed but no migration is reported.
-            if processes_moved > 0 {
+            if migration.processes_moved > 0 {
                 migrations.push(Migration {
-                    handle: victim,
-                    move_cost,
-                    processes_moved,
-                    energy_pj,
+                    handle: migration.handle,
+                    move_cost: migration.move_cost,
+                    processes_moved: migration.processes_moved,
+                    energy_pj: migration.energy_pj,
                 });
             }
         }
-        Some(Reconfiguration {
+        Reconfiguration {
             handle,
             migrations,
-            migration_energy_pj,
+            migration_energy_pj: plan.migration_energy_pj,
+            steady_state_energy_pj: plan.steady_state_energy_pj,
+            objective: plan.objective,
+            plan_objectives,
             plans_tried,
-            migrations_attempted: *migrations_attempted,
-        })
+            migrations_attempted,
+            plans_refused,
+        }
     }
 
-    // (start_with_reconfiguration and try_migration_plan above; the
-    // remaining lifecycle methods follow.)
+    /// Switches the application behind `handle` to a **new specification**
+    /// atomically: inside one transaction its current reservations are
+    /// released first (so the new configuration may reuse its own freed
+    /// resources), the new spec is mapped against the freed occupancy, and
+    /// the new mapping's reservations are committed. The handle stays
+    /// valid. On any failure the transaction aborts and the application
+    /// *keeps running under its old specification and mapping* — a blocked
+    /// mode switch is a switching loss, not an eviction.
+    ///
+    /// Returns the *previous* outcome, so callers can diff placements or
+    /// account switching costs.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownHandle`] — `handle` is not running;
+    /// * [`RuntimeError::Admission`] — the new configuration has no
+    ///   feasible mapping right now (the old one keeps running), or the
+    ///   re-commit failed;
+    /// * [`RuntimeError::ReleaseFailed`] — the ledger no longer holds the
+    ///   committed reservations (external mutation).
+    pub fn switch(
+        &mut self,
+        handle: AppHandle,
+        spec: impl Into<Arc<ApplicationSpec>>,
+    ) -> Result<MappingOutcome, RuntimeError> {
+        self.replace_mapping(handle, spec.into(), &MappingConstraints::none())
+    }
 
     /// Stops every running application in handle (admission) order,
     /// releasing all their resources, and returns the stopped records.
@@ -853,32 +1162,36 @@ fn next_combination(indices: &mut [usize], n: usize) -> bool {
     false
 }
 
-/// Processes whose tile changed between `old` and `new`, and the modelled
-/// state-transfer energy: each moved process ships its implementation's
-/// memory image (in 32-bit words) over the Manhattan distance between the
-/// tiles.
-fn migration_cost(
-    spec: &ApplicationSpec,
-    platform: &Platform,
-    old: &MappingOutcome,
-    new: &MappingOutcome,
-    model: &EnergyModel,
-) -> (usize, u64) {
-    let mut processes_moved = 0;
-    let mut energy_pj = 0u64;
-    for (pid, old_assignment) in old.mapping.assignments() {
-        let Some(new_assignment) = new.mapping.assignment(pid) else {
-            continue;
-        };
-        if new_assignment.tile == old_assignment.tile {
-            continue;
-        }
-        processes_moved += 1;
-        let memory_words = spec.library.impls_for(pid)[old_assignment.impl_index].memory_bytes / 4;
-        let hops = platform.manhattan(old_assignment.tile, new_assignment.tile);
-        energy_pj += model.channel_energy_pj(memory_words, hops);
-    }
-    (processes_moved, energy_pj)
+/// One fully evaluated migration plan: everything needed to score it
+/// against the other plans and — if it wins — replay its staged outcomes
+/// into a committing transaction without re-running the algorithm.
+#[derive(Debug, Clone)]
+struct PlanCandidate {
+    /// The plan's victims `(move_cost, handle)` in release order.
+    victims: Vec<(u64, AppHandle)>,
+    /// The arriving application's mapping under this plan.
+    new_outcome: MappingOutcome,
+    /// Each victim's re-map, in the order it was staged.
+    moved: Vec<PlannedMigration>,
+    /// Total state-transfer energy of the plan, in picojoules.
+    migration_energy_pj: u64,
+    /// Total per-period energy of the running set after the plan.
+    steady_state_energy_pj: u64,
+    /// The arriving application's per-period energy under this plan (what
+    /// [`AdmissionPolicy::AmortizedPayback`] amortizes against).
+    admitted_energy_pj: u64,
+    /// The plan's [`ReconfigurationObjective::score`].
+    objective: u64,
+}
+
+/// One victim's evaluated re-map within a [`PlanCandidate`].
+#[derive(Debug, Clone)]
+struct PlannedMigration {
+    handle: AppHandle,
+    move_cost: u64,
+    processes_moved: usize,
+    energy_pj: u64,
+    outcome: MappingOutcome,
 }
 
 #[cfg(test)]
@@ -1241,6 +1554,189 @@ mod tests {
         let failure = m.start_with_reconfiguration(heavy(), &policy).unwrap_err();
         assert_eq!(failure.plans_tried, 0);
         assert_eq!(failure.migrations_attempted, 0);
+    }
+
+    #[test]
+    fn cheapest_plan_wins_and_its_objective_is_minimal() {
+        let (mut m, _, _) = fragmented_manager();
+        let reconfiguration = m
+            .start_with_reconfiguration(heavy(), &ReconfigurationPolicy::default())
+            .expect("migration recovers the admission");
+        assert!(
+            !reconfiguration.plan_objectives.is_empty(),
+            "feasible plans were enumerated"
+        );
+        assert_eq!(
+            reconfiguration.objective,
+            *reconfiguration.plan_objectives.iter().min().unwrap(),
+            "under AlwaysAdmit the committed plan is the cheapest enumerated"
+        );
+        assert!(reconfiguration
+            .plan_objectives
+            .iter()
+            .all(|&o| reconfiguration.objective <= o));
+        assert_eq!(reconfiguration.plans_refused, 0);
+        // The objective decomposes exactly as documented.
+        let policy = ReconfigurationPolicy::default();
+        assert_eq!(
+            reconfiguration.objective,
+            policy.objective.score(
+                reconfiguration.steady_state_energy_pj,
+                reconfiguration.migration_energy_pj
+            )
+        );
+        assert_eq!(
+            reconfiguration.steady_state_energy_pj,
+            m.running_energy_pj(),
+            "steady-state term is the post-commit running energy"
+        );
+        m.stop_all().unwrap();
+    }
+
+    #[test]
+    fn energy_budget_refuses_expensive_recoveries() {
+        // A zero budget refuses every migrating plan: the admission fails
+        // although feasible plans exist, and the refusal is visible.
+        let (mut m, _, _) = fragmented_manager();
+        let ledger = m.state().clone();
+        let policy = ReconfigurationPolicy {
+            admission: AdmissionPolicy::EnergyBudget { max_transfer_pj: 0 },
+            ..ReconfigurationPolicy::default()
+        };
+        let failure = m.start_with_reconfiguration(heavy(), &policy).unwrap_err();
+        assert!(
+            failure.plans_refused > 0,
+            "the blocking was a policy decision: {failure:?}"
+        );
+        assert_eq!(m.state(), &ledger, "refused plans leave the ledger intact");
+        // A generous budget admits again, and the committed plan respects it.
+        let generous = ReconfigurationPolicy {
+            admission: AdmissionPolicy::EnergyBudget {
+                max_transfer_pj: u64::MAX,
+            },
+            ..ReconfigurationPolicy::default()
+        };
+        let reconfiguration = m.start_with_reconfiguration(heavy(), &generous).unwrap();
+        assert!(reconfiguration.migration_energy_pj > 0);
+        m.stop_all().unwrap();
+    }
+
+    #[test]
+    fn amortized_payback_bounds_transfer_by_admitted_energy() {
+        let (mut m, _, _) = fragmented_manager();
+        // Horizon 0: no transfer is ever amortized.
+        let strict = ReconfigurationPolicy {
+            admission: AdmissionPolicy::AmortizedPayback { horizon_periods: 0 },
+            ..ReconfigurationPolicy::default()
+        };
+        let failure = m.start_with_reconfiguration(heavy(), &strict).unwrap_err();
+        assert!(failure.plans_refused > 0);
+        // A huge horizon admits; the bound holds for the committed plan.
+        let lax = ReconfigurationPolicy {
+            admission: AdmissionPolicy::AmortizedPayback {
+                horizon_periods: u64::MAX,
+            },
+            ..ReconfigurationPolicy::default()
+        };
+        let reconfiguration = m.start_with_reconfiguration(heavy(), &lax).unwrap();
+        let admitted_energy = m.get(reconfiguration.handle).unwrap().outcome.energy_pj;
+        assert!(reconfiguration.migration_energy_pj <= u64::MAX.saturating_mul(admitted_energy));
+        m.stop_all().unwrap();
+    }
+
+    #[test]
+    fn lambda_zero_still_recovers() {
+        // λ‰ = 0 ranks plans purely by steady-state energy; recovery
+        // behaviour (which admissions succeed) is unchanged.
+        let (mut m, _, _) = fragmented_manager();
+        let policy = ReconfigurationPolicy {
+            objective: ReconfigurationObjective::steady_state_only(),
+            ..ReconfigurationPolicy::default()
+        };
+        let reconfiguration = m.start_with_reconfiguration(heavy(), &policy).unwrap();
+        assert_eq!(reconfiguration.migrations.len(), 1);
+        m.stop_all().unwrap();
+    }
+
+    #[test]
+    fn admission_policy_bounds() {
+        assert!(AdmissionPolicy::AlwaysAdmit.admits(u64::MAX, 0));
+        let budget = AdmissionPolicy::EnergyBudget {
+            max_transfer_pj: 100,
+        };
+        assert!(budget.admits(100, 0));
+        assert!(!budget.admits(101, 0));
+        let payback = AdmissionPolicy::AmortizedPayback { horizon_periods: 4 };
+        assert!(payback.admits(40, 10));
+        assert!(!payback.admits(41, 10));
+        assert!(payback.admits(0, 0), "a free move always pays back");
+    }
+
+    #[test]
+    fn objective_weighs_migration_by_lambda() {
+        let objective = ReconfigurationObjective {
+            lambda_permille: 500,
+        };
+        assert_eq!(objective.score(10, 4), 10 * 1000 + 500 * 4);
+        assert_eq!(
+            ReconfigurationObjective::steady_state_only().score(10, 999),
+            10_000
+        );
+        assert_eq!(
+            ReconfigurationObjective::default().score(u64::MAX, u64::MAX),
+            u64::MAX,
+            "saturates instead of wrapping"
+        );
+    }
+
+    #[test]
+    fn switch_swaps_the_spec_atomically_and_keeps_the_handle() {
+        let mut m = RuntimeManager::new(defrag_platform(), SpatialMapper::default());
+        let before = m.state().clone();
+        let h = m.start(light()).unwrap();
+        let old = m.switch(h, heavy()).expect("the heavy spec fits alone");
+        assert_eq!(old.mapping.assignments().count(), 1);
+        assert_eq!(m.n_running(), 1);
+        assert_eq!(m.get(h).unwrap().spec.name, "heavy");
+        // The swapped application still stops cleanly.
+        m.stop(h).unwrap();
+        assert_eq!(m.state(), &before);
+    }
+
+    #[test]
+    fn blocked_switch_keeps_the_old_configuration_running() {
+        // Full fill: two lights per ARM. Switching one light to the heavy
+        // spec releases its own 24 KiB, leaving 40 KiB on its tile next to
+        // the co-tenant — not the 48 KiB the heavy needs anywhere.
+        let mut m = RuntimeManager::new(defrag_platform(), SpatialMapper::default());
+        let a = m.start(light()).unwrap();
+        for _ in 0..3 {
+            m.start(light()).unwrap();
+        }
+        let ledger = m.state().clone();
+        let record = m.get(a).unwrap().clone();
+        let err = m.switch(a, heavy()).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Admission(AdmissionError::Rejected(_))
+        ));
+        assert_eq!(m.state(), &ledger, "failed switch restores the ledger");
+        assert_eq!(
+            m.get(a).unwrap(),
+            &record,
+            "the old configuration keeps running untouched"
+        );
+        m.stop_all().unwrap();
+        assert!(m.utilization().is_idle());
+    }
+
+    #[test]
+    fn switch_unknown_handle_is_a_runtime_error() {
+        let mut m = RuntimeManager::new(defrag_platform(), SpatialMapper::default());
+        let h = m.start(light()).unwrap();
+        m.stop(h).unwrap();
+        let err = m.switch(h, heavy()).unwrap_err();
+        assert_eq!(err.kind(), RuntimeErrorKind::UnknownHandle);
     }
 
     #[test]

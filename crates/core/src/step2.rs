@@ -300,8 +300,16 @@ impl<'a> SearchCtx<'a> {
     /// All candidates for `process` — moves to same-kind tiles and swaps
     /// with same-kind processes — generated into the caller's reusable
     /// buffer (cleared first) instead of a fresh allocation per scan.
+    ///
+    /// Constraint-aware pruning: a pinned process generates no candidates
+    /// at all (every move or swap would take it off its pin, which the
+    /// oracle would reject one by one), and no process offers a swap with
+    /// a pinned partner. Unconstrained searches are untouched.
     fn candidates_for(&self, mapping: &Mapping, process: ProcessId, out: &mut Vec<Step2Move>) {
         out.clear();
+        if self.constraints.pinned_tile(process).is_some() {
+            return;
+        }
         let Some(assignment) = mapping.assignment(process) else {
             return;
         };
@@ -312,7 +320,10 @@ impl<'a> SearchCtx<'a> {
             }
         }
         for (other, other_assignment) in mapping.assignments() {
-            if other == process || self.spec.graph.process(other).is_control {
+            if other == process
+                || self.spec.graph.process(other).is_control
+                || self.constraints.pinned_tile(other).is_some()
+            {
                 continue;
             }
             let other_kind =
@@ -437,6 +448,7 @@ pub fn improve_assignment_with(
         },
         events: Vec::new(),
         evaluations: 0,
+        generated: 0,
         final_cost: 0,
     };
     let mut current_cost = trace.initial_cost;
@@ -453,6 +465,7 @@ pub fn improve_assignment_with(
                     // This process's best untried reassignment.
                     let mut best: Option<ScoredCandidate> = None;
                     ctx.candidates_for(mapping, process, &mut candidates);
+                    trace.generated += candidates.len() as u64;
                     for candidate in &candidates {
                         if tried.contains(&candidate_key(candidate)) {
                             continue;
@@ -504,6 +517,7 @@ pub fn improve_assignment_with(
             let mut best: Option<ScoredCandidate> = None;
             for &process in &order {
                 ctx.candidates_for(mapping, process, &mut candidates);
+                trace.generated += candidates.len() as u64;
                 for candidate in &candidates {
                     if let Some(cost) = ctx.evaluate(mapping, working, candidate, current_cost) {
                         if best.as_ref().is_none_or(|(c, _)| cost < *c) {

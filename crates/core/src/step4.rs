@@ -7,7 +7,7 @@
 //! Sink. Finite buffers are channel capacities: router-to-router buffers of
 //! [`Step4Config::router_buffer_words`], the fixed Sink buffer `x`, and the
 //! tile-side input buffers `B_i`, which are *computed* here (via
-//! `rtsm-dataflow`'s buffer sizing, standing in for Wiggers et al. [11]).
+//! `rtsm-dataflow`'s buffer sizing, standing in for Wiggers et al. \[11\]).
 //!
 //! The mapping is **feasible** iff the composed graph sustains one source
 //! firing per period, the computed buffers fit the consuming tiles'

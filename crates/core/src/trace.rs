@@ -70,6 +70,11 @@ pub struct Step2Trace {
     /// capture is on, and the same value when it is off, so search-effort
     /// counters stay identical either way.
     pub evaluations: u64,
+    /// Total move/swap candidates *generated* across the search — the raw
+    /// neighbourhood size before fit and constraint filtering. Constraint-
+    /// aware pruning (pinned processes generate nothing) shows up here,
+    /// while `evaluations` is unaffected by it.
+    pub generated: u64,
     /// Final cost after the search.
     pub final_cost: u64,
 }

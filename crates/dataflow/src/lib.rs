@@ -12,7 +12,7 @@
 //! * [`PhaseVec`] — compact run-length encoded phase vectors implementing the
 //!   paper's `⟨x^n, y^m⟩` notation for per-phase WCETs and token rates.
 //! * [`CsdfGraph`] — actors, channels, initial tokens and capacities, with
-//!   validation and repetition-vector computation ([`repetition`]).
+//!   validation and repetition-vector computation ([`CsdfGraph::repetition_vector`]).
 //! * [`simulate`] — a self-timed discrete-event execution engine with exact
 //!   periodic-steady-state detection.
 //! * [`throughput`] — throughput analysis and period feasibility checks.

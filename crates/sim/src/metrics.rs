@@ -111,8 +111,19 @@ impl Deserialize for UtilizationSample {
 /// [`SimReport`] only when the run was configured with a
 /// [`ReconfigurationPolicy`](rtsm_core::ReconfigurationPolicy), so plain
 /// runs serialize byte-identically to pre-reconfiguration reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Together with the report's `blocking_permille` this is one *Pareto
+/// point* per (policy, λ) configuration: recovered admissions and
+/// blocking on one axis, total migration energy on the other. Sweeping
+/// λ and the [`AdmissionPolicy`](rtsm_core::AdmissionPolicy) set traces
+/// the front (see the `bench_map` `pareto` section).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReconfigurationReport {
+    /// Label of the run's [`AdmissionPolicy`](rtsm_core::AdmissionPolicy).
+    pub policy: String,
+    /// The run's migration-energy weight λ, in permille (see
+    /// [`ReconfigurationObjective`](rtsm_core::ReconfigurationObjective)).
+    pub lambda_permille: u64,
     /// Blocked arrivals that retried with reconfiguration.
     pub reconfigure_attempts: u64,
     /// Retries that admitted the application (blocked → running). The
@@ -120,12 +131,20 @@ pub struct ReconfigurationReport {
     pub admissions_recovered: u64,
     /// Migration plans evaluated across all retries.
     pub plans_tried: u64,
-    /// Victim re-mappings attempted, including plans that rolled back.
+    /// Victim re-mappings attempted, including plans that were not
+    /// committed.
     pub migrations_attempted: u64,
     /// Migrations actually committed (running apps moved).
     pub migrations_committed: u64,
     /// Total modelled state-transfer energy of committed migrations, pJ.
     pub migration_energy_pj: u64,
+    /// Feasible plans the admission policy refused to commit — blocking
+    /// that was a *policy* decision, not a placement failure.
+    pub plans_refused: u64,
+    /// Blocked mode switches whose instance kept running under its old
+    /// configuration (switch-through-remap): switching losses that no
+    /// longer evict.
+    pub mode_switches_survived: u64,
 }
 
 /// The deterministic result of one simulation run: same seed, same
@@ -392,11 +411,17 @@ impl MetricsCollector {
         self
     }
 
-    /// Enables the reconfiguration counters (builder style); the finished
-    /// report then carries a [`ReconfigurationReport`].
+    /// Enables the reconfiguration counters (builder style), stamping them
+    /// with the run's admission-policy label and λ so every report is a
+    /// self-describing Pareto point; the finished report then carries a
+    /// [`ReconfigurationReport`].
     #[must_use]
-    pub fn with_reconfiguration_counters(mut self) -> Self {
-        self.reconfiguration = Some(ReconfigurationReport::default());
+    pub fn with_reconfiguration_counters(mut self, policy: String, lambda_permille: u64) -> Self {
+        self.reconfiguration = Some(ReconfigurationReport {
+            policy,
+            lambda_permille,
+            ..ReconfigurationReport::default()
+        });
         self
     }
 
@@ -499,7 +524,8 @@ impl MetricsCollector {
     /// Records a recovered admission: a blocked arrival that the
     /// reconfiguration retry admitted. Counts as the arrival's admission
     /// (so blocking probability reflects the recovery) plus the plan
-    /// search's effort and committed migrations.
+    /// search's effort, committed migrations, and any feasible plans the
+    /// admission policy refused along the way.
     #[allow(clippy::too_many_arguments)]
     pub fn record_admission_recovered(
         &mut self,
@@ -510,6 +536,7 @@ impl MetricsCollector {
         migrations_attempted: u64,
         migrations_committed: u64,
         migration_energy_pj: u64,
+        plans_refused: u64,
     ) {
         self.record_admission(app_name, evaluated, attempts);
         let r = self.reconfig();
@@ -519,23 +546,34 @@ impl MetricsCollector {
         r.migrations_attempted += migrations_attempted;
         r.migrations_committed += migrations_committed;
         r.migration_energy_pj += migration_energy_pj;
+        r.plans_refused += plans_refused;
     }
 
     /// Records a reconfiguration retry that still could not admit the
     /// arrival — the instance's definitive blocking, plus the failed
-    /// search's effort.
+    /// search's effort and refusals.
     pub fn record_reconfigure_blocked(
         &mut self,
         kind: AdmissionErrorKind,
         attempts: u64,
         plans_tried: u64,
         migrations_attempted: u64,
+        plans_refused: u64,
     ) {
         self.record_blocked(kind, attempts);
         let r = self.reconfig();
         r.reconfigure_attempts += 1;
         r.plans_tried += plans_tried;
         r.migrations_attempted += migrations_attempted;
+        r.plans_refused += plans_refused;
+    }
+
+    /// Records a blocked mode switch whose instance kept running under its
+    /// old configuration (switch-through-remap). Call *in addition to*
+    /// [`record_mode_switch_blocked`](MetricsCollector::record_mode_switch_blocked):
+    /// the switch itself still failed; what survived is the instance.
+    pub fn record_mode_switch_survived(&mut self) {
+        self.reconfig().mode_switches_survived += 1;
     }
 
     /// Notes the current number of running applications (peak tracking).

@@ -141,12 +141,16 @@ fn try_admit<A: MappingAlgorithm>(
 ///   model) — unless a reconfiguration policy is set, in which case a
 ///   [`SimEvent::Reconfigure`] at the same instant decides its fate.
 /// * **Departure** — the instance stops and releases its resources.
-/// * **ModeSwitch** — the instance stops, redraws a spec from the
-///   catalog, and requests re-admission at the same virtual instant; if
-///   rejected it leaves (its scheduled departure becomes stale and is
-///   ignored). Mode switches never reconfigure: the instance already held
-///   resources, so its blocking is a switching loss, not an admission
-///   loss.
+/// * **ModeSwitch** — the instance redraws a spec from the catalog and
+///   switches to it at the same virtual instant. In plain runs this is
+///   stop-then-readmit: if rejected the instance leaves (its scheduled
+///   departure becomes stale and is ignored). With a reconfiguration
+///   policy set, the switch goes through the transactional
+///   [`RuntimeManager::switch`] instead: a rejected switch is still a
+///   switching loss (it counts as blocked), but the instance *keeps
+///   running under its old configuration* — the loss is measurable
+///   (`mode_switches_survived`) and partially recovered. Mode switches
+///   never search migration plans: the instance already holds resources.
 /// * **Reconfigure** — the blocked instance retries through
 ///   [`RuntimeManager::start_with_reconfiguration`]: bounded migration
 ///   plans may move running applications (all-or-nothing) to make room.
@@ -179,8 +183,11 @@ pub fn run_sim<A: MappingAlgorithm>(
     if config.track_fragmentation {
         metrics = metrics.with_fragmentation_tracking();
     }
-    if config.reconfiguration.is_some() {
-        metrics = metrics.with_reconfiguration_counters();
+    if let Some(policy) = &config.reconfiguration {
+        metrics = metrics.with_reconfiguration_counters(
+            policy.admission.label(),
+            policy.objective.lambda_permille,
+        );
     }
     let mut wall = WallStats::default();
     // Instance → current handle; absent once departed or blocked.
@@ -286,6 +293,7 @@ pub fn run_sim<A: MappingAlgorithm>(
                             reconfiguration.migrations_attempted,
                             reconfiguration.migrations.len() as u64,
                             reconfiguration.migration_energy_pj,
+                            reconfiguration.plans_refused,
                         );
                         metrics.note_running(manager.n_running());
                         handles.insert(instance, reconfiguration.handle);
@@ -305,6 +313,7 @@ pub fn run_sim<A: MappingAlgorithm>(
                             rejected_attempts(&failure.error),
                             failure.plans_tried,
                             failure.migrations_attempted,
+                            failure.plans_refused,
                         );
                     }
                 }
@@ -319,24 +328,67 @@ pub fn run_sim<A: MappingAlgorithm>(
             }
             SimEvent::ModeSwitch { instance } => {
                 if let Some(&handle) = handles.get(&instance) {
-                    manager.stop(handle)?;
-                    metrics.record_mode_switch_attempt();
-                    let entry = &catalog.entries()[catalog.sample(&mut rng)];
-                    match try_admit(&mut manager, &mut wall, entry.spec.clone())? {
-                        Admission::Admitted {
-                            handle: new_handle,
-                            evaluated,
-                            attempts,
-                        } => {
-                            metrics.record_mode_switch_admitted(&entry.name, evaluated, attempts);
-                            metrics.note_running(manager.n_running());
-                            handles.insert(instance, new_handle);
+                    if config.reconfiguration.is_some() {
+                        // Reconfiguration-aware runs route the switch
+                        // through the transactional
+                        // [`RuntimeManager::switch`]: a blocked switch is a
+                        // measurable switching loss, but the instance keeps
+                        // running under its old configuration instead of
+                        // being evicted — the loss is partially recovered.
+                        metrics.record_mode_switch_attempt();
+                        let entry = &catalog.entries()[catalog.sample(&mut rng)];
+                        let started = Instant::now();
+                        let result = manager.switch(handle, entry.spec.clone());
+                        wall.record(started.elapsed());
+                        match result {
+                            Ok(_old_outcome) => {
+                                let outcome = &manager.get(handle).expect("still running").outcome;
+                                metrics.record_mode_switch_admitted(
+                                    &entry.name,
+                                    outcome.evaluated,
+                                    outcome.attempts as u64,
+                                );
+                                metrics.note_running(manager.n_running());
+                            }
+                            Err(RuntimeError::Admission(err @ AdmissionError::Rejected(_))) => {
+                                metrics.record_mode_switch_blocked(
+                                    err.kind(),
+                                    rejected_attempts(&err),
+                                );
+                                metrics.record_mode_switch_survived();
+                                // The old configuration keeps running; the
+                                // scheduled departure stays valid.
+                            }
+                            Err(fatal) => return Err(fatal),
                         }
-                        Admission::Blocked { kind, attempts } => {
-                            // The instance lost its resources and leaves;
-                            // its pending departure becomes stale.
-                            handles.remove(&instance);
-                            metrics.record_mode_switch_blocked(kind, attempts);
+                    } else {
+                        // Plain runs keep the historical stop-then-readmit
+                        // semantics (and their byte-identical reports): a
+                        // blocked switch evicts the instance.
+                        manager.stop(handle)?;
+                        metrics.record_mode_switch_attempt();
+                        let entry = &catalog.entries()[catalog.sample(&mut rng)];
+                        match try_admit(&mut manager, &mut wall, entry.spec.clone())? {
+                            Admission::Admitted {
+                                handle: new_handle,
+                                evaluated,
+                                attempts,
+                            } => {
+                                metrics.record_mode_switch_admitted(
+                                    &entry.name,
+                                    evaluated,
+                                    attempts,
+                                );
+                                metrics.note_running(manager.n_running());
+                                handles.insert(instance, new_handle);
+                            }
+                            Admission::Blocked { kind, attempts } => {
+                                // The instance lost its resources and
+                                // leaves; its pending departure becomes
+                                // stale.
+                                handles.remove(&instance);
+                                metrics.record_mode_switch_blocked(kind, attempts);
+                            }
                         }
                     }
                 }

@@ -2,7 +2,7 @@
 //! processes, and holding-time distributions.
 //!
 //! Everything here draws from one caller-supplied
-//! [`StdRng`](rand::rngs::StdRng), so a whole workload — which
+//! [`StdRng`], so a whole workload — which
 //! applications arrive, when, and for how long — is reproducible from a
 //! single `u64` seed.
 

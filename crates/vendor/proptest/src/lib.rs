@@ -137,7 +137,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::RngExt;
 
-    /// Element count for [`vec`]: a fixed size or a size range.
+    /// Element count for [`vec()`]: a fixed size or a size range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -180,7 +180,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -226,7 +226,11 @@ fn sim_report_with_reconfiguration_roundtrips() {
         },
     )
     .expect("simulation never breaks its own ledger");
-    let reconfiguration = run.report.reconfiguration.expect("counters present");
+    let reconfiguration = run
+        .report
+        .reconfiguration
+        .clone()
+        .expect("counters present");
     assert!(
         reconfiguration.admissions_recovered > 0,
         "the engineered defrag workload recovers admissions: {reconfiguration:?}"

@@ -185,7 +185,10 @@ fn reconfiguration_strictly_lowers_mixed_workload_blocking() {
     };
     let reconfigured = with_reconfig();
     assert!(plain.reconfiguration.is_none());
-    let counters = reconfigured.reconfiguration.expect("counters present");
+    let counters = reconfigured
+        .reconfiguration
+        .clone()
+        .expect("counters present");
     assert!(
         counters.admissions_recovered > 0,
         "the mixed workload must recover admissions: {counters:?}"
