@@ -14,7 +14,13 @@
 //!   sanity gates (bounded policies must still recover admissions while
 //!   spending strictly less migration energy than always-admit);
 //! * peak live heap allocation during one `map()` call, via the workspace's
-//!   [`PeakAlloc`] global allocator.
+//!   [`PeakAlloc`] global allocator;
+//! * worker-pool **scaling** (`scaling` section): events/second of one
+//!   fixed experiment spec run through `rtsm_exp` at 1, 2, and 4 workers.
+//!   The sealed reports are asserted byte-identical across worker counts;
+//!   the >1-worker speedup is gated only when the machine actually has
+//!   ≥ 2 hardware threads (recorded as `speedup_gated`), so the smoke
+//!   cannot fail on a single-core runner where no speedup is possible.
 //!
 //! ```text
 //! bench_map [--out PATH] [--iters N] [--sim-arrivals N] [--seed N]
@@ -33,6 +39,7 @@ use rtsm_core::{
     AdmissionPolicy, MapperConfig, MappingAlgorithm, ReconfigurationObjective,
     ReconfigurationPolicy, RuntimeManager, SpatialMapper,
 };
+use rtsm_exp::{run_experiment, write_atomic, ExperimentSpec, PolicySpec, SpecTemplate};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
 use rtsm_sim::{run_sim, Catalog, SimConfig};
@@ -124,6 +131,32 @@ struct ParetoPoint {
     mode_switches_survived: u64,
 }
 
+/// Throughput of the sharded experiment harness at one worker count.
+#[derive(Serialize)]
+struct ScalingPoint {
+    workers: u64,
+    events_processed: u64,
+    wall_ms: u64,
+    events_per_sec: u64,
+}
+
+/// The worker-pool scaling sweep: one fixed spec run at 1→N workers.
+/// Wall-clock only — the sealed experiment reports themselves are
+/// byte-identical across worker counts (asserted every run).
+#[derive(Serialize)]
+struct Scaling {
+    /// Hardware threads the machine reports; on 1 no speedup is
+    /// physically possible and the speedup gate is skipped.
+    available_parallelism: u64,
+    spec_trials: u64,
+    spec_total_arrivals: u64,
+    /// Sealed reports byte-identical across all swept worker counts.
+    reports_identical: bool,
+    /// Whether the >1-worker-beats-1-worker assertion was enforced.
+    speedup_gated: bool,
+    points: Vec<ScalingPoint>,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: String,
@@ -134,6 +167,7 @@ struct BenchReport {
     sim: Vec<SimPoint>,
     fragmented_admission: FragmentedAdmission,
     pareto: Vec<ParetoPoint>,
+    scaling: Scaling,
     sanity_checks_passed: bool,
 }
 
@@ -479,8 +513,82 @@ fn main() {
     }
     assert!(deterministic, "fixed-seed reports must be byte-identical");
 
+    // --- Worker-pool scaling: events/s vs workers -------------------------
+    // One fixed 8-trial spec through the experiment harness at 1, 2, and
+    // 4 workers. The sealed reports must be byte-identical (hard gate);
+    // the speedup itself is only gated where the hardware can deliver one.
+    let scaling_spec = ExperimentSpec {
+        schema: None,
+        name: "bench-map-scaling".to_string(),
+        template: SpecTemplate {
+            arrivals: sim_arrivals.clamp(200, 2000),
+            mean_hold: None,
+            switch_prob_pct: None,
+            sample_interval: None,
+            horizon: None,
+            platform_seed: None,
+        },
+        algorithms: vec!["paper".to_string(), "greedy".to_string()],
+        catalogs: vec!["hiperlan2".to_string()],
+        mean_gaps: vec![400, 1200],
+        policies: vec![PolicySpec::none()],
+        seeds: vec![seed, seed + 1],
+        repeats: None,
+    };
+    let available_parallelism = rtsm_exp::available_workers() as u64;
+    let mut scaling_points = Vec::new();
+    let mut sealed_reports: Vec<String> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let run =
+            run_experiment(&scaling_spec, workers, |_, _| {}).expect("the scaling spec is valid");
+        sealed_reports.push(serde_json::to_string(&run.report).expect("reports serialize"));
+        let point = ScalingPoint {
+            workers: workers as u64,
+            events_processed: run.events,
+            wall_ms: run.wall.as_millis() as u64,
+            events_per_sec: run.events_per_second(),
+        };
+        println!(
+            "scaling/{workers}w: {} events in {} ms → {} events/s",
+            point.events_processed, point.wall_ms, point.events_per_sec
+        );
+        scaling_points.push(point);
+    }
+    let reports_identical = sealed_reports.windows(2).all(|w| w[0] == w[1]);
+    assert!(
+        reports_identical,
+        "sealed experiment reports must be byte-identical across worker counts"
+    );
+    let single_rate = scaling_points[0].events_per_sec;
+    let best_multi_rate = scaling_points[1..]
+        .iter()
+        .map(|p| p.events_per_sec)
+        .max()
+        .unwrap_or(0);
+    let speedup_gated = available_parallelism >= 2;
+    if speedup_gated {
+        assert!(
+            best_multi_rate > single_rate,
+            "with {available_parallelism} hardware threads, >1 worker must beat \
+             single-threaded throughput ({best_multi_rate} vs {single_rate} events/s)"
+        );
+    } else {
+        println!(
+            "scaling: single hardware thread — speedup gate skipped \
+             ({best_multi_rate} vs {single_rate} events/s)"
+        );
+    }
+    let scaling = Scaling {
+        available_parallelism,
+        spec_trials: scaling_spec.expand().len() as u64,
+        spec_total_arrivals: scaling_spec.total_arrivals(),
+        reports_identical,
+        speedup_gated,
+        points: scaling_points,
+    };
+
     let report = BenchReport {
-        schema: "rtsm-bench-map/3".into(),
+        schema: "rtsm-bench-map/4".into(),
         seed,
         baseline: Baseline {
             commit: "c9eb51b".into(),
@@ -499,9 +607,11 @@ fn main() {
         sim,
         fragmented_admission,
         pareto,
+        scaling,
         sanity_checks_passed: true,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
-    std::fs::write(&out, &json).expect("write BENCH_map.json");
+    // Atomic: an interrupted run must not leave a truncated artifact.
+    write_atomic(&out, &json).expect("write BENCH_map.json");
     println!("wrote {out}");
 }

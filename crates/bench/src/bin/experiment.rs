@@ -1,0 +1,161 @@
+//! `experiment` — run a sharded sweep matrix from a JSON spec.
+//!
+//! ```text
+//! experiment --spec PATH [--workers N] [--out PATH] [--jsonl PATH] [--quiet]
+//! ```
+//!
+//! Loads an `ExperimentSpec`, expands it into independent trials, fans
+//! them across `--workers` threads (default: the machine's available
+//! parallelism), streams one JSON line per trial to `--jsonl` (and,
+//! unless `--quiet`, a progress line to stdout) **in trial-id order**
+//! while the run is in flight, and seals the aggregate
+//! `ExperimentReport` to `--out` atomically (temp file + rename).
+//!
+//! The sealed report is byte-identical for a given spec regardless of
+//! `--workers` — the CI determinism gate byte-diffs two runs at
+//! different worker counts. Wall-clock throughput (events/s) is printed
+//! to stdout only; it never enters the report.
+
+use rtsm_exp::{run_experiment, write_atomic, ExperimentSpec};
+use std::io::Write;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: experiment --spec PATH [--workers N] [--out PATH] [--jsonl PATH] [--quiet]");
+    std::process::exit(2);
+}
+
+const VALUE_FLAGS: [&str; 4] = ["--spec", "--workers", "--out", "--jsonl"];
+
+fn validate_args(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            if i + 1 >= args.len() {
+                usage_error(&format!("{arg} expects a value"));
+            }
+            i += 2;
+        } else if arg == "--quiet" {
+            i += 1;
+        } else {
+            usage_error(&format!("unknown argument `{arg}`"));
+        }
+    }
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    validate_args(&args);
+    let spec_path =
+        parse_flag(&args, "--spec").unwrap_or_else(|| usage_error("--spec PATH is required"));
+    let workers = match parse_flag(&args, "--workers") {
+        None => rtsm_exp::available_workers(),
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            usage_error(&format!("--workers expects a positive integer, got `{v}`"))
+        }),
+    };
+    if workers == 0 {
+        usage_error("--workers must be at least 1");
+    }
+    let out = parse_flag(&args, "--out");
+    let jsonl = parse_flag(&args, "--jsonl");
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let spec_text = std::fs::read_to_string(&spec_path)
+        .unwrap_or_else(|e| usage_error(&format!("cannot read `{spec_path}`: {e}")));
+    let spec: ExperimentSpec = serde_json::from_str(&spec_text)
+        .unwrap_or_else(|e| usage_error(&format!("`{spec_path}` is not a valid spec: {e}")));
+    if let Err(message) = spec.validate() {
+        // One line, naming the offender and the valid options.
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+
+    let n_trials = spec.expand().len();
+    let total_arrivals = spec.total_arrivals();
+    println!(
+        "experiment `{}`: {n_trials} trials, {total_arrivals} total arrivals, {workers} worker(s)",
+        spec.name
+    );
+
+    let mut jsonl_file = jsonl.as_ref().map(|path| {
+        std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create `{path}`: {e}");
+            std::process::exit(2);
+        }))
+    });
+    let run = run_experiment(&spec, workers, |record, line| {
+        if let Some(file) = jsonl_file.as_mut() {
+            writeln!(file, "{line}").expect("write JSONL line");
+        }
+        if !quiet {
+            println!(
+                "trial {:>4}/{n_trials}: {} {} gap={} policy={} seed={}r{} → \
+                 {} admitted / {} blocked ({}‰)",
+                record.id + 1,
+                record.catalog,
+                record.algorithm,
+                record.mean_gap,
+                record.policy,
+                record.seed,
+                record.repeat,
+                record.admitted,
+                record.blocked,
+                record.blocking_permille,
+            );
+        }
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {}", e.0);
+        std::process::exit(2);
+    });
+    if let Some(file) = jsonl_file.as_mut() {
+        file.flush().expect("flush JSONL file");
+    }
+
+    println!(
+        "{} trials, {} events in {:.1} s → {} events/s on {workers} worker(s); \
+         blocking {}/{} arrivals, {} recovered, digest {:016x}",
+        run.report.n_trials,
+        run.events,
+        run.wall.as_secs_f64(),
+        run.events_per_second(),
+        run.report.total_blocked,
+        run.report.total_arrivals,
+        run.report.total_recovered,
+        run.report.trials_fnv1a,
+    );
+    for front in &run.report.pareto_fronts {
+        println!("pareto[{}]: {} point(s)", front.catalog, front.points.len());
+        for p in &front.points {
+            println!(
+                "  {} gap={} policy={}: blocking {}‰, {} pJ·t/admitted, {} pJ migrated",
+                p.algorithm,
+                p.mean_gap,
+                p.policy,
+                p.blocking_permille,
+                p.energy_pj_ticks_per_admitted,
+                p.migration_energy_pj,
+            );
+        }
+    }
+
+    if let Some(path) = out {
+        let json = serde_json::to_string(&run.report).expect("reports serialize");
+        write_atomic(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = jsonl {
+        println!("wrote {path}");
+    }
+}

@@ -77,7 +77,10 @@ fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
         algorithms.push(Box::new(ExhaustiveMapper::default()));
     }
     if algorithms.is_empty() {
-        usage_error(&format!("unknown algorithm `{which}`"));
+        one_line_error(&format!(
+            "unknown algorithm `{which}` (valid: all, {})",
+            rtsm_exp::VALID_ALGORITHMS.join(", ")
+        ));
     }
     algorithms
 }
@@ -120,6 +123,14 @@ fn validate_args(args: &[String]) {
             usage_error(&format!("unknown argument `{arg}`"));
         }
     }
+}
+
+/// A bad *value* for a known flag: one line naming the offender and the
+/// valid options, without the full usage dump (that's for unknown
+/// flags, where the user needs the whole grammar).
+fn one_line_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 fn usage_error(message: &str) -> ! {
@@ -181,8 +192,17 @@ fn main() {
         "amortized-payback" => AdmissionPolicy::AmortizedPayback {
             horizon_periods: payback,
         },
-        other => usage_error(&format!("unknown admission policy `{other}`")),
+        other => one_line_error(&format!(
+            "unknown admission policy `{other}` (valid: always, energy-budget, \
+             amortized-payback)"
+        )),
     };
+    if switch_pct > 100 {
+        one_line_error(&format!("--switch-prob is {switch_pct}%, must be 0–100"));
+    }
+    // Resolve the algorithm set before any output, so a bad name fails
+    // with just the one-line error.
+    let algorithms = algorithms(&which);
 
     // The paper's 3×3 platform carries the HIPERLAN/2 catalog; the bigger
     // catalogs need a platform with DSPs and more tiles; the defrag strip
@@ -212,7 +232,10 @@ fn main() {
             Catalog::synthetic(platform_seed, 6),
         ),
         "defrag" => (defrag_platform(4), Catalog::defrag()),
-        other => usage_error(&format!("unknown catalog `{other}`")),
+        other => one_line_error(&format!(
+            "unknown catalog `{other}` (valid: {})",
+            rtsm_exp::VALID_CATALOGS.join(", ")
+        )),
     };
 
     let reconfiguration_policy = |admission: AdmissionPolicy| ReconfigurationPolicy {
@@ -275,7 +298,7 @@ fn main() {
     let mut total_plans_refused = 0u64;
     let mut baseline_recovered = 0u64;
     let mut baseline_migration_energy = 0u64;
-    for algorithm in algorithms(&which) {
+    for algorithm in algorithms {
         let run = run_sim(&platform, &algorithm, &catalog, &config)
             .expect("the simulation never breaks its own ledger");
         if reconfigure {
@@ -377,7 +400,9 @@ fn main() {
     if let Some(path) = out {
         let mut contents = json_lines().join("\n");
         contents.push('\n');
-        std::fs::write(&path, contents).expect("write --out file");
+        // Atomic: CI byte-diffs this artifact; an interrupted run must
+        // not leave a truncated file behind.
+        rtsm_exp::write_atomic(&path, contents).expect("write --out file");
         println!("wrote {path}");
     }
 }

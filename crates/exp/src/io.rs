@@ -1,0 +1,74 @@
+//! Atomic report writes: temp file + rename.
+//!
+//! Report artifacts (BENCH JSON, experiment reports, `--out` files) are
+//! consumed by CI byte-diffs and dashboards; a run killed mid-write must
+//! never leave a truncated artifact behind. [`write_atomic`] stages the
+//! contents in a sibling temp file and `rename`s it into place — on the
+//! same filesystem the rename is atomic, so readers observe either the
+//! old complete file or the new complete file, never a prefix.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes `contents` to `path` atomically (sibling temp file + rename).
+///
+/// The temp file carries the writing process id in its name, so two
+/// concurrent writers cannot stage into the same file; the loser of the
+/// final rename race still leaves a *complete* file in place.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from creating, writing, or renaming the temp file;
+/// the temp file is removed on a failed rename.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = PathBuf::from(tmp_name);
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_land_and_leave_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("rtsm_exp_io_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("report.json");
+
+        write_atomic(&target, "{\"v\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "{\"v\":1}");
+
+        // Overwriting replaces the contents wholesale.
+        write_atomic(&target, "{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "{\"v\":2}");
+
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files remain: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rename_cleans_up_the_temp_file() {
+        // Renaming onto a path whose parent does not exist fails.
+        let missing = std::env::temp_dir()
+            .join(format!("rtsm_exp_io_missing_{}", std::process::id()))
+            .join("nested")
+            .join("report.json");
+        assert!(write_atomic(&missing, "x").is_err());
+    }
+}

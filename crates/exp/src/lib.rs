@@ -1,0 +1,45 @@
+//! `rtsm_exp` — the sharded experiment harness.
+//!
+//! The paper's run-time mapping claims are aggregate claims: blocking
+//! probability, energy, and fragmentation across many arrival rates,
+//! catalogs, policies, and seeds. This crate turns such a sweep matrix
+//! into one deterministic artifact:
+//!
+//! 1. an [`ExperimentSpec`] (algorithms × catalogs × λ × admission
+//!    policies × seeds × repeats over a [`SpecTemplate`]) expands into
+//!    an ordered list of independent [`Trial`]s;
+//! 2. a small vendored worker pool ([`pool::run_ordered`] — std threads
+//!    and channels, no external deps) fans the trials out and merges
+//!    results back **in trial-id order**, so every downstream byte is
+//!    independent of worker count and scheduling;
+//! 3. per-trial [`TrialRecord`]s stream as JSONL while the run is in
+//!    flight, and the run seals into a versioned [`ExperimentReport`]:
+//!    aggregate tables with across-seed confidence intervals
+//!    ([`StatSummary`]) plus a Pareto front per catalog, stamped with
+//!    the FNV-1a digest of the record stream.
+//!
+//! Everything in a record or report is an integer; wall-clock lives
+//! only in [`ExperimentRun`]. Same spec ⇒ byte-identical report,
+//! whether it ran on 1 worker or 16.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod pool;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+pub mod trial;
+
+pub use io::write_atomic;
+pub use pool::{available_workers, run_ordered};
+pub use report::{AggregateRow, CatalogFront, ExperimentReport, FrontPoint, REPORT_SCHEMA};
+pub use runner::{run_experiment, ExpError, ExperimentRun};
+pub use spec::{ExperimentSpec, PolicySpec, SpecTemplate, VALID_POLICY_KINDS};
+pub use stats::StatSummary;
+pub use trial::{
+    make_algorithm, resolve_catalog, ResolvedCatalog, Trial, TrialRecord, VALID_ALGORITHMS,
+    VALID_CATALOGS,
+};

@@ -1,0 +1,172 @@
+//! A small vendored worker pool: std threads and channels, nothing else.
+//!
+//! [`run_ordered`] fans independent items out across `workers` OS threads
+//! and merges the results back **in item order**, regardless of which
+//! worker finished first. The merge discipline is what makes the
+//! experiment harness deterministic: every per-trial side effect (JSONL
+//! streaming, digests, aggregation input) observes results in trial-id
+//! order, so a run with 8 workers is byte-identical to a run with 1.
+//!
+//! With `workers <= 1` no threads are spawned at all — the items run
+//! sequentially on the caller's thread, which doubles as the reference
+//! behaviour the threaded path must reproduce exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The machine's available parallelism (≥ 1) — the default worker count.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `work` over every item, `workers` at a time, and returns the
+/// results in item order. `sink` is invoked on the caller's thread, once
+/// per item, **strictly in item order** (a reorder buffer holds
+/// out-of-order completions back), while later items may still be
+/// running — this is how per-trial results stream during a run.
+///
+/// Items are pulled from a shared atomic cursor, so a slow item never
+/// stalls workers — they keep draining the remaining items.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `work` once all workers have
+/// stopped (the pool never deadlocks on a panicking worker).
+pub fn run_ordered<T, R, F, S>(items: &[T], workers: usize, work: F, mut sink: S) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    S: FnMut(usize, &R),
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let result = work(i, item);
+                sink(i, &result);
+                result
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, work) = (&next, &work);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = work(i, &items[i]);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx); // the receive loop ends when every worker is done
+
+        let mut frontier = 0;
+        let mut received = 0;
+        while received < items.len() {
+            match rx.recv() {
+                Ok((i, result)) => {
+                    received += 1;
+                    slots[i] = Some(result);
+                    while let Some(Some(ready)) = slots.get(frontier) {
+                        sink(frontier, ready);
+                        frontier += 1;
+                    }
+                }
+                // A worker panicked and dropped its sender; leave the loop
+                // so the scope can join and propagate the panic.
+                Err(_) => break,
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("the worker pool completed every item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[test]
+    fn results_and_sink_are_in_item_order_despite_scrambled_completion() {
+        // Earlier items sleep longer, so with several workers completions
+        // arrive roughly in *reverse* order — the merge must undo that.
+        let items: Vec<u64> = (0..12).collect();
+        let sunk = Mutex::new(Vec::new());
+        let results = run_ordered(
+            &items,
+            4,
+            |i, &x| {
+                std::thread::sleep(Duration::from_millis((items.len() - i) as u64 * 3));
+                x * 10
+            },
+            |i, &r| sunk.lock().unwrap().push((i, r)),
+        );
+        assert_eq!(results, (0..12).map(|x| x * 10).collect::<Vec<_>>());
+        let sunk = sunk.into_inner().unwrap();
+        assert_eq!(
+            sunk,
+            (0..12usize).map(|i| (i, i as u64 * 10)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_worker_spawns_nothing_and_matches() {
+        let items: Vec<u64> = (0..5).collect();
+        let mut order = Vec::new();
+        let results = run_ordered(&items, 1, |_, &x| x + 1, |i, _| order.push(i));
+        assert_eq!(results, vec![1, 2, 3, 4, 5]);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u64> = Vec::new();
+        let results = run_ordered(&items, 4, |_, &x| x, |_, _| {});
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn oversized_worker_count_is_clamped() {
+        let items: Vec<u64> = (0..3).collect();
+        let results = run_ordered(&items, 64, |_, &x| x * 2, |_, _| {});
+        assert_eq!(results, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<u64> = (0..8).collect();
+        let outcome = std::panic::catch_unwind(|| {
+            run_ordered(
+                &items,
+                2,
+                |i, &x| {
+                    if i == 3 {
+                        panic!("trial 3 exploded");
+                    }
+                    x
+                },
+                |_, _| {},
+            )
+        });
+        assert!(outcome.is_err(), "the pool must propagate worker panics");
+    }
+}

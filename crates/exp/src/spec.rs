@@ -1,0 +1,428 @@
+//! Declarative sweep matrices: [`ExperimentSpec`] and its expansion.
+//!
+//! A spec is the cross product `catalogs × algorithms × mean_gaps ×
+//! policies × seeds × repeats` over a shared [`SpecTemplate`] of
+//! simulation parameters. [`ExperimentSpec::expand`] flattens it into an
+//! ordered list of independent [`Trial`]s — the trial id **is** the
+//! position in that nested-loop order (catalog outermost, repeat
+//! innermost), which is the contract the worker pool's in-order merge
+//! and every sealed report rely on.
+//!
+//! Specs are plain JSON; every field beyond the axes and
+//! `template.arrivals` is optional with documented defaults, so a
+//! minimal spec stays small enough to read in a review.
+
+use crate::trial::{Trial, VALID_ALGORITHMS, VALID_CATALOGS};
+use rtsm_core::{AdmissionPolicy, ReconfigurationObjective, ReconfigurationPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters shared by every trial of a spec. Only
+/// `arrivals` is mandatory; the optional fields default to the
+/// `simulate` CLI defaults so specs and ad-hoc runs agree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecTemplate {
+    /// Arrivals per trial (policies may override per-policy; see
+    /// [`PolicySpec::arrivals`]).
+    pub arrivals: u64,
+    /// Mean exponential holding time, ticks (default 2000).
+    pub mean_hold: Option<u64>,
+    /// Mode-switch probability, percent 0–100 (default 10).
+    pub switch_prob_pct: Option<u64>,
+    /// Occupancy sample interval, ticks (default 10 000).
+    pub sample_interval: Option<u64>,
+    /// Optional virtual-time horizon cutting trials short, ticks.
+    pub horizon: Option<u64>,
+    /// Seed pinning platform layout and synthetic catalogs (default 42).
+    pub platform_seed: Option<u64>,
+}
+
+impl SpecTemplate {
+    /// Mean holding time with the default applied.
+    pub fn mean_hold(&self) -> u64 {
+        self.mean_hold.unwrap_or(2000)
+    }
+
+    /// Mode-switch probability (percent) with the default applied.
+    pub fn switch_prob_pct(&self) -> u64 {
+        self.switch_prob_pct.unwrap_or(10)
+    }
+
+    /// Sample interval with the default applied.
+    pub fn sample_interval(&self) -> u64 {
+        self.sample_interval.unwrap_or(10_000)
+    }
+
+    /// Platform seed with the default applied.
+    pub fn platform_seed(&self) -> u64 {
+        self.platform_seed.unwrap_or(42)
+    }
+}
+
+/// One admission-policy point of the sweep. `kind` is one of `none`
+/// (plain runs, no reconfiguration), `always`, `energy-budget`, or
+/// `amortized-payback`; the remaining fields refine the reconfiguration
+/// policy and default to the `simulate` CLI defaults.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// Policy kind: `none` | `always` | `energy-budget` | `amortized-payback`.
+    pub kind: String,
+    /// Migration-energy weight λ of the plan objective, permille
+    /// (default 1000). Ignored for `none`.
+    pub lambda_permille: Option<u64>,
+    /// Energy budget for `energy-budget`, pJ (default 500 000).
+    pub budget_pj: Option<u64>,
+    /// Payback horizon for `amortized-payback`, periods (default 64).
+    pub payback_periods: Option<u64>,
+    /// Migration cap per plan (default 2). Ignored for `none`.
+    pub max_migrations: Option<u64>,
+    /// Plan cap per retry (default 8). Ignored for `none`.
+    pub max_plans: Option<u64>,
+    /// Per-policy arrivals override — reconfiguration runs cost ~4× the
+    /// wall time per arrival, so sweeps typically give `none` more
+    /// arrivals than the reconfiguring points.
+    pub arrivals: Option<u64>,
+}
+
+/// The policy kinds [`PolicySpec::kind`] accepts, in display order.
+pub const VALID_POLICY_KINDS: [&str; 4] = ["none", "always", "energy-budget", "amortized-payback"];
+
+impl PolicySpec {
+    /// A plain-run policy point (no reconfiguration).
+    pub fn none() -> Self {
+        PolicySpec {
+            kind: "none".to_string(),
+            lambda_permille: None,
+            budget_pj: None,
+            payback_periods: None,
+            max_migrations: None,
+            max_plans: None,
+            arrivals: None,
+        }
+    }
+
+    fn lambda(&self) -> u64 {
+        self.lambda_permille.unwrap_or(1000)
+    }
+
+    /// A stable, human-readable label — the grouping key in reports.
+    /// Distinct policy points always label differently (enforced by
+    /// [`ExperimentSpec::validate`]).
+    pub fn label(&self) -> String {
+        match self.kind.as_str() {
+            "none" => "none".to_string(),
+            "always" => format!("always-admit/l{}", self.lambda()),
+            "energy-budget" => format!(
+                "energy-budget({}pJ)/l{}",
+                self.budget_pj.unwrap_or(500_000),
+                self.lambda()
+            ),
+            "amortized-payback" => format!(
+                "amortized-payback({})/l{}",
+                self.payback_periods.unwrap_or(64),
+                self.lambda()
+            ),
+            other => format!("invalid({other})"),
+        }
+    }
+
+    /// The [`ReconfigurationPolicy`] this point runs under; `None` for
+    /// plain runs.
+    pub fn to_policy(&self) -> Option<ReconfigurationPolicy> {
+        let admission = match self.kind.as_str() {
+            "none" => return None,
+            "always" => AdmissionPolicy::AlwaysAdmit,
+            "energy-budget" => AdmissionPolicy::EnergyBudget {
+                max_transfer_pj: self.budget_pj.unwrap_or(500_000),
+            },
+            "amortized-payback" => AdmissionPolicy::AmortizedPayback {
+                horizon_periods: self.payback_periods.unwrap_or(64),
+            },
+            other => panic!("unvalidated policy kind `{other}`"),
+        };
+        Some(ReconfigurationPolicy {
+            max_migrations: self.max_migrations.unwrap_or(2) as usize,
+            max_plans: self.max_plans.unwrap_or(8) as usize,
+            objective: ReconfigurationObjective {
+                lambda_permille: self.lambda(),
+            },
+            admission,
+            ..ReconfigurationPolicy::default()
+        })
+    }
+}
+
+/// A declarative sweep matrix: the cross product of every axis, run
+/// over the shared [`SpecTemplate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Optional spec-format marker (informational).
+    pub schema: Option<String>,
+    /// Experiment name, stamped into the sealed report.
+    pub name: String,
+    /// Shared simulation parameters.
+    pub template: SpecTemplate,
+    /// Mapping algorithms by short name (`paper`, `greedy`, …).
+    pub algorithms: Vec<String>,
+    /// Catalogs by name (`hiperlan2`, `mixed`, `synthetic`, `defrag`).
+    pub catalogs: Vec<String>,
+    /// Poisson mean inter-arrival gaps, ticks — the λ axis (smaller gap
+    /// ⇒ higher load).
+    pub mean_gaps: Vec<u64>,
+    /// Admission-policy points.
+    pub policies: Vec<PolicySpec>,
+    /// Workload seeds.
+    pub seeds: Vec<u64>,
+    /// Repeats per seed (default 1); repeat `r` runs at a derived trial
+    /// seed, so repeats are distinct stochastic runs.
+    pub repeats: Option<u64>,
+}
+
+fn check_axis(kind: &str, given: &[String], valid: &[&str]) -> Result<(), String> {
+    if given.is_empty() {
+        return Err(format!("spec lists no {kind}s"));
+    }
+    for name in given {
+        if !valid.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown {kind} `{name}` (valid: {})",
+                valid.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl ExperimentSpec {
+    /// Repeats per seed with the default applied.
+    pub fn repeats(&self) -> u64 {
+        self.repeats.unwrap_or(1)
+    }
+
+    /// Checks every axis and template field, returning a one-line error
+    /// naming the offending value and the valid options.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("spec has an empty name".to_string());
+        }
+        check_axis("algorithm", &self.algorithms, &VALID_ALGORITHMS)?;
+        check_axis("catalog", &self.catalogs, &VALID_CATALOGS)?;
+        if self.mean_gaps.is_empty() {
+            return Err("spec lists no mean_gaps".to_string());
+        }
+        if self.mean_gaps.iter().any(|&g| g == 0) {
+            return Err("mean_gaps must be positive".to_string());
+        }
+        if self.seeds.is_empty() {
+            return Err("spec lists no seeds".to_string());
+        }
+        if self.policies.is_empty() {
+            return Err("spec lists no policies".to_string());
+        }
+        for policy in &self.policies {
+            if !VALID_POLICY_KINDS.contains(&policy.kind.as_str()) {
+                return Err(format!(
+                    "unknown policy kind `{}` (valid: {})",
+                    policy.kind,
+                    VALID_POLICY_KINDS.join(", ")
+                ));
+            }
+            if policy.arrivals == Some(0) {
+                return Err(format!(
+                    "policy `{}` overrides arrivals to 0",
+                    policy.label()
+                ));
+            }
+        }
+        let mut labels: Vec<String> = self.policies.iter().map(PolicySpec::label).collect();
+        labels.sort_unstable();
+        if let Some(dup) = labels.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate policy point `{}`", dup[0]));
+        }
+        if self.repeats() == 0 {
+            return Err("repeats must be at least 1".to_string());
+        }
+        if self.template.arrivals == 0 {
+            return Err("template.arrivals must be at least 1".to_string());
+        }
+        if self.template.switch_prob_pct() > 100 {
+            return Err(format!(
+                "template.switch_prob_pct is {}%, must be 0–100",
+                self.template.switch_prob_pct()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Expands the matrix into ordered [`Trial`]s. The nesting order —
+    /// catalog → algorithm → mean_gap → policy → seed → repeat — is a
+    /// stable contract: trial ids (and with them the JSONL stream and
+    /// sealed report) never depend on worker count or timing.
+    pub fn expand(&self) -> Vec<Trial> {
+        let mut trials = Vec::new();
+        for catalog in &self.catalogs {
+            for algorithm in &self.algorithms {
+                for &mean_gap in &self.mean_gaps {
+                    for policy in &self.policies {
+                        for &seed in &self.seeds {
+                            for repeat in 0..self.repeats() {
+                                trials.push(Trial {
+                                    id: trials.len() as u64,
+                                    catalog: catalog.clone(),
+                                    algorithm: algorithm.clone(),
+                                    mean_gap,
+                                    policy: policy.clone(),
+                                    seed,
+                                    repeat,
+                                    arrivals: policy.arrivals.unwrap_or(self.template.arrivals),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        trials
+    }
+
+    /// Total simulated arrivals across the whole expansion.
+    pub fn total_arrivals(&self) -> u64 {
+        self.expand().iter().map(|t| t.arrivals).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            schema: None,
+            name: "unit".to_string(),
+            template: SpecTemplate {
+                arrivals: 100,
+                mean_hold: None,
+                switch_prob_pct: None,
+                sample_interval: None,
+                horizon: None,
+                platform_seed: None,
+            },
+            algorithms: vec!["greedy".to_string(), "paper".to_string()],
+            catalogs: vec!["hiperlan2".to_string()],
+            mean_gaps: vec![500, 1500],
+            policies: vec![PolicySpec::none()],
+            seeds: vec![1, 2],
+            repeats: Some(2),
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_catalog_algorithm_gap_policy_seed_repeat() {
+        let trials = small_spec().expand();
+        assert_eq!(trials.len(), 2 * 1 * 2 * 1 * 2 * 2);
+        assert_eq!(trials[0].id, 0);
+        // Innermost axis first: repeat varies fastest, then seed.
+        assert_eq!((trials[0].seed, trials[0].repeat), (1, 0));
+        assert_eq!((trials[1].seed, trials[1].repeat), (1, 1));
+        assert_eq!((trials[2].seed, trials[2].repeat), (2, 0));
+        // Then mean_gap, then algorithm (catalogs has one entry).
+        assert_eq!(trials[3].mean_gap, 500);
+        assert_eq!(trials[4].mean_gap, 1500);
+        assert_eq!(trials[7].algorithm, "greedy");
+        assert_eq!(trials[8].algorithm, "paper");
+        // Ids are the positions.
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn total_arrivals_honors_policy_overrides() {
+        let mut spec = small_spec();
+        assert_eq!(spec.total_arrivals(), 16 * 100);
+        spec.policies.push(PolicySpec {
+            arrivals: Some(10),
+            ..PolicySpec {
+                kind: "always".to_string(),
+                lambda_permille: None,
+                budget_pj: None,
+                payback_periods: None,
+                max_migrations: None,
+                max_plans: None,
+                arrivals: None,
+            }
+        });
+        // 16 trials at 100 arrivals plus 16 `always` trials at 10.
+        assert_eq!(spec.total_arrivals(), 16 * 100 + 16 * 10);
+    }
+
+    #[test]
+    fn validate_names_the_offender_and_the_valid_options() {
+        let mut spec = small_spec();
+        spec.catalogs = vec!["mixedd".to_string()];
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("mixedd") && err.contains("hiperlan2"), "{err}");
+
+        let mut spec = small_spec();
+        spec.algorithms = vec!["gredy".to_string()];
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("gredy") && err.contains("annealing"), "{err}");
+
+        let mut spec = small_spec();
+        spec.policies[0].kind = "sometimes".to_string();
+        let err = spec.validate().unwrap_err();
+        assert!(
+            err.contains("sometimes") && err.contains("amortized-payback"),
+            "{err}"
+        );
+
+        let mut spec = small_spec();
+        spec.template.switch_prob_pct = Some(150);
+        assert!(spec.validate().unwrap_err().contains("150"));
+
+        let mut spec = small_spec();
+        spec.mean_gaps = vec![500, 0];
+        assert!(spec.validate().is_err());
+
+        let mut spec = small_spec();
+        spec.seeds.clear();
+        assert!(spec.validate().is_err());
+
+        assert!(small_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_policy_points_are_rejected() {
+        let mut spec = small_spec();
+        spec.policies.push(PolicySpec::none());
+        assert!(spec.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn policy_labels_distinguish_parameters() {
+        let always = PolicySpec {
+            kind: "always".to_string(),
+            lambda_permille: Some(600),
+            ..PolicySpec::none()
+        };
+        let mut budget = always.clone();
+        budget.kind = "energy-budget".to_string();
+        budget.budget_pj = Some(250_000);
+        assert_eq!(always.label(), "always-admit/l600");
+        assert_eq!(budget.label(), "energy-budget(250000pJ)/l600");
+        assert_eq!(PolicySpec::none().label(), "none");
+        assert!(PolicySpec::none().to_policy().is_none());
+        assert!(budget.to_policy().is_some());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let spec = small_spec();
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec, back);
+    }
+}

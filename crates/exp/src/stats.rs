@@ -1,0 +1,163 @@
+//! Integer-only summary statistics for byte-stable reports.
+//!
+//! Everything here works on `u64` samples and produces `u64` results —
+//! no floats touch a sealed report, so aggregation is exactly
+//! reproducible across machines, worker counts, and re-runs. Percentiles
+//! use the nearest-rank convention; the 95% confidence half-width uses
+//! the unbiased sample variance with 1.96² ≈ 3.8416 folded into an
+//! integer square root.
+
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 64-bit offset basis — the initial digest state.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a 64-bit digest, chainable: feed the
+/// previous return value back as `state` ([`FNV_OFFSET`] to start).
+pub fn fnv1a64(bytes: &[u8], mut state: u64) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Integer square root: the largest `r` with `r·r ≤ n` (Newton's method).
+pub fn isqrt(n: u128) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = n;
+    let mut y = (x + 1) / 2;
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    x as u64
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice:
+/// `sorted[(len - 1) · pct / 100]`.
+///
+/// # Panics
+///
+/// Panics on an empty slice; callers summarize through
+/// [`summarize`], which handles emptiness.
+pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    sorted[(sorted.len() - 1) * pct as usize / 100]
+}
+
+/// A five-number-plus-CI summary of one metric across trials. All fields
+/// are integers in the metric's own unit (truncating division).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatSummary {
+    /// Number of samples summarized.
+    pub n: u64,
+    /// Arithmetic mean (truncated).
+    pub mean: u64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (`1.96·s/√n`, truncated; 0 when `n < 2`).
+    pub ci95_half: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Nearest-rank median.
+    pub p50: u64,
+    /// Nearest-rank 90th percentile.
+    pub p90: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Summarizes `values`; `None` when empty.
+pub fn summarize(values: &[u64]) -> Option<StatSummary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u128;
+    let sum: u128 = sorted.iter().map(|&x| u128::from(x)).sum();
+    let sum_sq: u128 = sorted.iter().map(|&x| u128::from(x) * u128::from(x)).sum();
+    let ci95_half = if n < 2 {
+        0
+    } else {
+        // Unbiased sample variance: s² = (n·Σx² − (Σx)²) / (n(n−1));
+        // half-width = 1.96·√(s²/n) = √(38416·(n·Σx² − (Σx)²) / (10000·n²(n−1))).
+        let num = n * sum_sq - sum * sum;
+        isqrt(38_416 * num / (10_000 * n * n * (n - 1)))
+    };
+    Some(StatSummary {
+        n: sorted.len() as u64,
+        mean: (sum / n) as u64,
+        ci95_half,
+        min: sorted[0],
+        p50: percentile(&sorted, 50),
+        p90: percentile(&sorted, 90),
+        max: *sorted.last().expect("non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_exact_on_squares_and_floors_between() {
+        for r in [0u64, 1, 2, 7, 1000, 123_456] {
+            let sq = u128::from(r) * u128::from(r);
+            assert_eq!(isqrt(sq), r);
+            if r > 0 {
+                assert_eq!(isqrt(sq - 1), r - 1);
+                assert_eq!(isqrt(sq + 1), r);
+            }
+        }
+        assert_eq!(isqrt(u128::from(u64::MAX) * u128::from(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&sorted, 0), 10);
+        assert_eq!(percentile(&sorted, 50), 30);
+        assert_eq!(percentile(&sorted, 90), 40);
+        assert_eq!(percentile(&sorted, 100), 50);
+        assert_eq!(percentile(&[7], 90), 7);
+    }
+
+    #[test]
+    fn summarize_handles_empty_singleton_and_known_ci() {
+        assert_eq!(summarize(&[]), None);
+
+        let one = summarize(&[42]).unwrap();
+        assert_eq!(
+            (one.n, one.mean, one.ci95_half, one.min, one.max),
+            (1, 42, 0, 42, 42)
+        );
+
+        // Four samples, mean 25, s² = ((4·3000) − 100²)/(4·3) ≈ 166.67,
+        // half-width = 1.96·√(s²/4) ≈ 1.96·6.455 = 12.65 → 12.
+        let s = summarize(&[10, 20, 30, 40]).unwrap();
+        assert_eq!(s.mean, 25);
+        assert_eq!(s.ci95_half, 12);
+        assert_eq!((s.min, s.p50, s.p90, s.max), (10, 20, 30, 40));
+    }
+
+    #[test]
+    fn summarize_is_order_independent() {
+        let a = summarize(&[5, 1, 9, 3, 7]).unwrap();
+        let b = summarize(&[9, 7, 5, 3, 1]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fnv_digest_chains_and_matches_reference() {
+        // Reference FNV-1a 64 of "a" is 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a64(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
+        // Chaining two slices equals digesting the concatenation.
+        let whole = fnv1a64(b"hello world", FNV_OFFSET);
+        let chained = fnv1a64(b" world", fnv1a64(b"hello", FNV_OFFSET));
+        assert_eq!(whole, chained);
+    }
+}

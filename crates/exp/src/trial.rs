@@ -1,0 +1,358 @@
+//! Independent trials: one fully-specified simulation run each.
+//!
+//! A [`Trial`] carries everything a worker needs besides the shared,
+//! read-only [`ResolvedCatalog`]; [`run_trial`] executes it through
+//! `run_sim` and flattens the deterministic `SimReport` into a
+//! [`TrialRecord`] — the all-integer JSONL row the harness streams,
+//! digests, and aggregates. Wall-clock never enters a record, so records
+//! are byte-identical across re-runs, machines, and worker counts.
+
+use crate::spec::{PolicySpec, SpecTemplate};
+use crate::stats::percentile;
+use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
+use rtsm_platform::paper::paper_platform;
+use rtsm_platform::{Platform, TileKind};
+use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig};
+use rtsm_workloads::{defrag_platform, mesh_platform};
+use serde::{Deserialize, Serialize};
+
+/// The mapping-algorithm short names a spec may list, in display order.
+pub const VALID_ALGORITHMS: [&str; 5] = ["paper", "greedy", "random", "annealing", "exhaustive"];
+
+/// The catalog names a spec may list, in display order.
+pub const VALID_CATALOGS: [&str; 4] = ["hiperlan2", "mixed", "synthetic", "defrag"];
+
+/// One cell of the expanded sweep matrix: a fully-specified,
+/// independently-runnable simulation. `id` is the position in the
+/// expansion order (see `ExperimentSpec::expand`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trial {
+    /// Position in the expansion order — the merge key.
+    pub id: u64,
+    /// Catalog name (one of [`VALID_CATALOGS`]).
+    pub catalog: String,
+    /// Algorithm short name (one of [`VALID_ALGORITHMS`]).
+    pub algorithm: String,
+    /// Poisson mean inter-arrival gap, ticks.
+    pub mean_gap: u64,
+    /// The admission-policy point this trial runs under.
+    pub policy: PolicySpec,
+    /// Base workload seed from the spec's seed axis.
+    pub seed: u64,
+    /// Repeat index (0-based) within the seed.
+    pub repeat: u64,
+    /// Arrivals this trial simulates (template or policy override).
+    pub arrivals: u64,
+}
+
+impl Trial {
+    /// The workload seed this trial actually runs at: the base seed
+    /// plus `repeat` golden-ratio strides, so repeats are distinct
+    /// stochastic runs that cannot collide with neighbouring base seeds.
+    pub fn trial_seed(&self) -> u64 {
+        self.seed
+            .wrapping_add(self.repeat.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// A catalog name resolved to its platform and application population —
+/// built once per experiment and shared read-only by every worker.
+#[derive(Debug, Clone)]
+pub struct ResolvedCatalog {
+    /// The platform the catalog runs on.
+    pub platform: Platform,
+    /// The application catalog arrivals draw from.
+    pub catalog: Catalog,
+}
+
+/// Resolves a catalog name exactly like the `simulate` CLI does; `None`
+/// for unknown names (spec validation reports them with the valid list).
+pub fn resolve_catalog(name: &str, platform_seed: u64) -> Option<ResolvedCatalog> {
+    let (platform, catalog) = match name {
+        "hiperlan2" => (paper_platform(), Catalog::hiperlan2()),
+        "mixed" => (
+            mesh_platform(
+                platform_seed,
+                4,
+                4,
+                &[
+                    (TileKind::Montium, 4),
+                    (TileKind::Arm, 4),
+                    (TileKind::Dsp, 2),
+                ],
+            ),
+            Catalog::mixed_dsp(),
+        ),
+        "synthetic" => (
+            mesh_platform(
+                platform_seed,
+                4,
+                4,
+                &[(TileKind::Montium, 6), (TileKind::Arm, 4)],
+            ),
+            Catalog::synthetic(platform_seed, 6),
+        ),
+        "defrag" => (defrag_platform(4), Catalog::defrag()),
+        _ => return None,
+    };
+    Some(ResolvedCatalog { platform, catalog })
+}
+
+/// Builds the mapping algorithm for a short name; `None` for unknown
+/// names. Each call returns a fresh instance — workers never share
+/// algorithm state.
+pub fn make_algorithm(name: &str) -> Option<Box<dyn MappingAlgorithm>> {
+    Some(match name {
+        // Traces are never read by the harness, so skip capturing them.
+        "paper" => Box::new(SpatialMapper::new(
+            MapperConfig::default().without_capture(),
+        )),
+        "greedy" => Box::new(GreedyMapper),
+        "random" => Box::new(RandomMapper::default()),
+        "annealing" => Box::new(AnnealingMapper::default()),
+        "exhaustive" => Box::new(ExhaustiveMapper::default()),
+        _ => return None,
+    })
+}
+
+/// The flattened, all-integer result of one trial — one JSONL row.
+/// Optional fields are `None` (serialized `null`) when the run admitted
+/// nothing or produced no fragmentation samples, never a division by
+/// zero.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Trial id — rows stream in this order regardless of worker count.
+    pub id: u64,
+    /// Catalog name.
+    pub catalog: String,
+    /// Algorithm short name (the grouping key; the full display name
+    /// lives in `SimReport`).
+    pub algorithm: String,
+    /// Poisson mean inter-arrival gap, ticks.
+    pub mean_gap: u64,
+    /// Admission-policy label (see `PolicySpec::label`).
+    pub policy: String,
+    /// Base seed from the spec axis.
+    pub seed: u64,
+    /// Repeat index within the seed.
+    pub repeat: u64,
+    /// Derived seed the run actually used.
+    pub trial_seed: u64,
+    /// Arrival events processed.
+    pub arrivals: u64,
+    /// Arrivals admitted with a feasible mapping.
+    pub admitted: u64,
+    /// Arrivals blocked.
+    pub blocked: u64,
+    /// Departures that released a running instance.
+    pub departures: u64,
+    /// Mode switches attempted.
+    pub mode_switch_attempts: u64,
+    /// Mode switches admitted.
+    pub mode_switch_admitted: u64,
+    /// Mode switches blocked.
+    pub mode_switch_blocked: u64,
+    /// Blocking probability over all admission attempts, permille.
+    pub blocking_permille: u64,
+    /// Energy integral ∫ running_energy dt, pJ·ticks.
+    pub energy_pj_ticks: u64,
+    /// Energy integral per admitted application; `None` when nothing
+    /// was admitted.
+    pub energy_pj_ticks_per_admitted: Option<u64>,
+    /// Mean platform slot utilization over all samples, permille.
+    pub mean_slots_permille: u64,
+    /// Median per-sample fragmentation, permille; `None` without samples.
+    pub frag_p50_permille: Option<u64>,
+    /// 90th-percentile per-sample fragmentation, permille.
+    pub frag_p90_permille: Option<u64>,
+    /// Peak per-sample fragmentation, permille.
+    pub frag_max_permille: Option<u64>,
+    /// Most applications running at once.
+    pub peak_running: u64,
+    /// Virtual end time, ticks.
+    pub end_time: u64,
+    /// Assignments evaluated over all successful admissions.
+    pub evaluated_assignments: u64,
+    /// Refinement attempts over all admission attempts.
+    pub refinement_attempts: u64,
+    /// Blocked arrivals the reconfiguration retry admitted (0 for
+    /// plain runs).
+    pub recovered: u64,
+    /// Migrations actually committed.
+    pub migrations_committed: u64,
+    /// Modelled state-transfer energy of committed migrations, pJ.
+    pub migration_energy_pj: u64,
+    /// Feasible plans the admission policy refused.
+    pub plans_refused: u64,
+    /// Blocked mode switches whose instance kept running.
+    pub mode_switches_survived: u64,
+    /// Whether the resource ledger was idle after teardown.
+    pub ledger_idle_at_end: bool,
+}
+
+/// Runs one trial to completion and flattens the result.
+///
+/// # Panics
+///
+/// Panics if the simulation breaks its own resource ledger — an
+/// invariant violation, never a data-dependent condition.
+pub fn run_trial(
+    trial: &Trial,
+    resolved: &ResolvedCatalog,
+    template: &SpecTemplate,
+) -> TrialRecord {
+    let config = SimConfig {
+        seed: trial.trial_seed(),
+        arrivals: trial.arrivals,
+        arrival_process: ArrivalProcess::Poisson {
+            mean_gap: trial.mean_gap,
+        },
+        holding: HoldingTime::Exponential {
+            mean: template.mean_hold(),
+        },
+        mode_switch_probability: template.switch_prob_pct() as f64 / 100.0,
+        sample_interval: template.sample_interval(),
+        horizon: template.horizon,
+        reconfiguration: trial.policy.to_policy(),
+        track_fragmentation: true,
+    };
+    let algorithm =
+        make_algorithm(&trial.algorithm).expect("trial algorithms are validated before expansion");
+    let run = run_sim(&resolved.platform, &algorithm, &resolved.catalog, &config)
+        .expect("the simulation never breaks its own ledger");
+    let report = run.report;
+
+    let frag = report.frag_permille_sorted();
+    let frag = (!frag.is_empty()).then(|| {
+        let frag: Vec<u64> = frag.into_iter().map(u64::from).collect();
+        (
+            percentile(&frag, 50),
+            percentile(&frag, 90),
+            *frag.last().expect("non-empty"),
+        )
+    });
+    let reconfiguration = report.reconfiguration.clone().unwrap_or_default();
+
+    TrialRecord {
+        id: trial.id,
+        catalog: trial.catalog.clone(),
+        algorithm: trial.algorithm.clone(),
+        mean_gap: trial.mean_gap,
+        policy: trial.policy.label(),
+        seed: trial.seed,
+        repeat: trial.repeat,
+        trial_seed: trial.trial_seed(),
+        arrivals: report.arrivals,
+        admitted: report.admitted,
+        blocked: report.blocked,
+        departures: report.departures,
+        mode_switch_attempts: report.mode_switch_attempts,
+        mode_switch_admitted: report.mode_switch_admitted,
+        mode_switch_blocked: report.mode_switch_blocked,
+        blocking_permille: report.blocking_permille,
+        energy_pj_ticks: report.energy_pj_ticks,
+        energy_pj_ticks_per_admitted: report.energy_pj_ticks_per_admitted(),
+        mean_slots_permille: report.mean_slots_permille(),
+        frag_p50_permille: frag.map(|f| f.0),
+        frag_p90_permille: frag.map(|f| f.1),
+        frag_max_permille: frag.map(|f| f.2),
+        peak_running: report.peak_running,
+        end_time: report.end_time,
+        evaluated_assignments: report.evaluated_assignments,
+        refinement_attempts: report.refinement_attempts,
+        recovered: reconfiguration.admissions_recovered,
+        migrations_committed: reconfiguration.migrations_committed,
+        migration_energy_pj: reconfiguration.migration_energy_pj,
+        plans_refused: reconfiguration.plans_refused,
+        mode_switches_survived: reconfiguration.mode_switches_survived,
+        ledger_idle_at_end: report.ledger_idle_at_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PolicySpec;
+
+    fn template() -> SpecTemplate {
+        SpecTemplate {
+            arrivals: 40,
+            mean_hold: None,
+            switch_prob_pct: None,
+            sample_interval: None,
+            horizon: None,
+            platform_seed: None,
+        }
+    }
+
+    fn trial() -> Trial {
+        Trial {
+            id: 0,
+            catalog: "hiperlan2".to_string(),
+            algorithm: "greedy".to_string(),
+            mean_gap: 500,
+            policy: PolicySpec::none(),
+            seed: 7,
+            repeat: 0,
+            arrivals: 40,
+        }
+    }
+
+    #[test]
+    fn trial_seeds_stride_away_from_neighbouring_base_seeds() {
+        let mut t = trial();
+        assert_eq!(t.trial_seed(), 7);
+        t.repeat = 1;
+        let strided = t.trial_seed();
+        assert_ne!(strided, 7);
+        assert_ne!(strided, 8, "repeat 1 must not collide with seed+1");
+    }
+
+    #[test]
+    fn every_valid_name_resolves_and_unknowns_do_not() {
+        for name in VALID_CATALOGS {
+            assert!(resolve_catalog(name, 42).is_some(), "{name}");
+        }
+        assert!(resolve_catalog("mixedd", 42).is_none());
+        for name in VALID_ALGORITHMS {
+            assert!(make_algorithm(name).is_some(), "{name}");
+        }
+        assert!(make_algorithm("gredy").is_none());
+    }
+
+    #[test]
+    fn run_trial_is_deterministic_and_flattens_the_report() {
+        let resolved = resolve_catalog("hiperlan2", 42).unwrap();
+        let a = run_trial(&trial(), &resolved, &template());
+        let b = run_trial(&trial(), &resolved, &template());
+        assert_eq!(a, b);
+        assert_eq!(a.arrivals, 40);
+        assert_eq!(a.admitted + a.blocked, 40);
+        assert!(a.ledger_idle_at_end);
+        assert_eq!(a.policy, "none");
+        assert_eq!(a.recovered, 0, "plain runs never recover admissions");
+        // Fragmentation is tracked for every trial, so the percentile
+        // summary is present and ordered.
+        let (p50, p90, max) = (
+            a.frag_p50_permille.unwrap(),
+            a.frag_p90_permille.unwrap(),
+            a.frag_max_permille.unwrap(),
+        );
+        assert!(p50 <= p90 && p90 <= max);
+    }
+
+    #[test]
+    fn zero_admissions_yield_none_not_a_panic() {
+        // A horizon of 1 tick elapses before the first Poisson arrival
+        // (gaps are ≥ 1), so the run seals with zero arrivals admitted.
+        let resolved = resolve_catalog("hiperlan2", 42).unwrap();
+        let mut template = template();
+        template.horizon = Some(1);
+        let record = run_trial(&trial(), &resolved, &template);
+        assert_eq!(record.admitted, 0);
+        assert_eq!(record.energy_pj_ticks_per_admitted, None);
+        assert_eq!(record.blocking_permille, 0);
+        assert!(record.ledger_idle_at_end);
+    }
+}

@@ -304,6 +304,28 @@ impl SimReport {
         self.blocking_permille as f64 / 1000.0
     }
 
+    /// The per-sample fragmentation figures, sorted ascending — the
+    /// percentile input for cross-run aggregation. Empty when the run
+    /// did not track fragmentation or produced no samples, so callers
+    /// can distinguish "untracked" from "fragmentation 0" without
+    /// risking an empty-percentile panic.
+    pub fn frag_permille_sorted(&self) -> Vec<u32> {
+        let mut frag: Vec<u32> = self
+            .samples
+            .iter()
+            .filter_map(|s| s.frag_permille)
+            .collect();
+        frag.sort_unstable();
+        frag
+    }
+
+    /// The energy integral per admitted application, in pJ·ticks;
+    /// `None` when nothing was admitted (a horizon can elapse before
+    /// the first arrival), never a division by zero.
+    pub fn energy_pj_ticks_per_admitted(&self) -> Option<u64> {
+        self.energy_pj_ticks.checked_div(self.admitted)
+    }
+
     /// Mean platform slot utilization over all samples, in permille.
     pub fn mean_slots_permille(&self) -> u64 {
         if self.samples.is_empty() {
@@ -684,6 +706,38 @@ mod tests {
         assert_eq!(report.blocking_permille, 750);
         assert_eq!(report.rejection_histogram.values().sum::<u64>(), 3);
         assert_eq!(report.refinement_attempts, 1 + 2 + 1);
+    }
+
+    #[test]
+    fn zero_arrival_runs_seal_a_valid_report() {
+        // A horizon that elapses before the first arrival: time advances,
+        // but no admission attempt is ever recorded. Everything derived
+        // by division must come out as 0 or `None`, never panic.
+        let mut m = MetricsCollector::new(10);
+        m.advance(25, &idle_util(), 0);
+        let report = m.finish("test", 0, 0, true);
+        assert_eq!(report.arrivals, 0);
+        assert_eq!(report.admitted, 0);
+        assert_eq!(report.blocking_permille, 0);
+        assert_eq!(report.energy_pj_ticks_per_admitted(), None);
+        // Fragmentation was not tracked: the sorted figures are empty
+        // (distinct from "tracked and zero").
+        assert!(!report.samples.is_empty());
+        assert!(report.frag_permille_sorted().is_empty());
+        assert_eq!(report.mean_slots_permille(), 0);
+    }
+
+    #[test]
+    fn aggregation_hooks_report_tracked_runs() {
+        let mut m = MetricsCollector::new(10).with_fragmentation_tracking();
+        let mut util = idle_util();
+        util.fragmentation_permille = 400;
+        m.advance(15, &util, 0);
+        let mut report = m.finish("test", 0, 0, true);
+        report.admitted = 4;
+        report.energy_pj_ticks = 100;
+        assert_eq!(report.frag_permille_sorted(), vec![400, 400]);
+        assert_eq!(report.energy_pj_ticks_per_admitted(), Some(25));
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //!   [`RuntimeManager`](core::RuntimeManager) with stochastic workloads
 //!   (Poisson arrivals, exponential holding times, mode switches) and
 //!   collecting long-horizon admission metrics into a serializable
-//!   [`SimReport`](sim::SimReport).
+//!   [`SimReport`](sim::SimReport);
+//! * [`exp`] — the sharded experiment harness: declarative sweep
+//!   matrices ([`ExperimentSpec`](exp::ExperimentSpec)) expanded into
+//!   independent trials, fanned across a vendored worker pool, and
+//!   sealed into byte-stable aggregate reports with Pareto fronts.
 //!
 //! ## Quickstart
 //!
@@ -82,6 +86,7 @@ pub use rtsm_app as app;
 pub use rtsm_baselines as baselines;
 pub use rtsm_core as core;
 pub use rtsm_dataflow as dataflow;
+pub use rtsm_exp as exp;
 pub use rtsm_platform as platform;
 pub use rtsm_sim as sim;
 pub use rtsm_workloads as workloads;
