@@ -5,6 +5,11 @@
 //! * median `map()` latency on the paper case (trace capture on and off),
 //!   next to the recorded pre-optimisation baseline, so the perf
 //!   trajectory has explicit data points;
+//! * the `observability` section (new in schema 5): a per-step latency
+//!   breakdown of `map()` (steps 1–4 + buffer sizing, p50/p90/p99/max
+//!   from a `SpanLatencyProbe`) plus the **probe-overhead gate** — the
+//!   `map()` median with a no-op probe installed must stay within 3% of
+//!   the bare median (interleaved samples, asserted);
 //! * synthetic-chain scaling (map latency vs. application size);
 //! * simulated events/second for all five mapping algorithms under a
 //!   fixed-seed stochastic workload;
@@ -30,7 +35,10 @@
 //! re-checks the paper reproduction (cost 7, 4 buffers) and fixed-seed
 //! report determinism, and **fails** (exit ≠ 0) if either breaks — these
 //! are the CI sanity gates. Wall-clock figures are reported but never
-//! gated, so the smoke cannot flake on a slow runner.
+//! gated — with one deliberate exception: the probe-overhead bound
+//! compares two interleaved measurements of the *same* workload taken in
+//! the same window, so runner speed cancels out and only a real
+//! instrumentation regression can trip it.
 
 use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
@@ -40,6 +48,7 @@ use rtsm_core::{
     ReconfigurationPolicy, RuntimeManager, SpatialMapper,
 };
 use rtsm_exp::{run_experiment, write_atomic, ExperimentSpec, PolicySpec, SpecTemplate};
+use rtsm_obs::{self as obs, Counter, NoopProbe, Span, SpanLatencyProbe};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
 use rtsm_sim::{run_sim, Catalog, SimConfig};
@@ -49,6 +58,7 @@ use rtsm_workloads::{
 };
 use serde::Serialize;
 use std::hint::black_box;
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -157,12 +167,55 @@ struct Scaling {
     points: Vec<ScalingPoint>,
 }
 
+/// Latency distribution of one instrumented span across the breakdown
+/// iterations, in ns (log2-bucket percentile resolution).
+#[derive(Serialize)]
+struct StepLatency {
+    span: String,
+    count: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+/// Total of one probe counter across the breakdown iterations.
+#[derive(Serialize)]
+struct CounterTotal {
+    counter: String,
+    total: u64,
+}
+
+/// The probe-overhead gate: bare `map()` vs `map()` with a no-op probe
+/// installed, interleaved in the same measurement window.
+#[derive(Serialize)]
+struct ProbeOverhead {
+    iterations: u64,
+    bare_median_ns: u64,
+    noop_probe_median_ns: u64,
+    /// `(probed − bare) · 1000 / bare`; negative when probed ran faster.
+    overhead_permille: i64,
+    /// The asserted bound (30‰ = 3%).
+    max_allowed_permille: u64,
+}
+
+/// Per-step latency breakdown and instrumentation cost — the baseline the
+/// template-library work will be judged against.
+#[derive(Serialize)]
+struct Observability {
+    breakdown_iterations: u64,
+    step_latency: Vec<StepLatency>,
+    counters: Vec<CounterTotal>,
+    probe_overhead: ProbeOverhead,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: String,
     seed: u64,
     baseline: Baseline,
     map_paper: PaperCase,
+    observability: Observability,
     synthetic_chain: Vec<ChainPoint>,
     sim: Vec<SimPoint>,
     fragmented_admission: FragmentedAdmission,
@@ -262,6 +315,98 @@ fn main() {
         PRE_PR_BASELINE_MEDIAN_NS as f64 / 1e6,
         PRE_PR_BASELINE_MEDIAN_NS as f64 / capture_off_median_ns as f64,
     );
+
+    // --- Observability: per-step breakdown + probe-overhead gate ----------
+    // Per-step latency: a SpanLatencyProbe times every instrumented span
+    // of the capture-off mapper over the paper case.
+    let breakdown_iterations = iters.clamp(1, 100);
+    let span_probe = Rc::new(SpanLatencyProbe::new());
+    {
+        let _guard = obs::install(span_probe.clone());
+        for _ in 0..breakdown_iterations {
+            black_box(mapper_off.map(&spec, &platform, &state).ok());
+        }
+    }
+    let step_spans = [
+        Span::Map,
+        Span::Step1,
+        Span::Step2,
+        Span::Step3,
+        Span::Step4,
+        Span::BufferSizing,
+    ];
+    let mut step_latency = Vec::with_capacity(step_spans.len());
+    for span in step_spans {
+        let h = span_probe.histogram(span);
+        println!(
+            "map/steps/{}: {} samples, p50 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
+            span.name(),
+            h.count(),
+            h.p50_ns() as f64 / 1e3,
+            h.p99_ns() as f64 / 1e3,
+            h.max_ns() as f64 / 1e3,
+        );
+        step_latency.push(StepLatency {
+            span: span.name().to_string(),
+            count: h.count(),
+            p50_ns: h.p50_ns(),
+            p90_ns: h.p90_ns(),
+            p99_ns: h.p99_ns(),
+            max_ns: h.max_ns(),
+        });
+    }
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| CounterTotal {
+            counter: c.name().to_string(),
+            total: span_probe.counter_total(c),
+        })
+        .collect();
+
+    // Probe overhead: the same map() workload bare vs with a no-op probe
+    // installed, interleaved so drift biases neither. This is the one
+    // wall-clock gate: both sides run in the same window on the same
+    // work, so only real instrumentation cost can separate them.
+    let mut bare_samples = Vec::with_capacity(iters as usize);
+    let mut probed_samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(mapper_off.map(&spec, &platform, &state).ok());
+        bare_samples.push(t.elapsed().as_nanos() as u64);
+        let _guard = obs::install(Rc::new(NoopProbe));
+        let t = Instant::now();
+        black_box(mapper_off.map(&spec, &platform, &state).ok());
+        probed_samples.push(t.elapsed().as_nanos() as u64);
+    }
+    let bare_median_ns = median(&mut bare_samples);
+    let noop_probe_median_ns = median(&mut probed_samples);
+    let overhead_permille =
+        (noop_probe_median_ns as i64 - bare_median_ns as i64) * 1000 / bare_median_ns.max(1) as i64;
+    const MAX_PROBE_OVERHEAD_PERMILLE: i64 = 30;
+    println!(
+        "probe overhead: bare {:.3} ms, no-op probe {:.3} ms → {overhead_permille}‰ \
+         (bound {MAX_PROBE_OVERHEAD_PERMILLE}‰)",
+        bare_median_ns as f64 / 1e6,
+        noop_probe_median_ns as f64 / 1e6,
+    );
+    assert!(
+        overhead_permille <= MAX_PROBE_OVERHEAD_PERMILLE,
+        "no-op probe overhead {overhead_permille}‰ exceeds the \
+         {MAX_PROBE_OVERHEAD_PERMILLE}‰ (3%) bound \
+         ({noop_probe_median_ns} vs {bare_median_ns} ns)"
+    );
+    let observability = Observability {
+        breakdown_iterations,
+        step_latency,
+        counters,
+        probe_overhead: ProbeOverhead {
+            iterations: iters,
+            bare_median_ns,
+            noop_probe_median_ns,
+            overhead_permille,
+            max_allowed_permille: MAX_PROBE_OVERHEAD_PERMILLE as u64,
+        },
+    };
 
     // --- Synthetic-chain scaling ------------------------------------------
     let mut synthetic_chain = Vec::new();
@@ -503,7 +648,7 @@ fn main() {
             events_processed,
             wall_ms: wall.as_millis() as u64,
             events_per_sec: (events_processed as f64 / wall_s) as u64,
-            mean_map_us: run.wall.mean().as_micros() as u64,
+            mean_map_us: run.wall.mean_ns() / 1000,
         };
         println!(
             "sim/{name}: {} events in {} ms → {} events/s (mean map {} µs)",
@@ -588,7 +733,7 @@ fn main() {
     };
 
     let report = BenchReport {
-        schema: "rtsm-bench-map/4".into(),
+        schema: "rtsm-bench-map/5".into(),
         seed,
         baseline: Baseline {
             commit: "c9eb51b".into(),
@@ -603,6 +748,7 @@ fn main() {
             peak_alloc_capture_on_bytes,
             peak_alloc_capture_off_bytes,
         },
+        observability,
         synthetic_chain,
         sim,
         fragmented_admission,

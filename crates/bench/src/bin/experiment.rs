@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiment --spec PATH [--workers N] [--out PATH] [--jsonl PATH] [--quiet]
+//!            [--heartbeat N] [--wall]
 //! ```
 //!
 //! Loads an `ExperimentSpec`, expands it into independent trials, fans
@@ -15,17 +16,29 @@
 //! `--workers` — the CI determinism gate byte-diffs two runs at
 //! different worker counts. Wall-clock throughput (events/s) is printed
 //! to stdout only; it never enters the report.
+//!
+//! `--heartbeat N` prints a progress line to **stderr** every N
+//! completed trials (trial id, cumulative events/s) — stderr only, so
+//! the JSONL stream and the sealed report stay byte-identical with or
+//! without it. `--wall` embeds the merged admission-latency histograms
+//! into the report's clearly-marked non-deterministic `wall` section;
+//! without it the section is absent and the report keeps its
+//! deterministic byte shape.
 
 use rtsm_exp::{run_experiment, write_atomic, ExperimentSpec};
 use std::io::Write;
+use std::time::Instant;
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!("usage: experiment --spec PATH [--workers N] [--out PATH] [--jsonl PATH] [--quiet]");
+    eprintln!(
+        "usage: experiment --spec PATH [--workers N] [--out PATH] [--jsonl PATH] [--quiet] \
+         [--heartbeat N] [--wall]"
+    );
     std::process::exit(2);
 }
 
-const VALUE_FLAGS: [&str; 4] = ["--spec", "--workers", "--out", "--jsonl"];
+const VALUE_FLAGS: [&str; 5] = ["--spec", "--workers", "--out", "--jsonl", "--heartbeat"];
 
 fn validate_args(args: &[String]) {
     let mut i = 0;
@@ -36,7 +49,7 @@ fn validate_args(args: &[String]) {
                 usage_error(&format!("{arg} expects a value"));
             }
             i += 2;
-        } else if arg == "--quiet" {
+        } else if arg == "--quiet" || arg == "--wall" {
             i += 1;
         } else {
             usage_error(&format!("unknown argument `{arg}`"));
@@ -67,6 +80,15 @@ fn main() {
     let out = parse_flag(&args, "--out");
     let jsonl = parse_flag(&args, "--jsonl");
     let quiet = args.iter().any(|a| a == "--quiet");
+    let embed_wall = args.iter().any(|a| a == "--wall");
+    let heartbeat = match parse_flag(&args, "--heartbeat") {
+        None => 0,
+        Some(v) => v.parse::<u64>().unwrap_or_else(|_| {
+            usage_error(&format!(
+                "--heartbeat expects a positive integer, got `{v}`"
+            ))
+        }),
+    };
 
     let spec_text = std::fs::read_to_string(&spec_path)
         .unwrap_or_else(|e| usage_error(&format!("cannot read `{spec_path}`: {e}")));
@@ -91,9 +113,24 @@ fn main() {
             std::process::exit(2);
         }))
     });
+    let started = Instant::now();
+    let mut completed: u64 = 0;
+    let mut events_done: u64 = 0;
     let run = run_experiment(&spec, workers, |record, line| {
         if let Some(file) = jsonl_file.as_mut() {
             writeln!(file, "{line}").expect("write JSONL line");
+        }
+        // Heartbeat goes to stderr only: the JSONL stream and the sealed
+        // report must stay byte-identical with or without it.
+        completed += 1;
+        events_done += record.arrivals + record.departures + record.mode_switch_attempts;
+        if heartbeat > 0 && completed.is_multiple_of(heartbeat) {
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "heartbeat: trial {} done ({completed}/{n_trials}), {:.0} events/s",
+                record.id,
+                events_done as f64 / secs
+            );
         }
         if !quiet {
             println!(
@@ -147,8 +184,24 @@ fn main() {
         }
     }
 
+    let wall = &run.wall_section;
+    println!(
+        "admission latency (wall, non-deterministic): {} samples, mean {:.1} µs, \
+         p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
+        wall.map_latency.count(),
+        wall.map_latency.mean_ns() as f64 / 1e3,
+        wall.map_latency.p50_ns() as f64 / 1e3,
+        wall.map_latency.p90_ns() as f64 / 1e3,
+        wall.map_latency.p99_ns() as f64 / 1e3,
+        wall.map_latency.max_ns() as f64 / 1e3,
+    );
+
     if let Some(path) = out {
-        let json = serde_json::to_string(&run.report).expect("reports serialize");
+        let mut report = run.report.clone();
+        if embed_wall {
+            report.wall = Some(run.wall_section.clone());
+        }
+        let json = serde_json::to_string(&report).expect("reports serialize");
         write_atomic(&path, json).unwrap_or_else(|e| {
             eprintln!("error: cannot write `{path}`: {e}");
             std::process::exit(1);

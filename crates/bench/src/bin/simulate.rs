@@ -7,7 +7,7 @@
 //!          [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N]
 //!          [--mean-gap N] [--mean-hold N] [--switch-prob PCT]
 //!          [--sample-interval N] [--horizon N] [--json] [--out PATH]
-//!          [--reconfigure] [--max-migrations N] [--max-plans N]
+//!          [--trace-out PATH] [--reconfigure] [--max-migrations N] [--max-plans N]
 //!          [--policy always|energy-budget|amortized-payback]
 //!          [--lambda PERMILLE] [--budget-pj N] [--payback N]
 //! ```
@@ -33,6 +33,13 @@
 //! algorithm) to a file — what the CI determinism gate byte-compares
 //! across two invocations.
 //!
+//! `--trace-out PATH` installs a `FlightRecorder` probe during each
+//! algorithm's primary run and writes a Chrome trace-event JSON file:
+//! open it in Perfetto (or `chrome://tracing`) to see one lane per
+//! admission with the step1→step4→buffer-sizing→commit spans inside.
+//! Probes are pure observers — the serialized reports are byte-identical
+//! with or without `--trace-out` (the CI trace smoke diffs them).
+//!
 //! `--seed` varies only the *workload* (arrival times, catalog draws,
 //! holding times); the platform layout and the synthetic application
 //! population stay pinned to `--platform-seed`, so seed sweeps compare
@@ -49,6 +56,7 @@ use rtsm_core::{
     AdmissionPolicy, MapperConfig, MappingAlgorithm, ReconfigurationObjective,
     ReconfigurationPolicy, SpatialMapper,
 };
+use rtsm_obs::{self as obs, FlightRecorder};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
 use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, SimRun};
@@ -86,7 +94,7 @@ fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
 }
 
 /// Flags that take a value, in usage order.
-const VALUE_FLAGS: [&str; 17] = [
+const VALUE_FLAGS: [&str; 18] = [
     "--seed",
     "--arrivals",
     "--algorithm",
@@ -98,6 +106,7 @@ const VALUE_FLAGS: [&str; 17] = [
     "--sample-interval",
     "--horizon",
     "--out",
+    "--trace-out",
     "--max-migrations",
     "--max-plans",
     "--policy",
@@ -139,7 +148,8 @@ fn usage_error(message: &str) -> ! {
         "usage: simulate [--seed N] [--arrivals N] [--algorithm all|paper|greedy|random|\
          annealing|exhaustive] [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N] \
          [--mean-gap N] [--mean-hold N] [--switch-prob PCT] [--sample-interval N] \
-         [--horizon N] [--json] [--out PATH] [--reconfigure] [--max-migrations N] \
+         [--horizon N] [--json] [--out PATH] [--trace-out PATH] [--reconfigure] \
+         [--max-migrations N] \
          [--max-plans N] [--policy always|energy-budget|amortized-payback] \
          [--lambda PERMILLE] [--budget-pj N] [--payback N]"
     );
@@ -177,6 +187,7 @@ fn main() {
     let catalog_name = parse_flag(&args, "--catalog").unwrap_or_else(|| "hiperlan2".into());
     let json = args.iter().any(|a| a == "--json");
     let out = parse_flag(&args, "--out");
+    let trace_out = parse_flag(&args, "--trace-out");
     let reconfigure = args.iter().any(|a| a == "--reconfigure");
     let max_migrations = parse_u64(&args, "--max-migrations", 2);
     let max_plans = parse_u64(&args, "--max-plans", 8);
@@ -292,6 +303,16 @@ fn main() {
         "map µs/call"
     );
 
+    // One recorder across all algorithms: enough capacity for every span
+    // and counter of the run, bounded so a million-arrival trace cannot
+    // exhaust memory (the ring keeps the most recent events).
+    let recorder = trace_out.as_ref().map(|_| {
+        std::rc::Rc::new(FlightRecorder::new(
+            usize::try_from(arrivals.saturating_mul(512))
+                .unwrap_or(usize::MAX)
+                .clamp(65_536, 4_000_000),
+        ))
+    });
     let mut runs: Vec<SimRun> = Vec::new();
     let mut total_recovered = 0u64;
     let mut total_migration_energy = 0u64;
@@ -299,8 +320,16 @@ fn main() {
     let mut baseline_recovered = 0u64;
     let mut baseline_migration_energy = 0u64;
     for algorithm in algorithms {
-        let run = run_sim(&platform, &algorithm, &catalog, &config)
-            .expect("the simulation never breaks its own ledger");
+        // The probe stays installed only for the primary run; the
+        // determinism rerun and the always-admit baseline run bare, so
+        // the byte-compare below doubles as an observer-effect gate.
+        let run = {
+            let _probe = recorder
+                .as_ref()
+                .map(|r| obs::install(r.clone() as std::rc::Rc<dyn obs::Probe>));
+            run_sim(&platform, &algorithm, &catalog, &config)
+                .expect("the simulation never breaks its own ledger")
+        };
         if reconfigure {
             // Determinism gate for the reconfiguration path: a second run
             // must serialize byte-identically.
@@ -337,7 +366,7 @@ fn main() {
             reconfiguration.migration_energy_pj,
             report.energy_pj_ticks,
             report.mean_slots_permille(),
-            run.wall.mean().as_secs_f64() * 1e6,
+            run.wall.mean_ns() as f64 / 1e3,
         );
         assert!(
             report.ledger_idle_at_end,
@@ -404,5 +433,18 @@ fn main() {
         // not leave a truncated file behind.
         rtsm_exp::write_atomic(&path, contents).expect("write --out file");
         println!("wrote {path}");
+    }
+    if let (Some(path), Some(recorder)) = (trace_out, recorder) {
+        rtsm_exp::write_atomic(&path, recorder.chrome_trace_json())
+            .expect("write --trace-out file");
+        println!(
+            "wrote {path} ({} trace events{}) — open in Perfetto or chrome://tracing",
+            recorder.len(),
+            if recorder.dropped() > 0 {
+                format!(", {} older ones dropped by the ring", recorder.dropped())
+            } else {
+                String::new()
+            }
+        );
     }
 }

@@ -15,6 +15,7 @@ use crate::step3::route_channels_with;
 use crate::step4::{check_constraints, Step4Config};
 use crate::trace::{AttemptTrace, MapTrace};
 use rtsm_app::{ApplicationSpec, Endpoint};
+use rtsm_obs as obs;
 use rtsm_platform::{EnergyModel, Platform, PlatformState, RoutingPolicy, TileKind};
 use serde::{Deserialize, Serialize};
 
@@ -128,6 +129,9 @@ impl SpatialMapper {
         spec.validate()?;
         self.check_endpoints(spec, platform)?;
 
+        // Observability only: span guards report timing to whatever probe
+        // the caller installed; no decision below depends on them.
+        let _map_span = obs::span(obs::Span::Map);
         let capture = self.config.capture;
         let mut constraints = Constraints::with_external(external.clone());
         let mut trace = MapTrace::default();
@@ -143,7 +147,11 @@ impl SpatialMapper {
             let mut attempt_trace = AttemptTrace::default();
 
             // Step 1: implementations + greedy first-fit tiles.
-            let step1 = match assign_implementations(spec, platform, base, &constraints) {
+            let step1_result = {
+                let _s = obs::span(obs::Span::Step1);
+                assign_implementations(spec, platform, base, &constraints)
+            };
+            let step1 = match step1_result {
                 Ok(out) => out,
                 Err(failure) => {
                     attempts_made += 1;
@@ -172,16 +180,19 @@ impl SpatialMapper {
             let mut working = step1.working;
 
             // Step 2: local-search improvement.
-            let step2_trace = improve_assignment_with(
-                spec,
-                platform,
-                &constraints,
-                &mut mapping,
-                &mut working,
-                &self.config.cost_model,
-                &self.config.step2,
-                capture,
-            );
+            let step2_trace = {
+                let _s = obs::span(obs::Span::Step2);
+                improve_assignment_with(
+                    spec,
+                    platform,
+                    &constraints,
+                    &mut mapping,
+                    &mut working,
+                    &self.config.cost_model,
+                    &self.config.step2,
+                    capture,
+                )
+            };
             attempts_made += 1;
             evaluated += step2_trace.evaluations + 1;
             if capture {
@@ -189,13 +200,17 @@ impl SpatialMapper {
             }
 
             // Step 3: routing.
-            if let Err(feedback) = route_channels_with(
-                spec,
-                platform,
-                &mut mapping,
-                &mut working,
-                self.config.routing,
-            ) {
+            let step3_result = {
+                let _s = obs::span(obs::Span::Step3);
+                route_channels_with(
+                    spec,
+                    platform,
+                    &mut mapping,
+                    &mut working,
+                    self.config.routing,
+                )
+            };
+            if let Err(feedback) = step3_result {
                 if capture {
                     attempt_trace.feedback = feedback.clone();
                     trace.attempts.push(attempt_trace);
@@ -212,7 +227,10 @@ impl SpatialMapper {
             }
 
             // Step 4: constraint check.
-            let step4 = check_constraints(spec, platform, &mapping, &working, &self.config.step4);
+            let step4 = {
+                let _s = obs::span(obs::Span::Step4);
+                check_constraints(spec, platform, &mapping, &working, &self.config.step4)
+            };
             if step4.feasible {
                 if capture {
                     attempt_trace.feasible = true;

@@ -39,6 +39,7 @@ use crate::constraints::MappingConstraints;
 use crate::cost::CostModel;
 use crate::error::{MapError, MapErrorKind};
 use rtsm_app::ApplicationSpec;
+use rtsm_obs as obs;
 use rtsm_platform::{EnergyModel, Platform, PlatformError, PlatformState, PlatformTransaction};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -625,6 +626,7 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         &mut self,
         spec: impl Into<Arc<ApplicationSpec>>,
     ) -> Result<AppHandle, AdmissionError> {
+        let _span = obs::span(obs::Span::Admission);
         let spec: Arc<ApplicationSpec> = spec.into();
         let mut outcome = self
             .algorithm
@@ -688,6 +690,7 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         handle: AppHandle,
         constraints: &MappingConstraints,
     ) -> Result<MappingOutcome, RuntimeError> {
+        let _span = obs::span(obs::Span::Remap);
         let spec = self
             .running
             .get(&handle)
@@ -885,6 +888,7 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         current_total_energy_pj: u64,
         migrations_attempted: &mut u64,
     ) -> Option<PlanCandidate> {
+        let _span = obs::span(obs::Span::PlanEval);
         let migration_pricing = CostModel::Energy(policy.energy);
         let mut tx = PlatformTransaction::begin(&self.platform, &mut self.state);
         // Release every victim first, so both the arriving application and
@@ -1061,6 +1065,7 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         handle: AppHandle,
         spec: impl Into<Arc<ApplicationSpec>>,
     ) -> Result<MappingOutcome, RuntimeError> {
+        let _span = obs::span(obs::Span::Switch);
         self.replace_mapping(handle, spec.into(), &MappingConstraints::none())
     }
 

@@ -24,6 +24,8 @@ use crate::error::DataflowError;
 use crate::graph::{ActorId, ChannelId, CsdfGraph};
 use crate::simulate::{SimConfig, Simulation};
 use crate::throughput::check_source_period;
+use rtsm_obs as obs;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Configuration for [`size_buffers`].
@@ -83,6 +85,7 @@ pub fn size_buffers(
     mut graph: CsdfGraph,
     config: &BufferSizingConfig,
 ) -> Result<BufferSizing, DataflowError> {
+    let _span = obs::span(obs::Span::BufferSizing);
     // Utilisation pre-check: actors are sequential, so per graph iteration
     // actor `a` is busy `r_a · cycle_duration(a)`; the iteration spans
     // `r_src · period`. A busier actor makes the requirement unattainable at
@@ -124,9 +127,16 @@ pub fn size_buffers(
             .iter()
             .map(|&ch| graph.channel(ch).capacity.unwrap_or(u64::MAX))
             .collect();
-        *memo
-            .entry(key)
-            .or_insert_with(|| feasible(graph, source, period))
+        match memo.entry(key) {
+            Entry::Occupied(hit) => {
+                obs::count(obs::Counter::BufferMemoHit, 1);
+                *hit.get()
+            }
+            Entry::Vacant(slot) => {
+                obs::count(obs::Counter::BufferProbe, 1);
+                *slot.insert(feasible(graph, source, period))
+            }
+        }
     };
 
     // Pilot run with the target channels unbounded to obtain upper bounds.

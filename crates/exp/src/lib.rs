@@ -35,11 +35,13 @@ pub mod trial;
 
 pub use io::write_atomic;
 pub use pool::{available_workers, run_ordered};
-pub use report::{AggregateRow, CatalogFront, ExperimentReport, FrontPoint, REPORT_SCHEMA};
+pub use report::{
+    AggregateRow, CatalogFront, ExperimentReport, FrontPoint, WallRow, WallSection, REPORT_SCHEMA,
+};
 pub use runner::{run_experiment, ExpError, ExperimentRun};
 pub use spec::{ExperimentSpec, PolicySpec, SpecTemplate, VALID_POLICY_KINDS};
 pub use stats::StatSummary;
 pub use trial::{
-    make_algorithm, resolve_catalog, ResolvedCatalog, Trial, TrialRecord, VALID_ALGORITHMS,
-    VALID_CATALOGS,
+    make_algorithm, resolve_catalog, run_trial, run_trial_timed, ResolvedCatalog, Trial,
+    TrialRecord, VALID_ALGORITHMS, VALID_CATALOGS,
 };

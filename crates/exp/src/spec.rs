@@ -213,7 +213,7 @@ impl ExperimentSpec {
         if self.mean_gaps.is_empty() {
             return Err("spec lists no mean_gaps".to_string());
         }
-        if self.mean_gaps.iter().any(|&g| g == 0) {
+        if self.mean_gaps.contains(&0) {
             return Err("mean_gaps must be positive".to_string());
         }
         if self.seeds.is_empty() {
@@ -322,7 +322,11 @@ mod tests {
     #[test]
     fn expansion_order_is_catalog_algorithm_gap_policy_seed_repeat() {
         let trials = small_spec().expand();
-        assert_eq!(trials.len(), 2 * 1 * 2 * 1 * 2 * 2);
+        // One factor per axis: catalogs × algorithms × gaps × policies ×
+        // seeds × repeats.
+        #[allow(clippy::identity_op)]
+        let expected = 2 * 1 * 2 * 1 * 2 * 2;
+        assert_eq!(trials.len(), expected);
         assert_eq!(trials[0].id, 0);
         // Innermost axis first: repeat varies fastest, then seed.
         assert_eq!((trials[0].seed, trials[0].repeat), (1, 0));

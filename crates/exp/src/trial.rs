@@ -11,6 +11,7 @@ use crate::spec::{PolicySpec, SpecTemplate};
 use crate::stats::percentile;
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
 use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
+use rtsm_obs::LatencyHistogram;
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::{Platform, TileKind};
 use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig};
@@ -202,6 +203,22 @@ pub fn run_trial(
     resolved: &ResolvedCatalog,
     template: &SpecTemplate,
 ) -> TrialRecord {
+    run_trial_timed(trial, resolved, template).0
+}
+
+/// [`run_trial`], additionally returning the trial's wall-clock
+/// admission-latency histogram. The histogram is strictly side-band: the
+/// record is identical to what [`run_trial`] returns, so the
+/// deterministic JSONL stream and sealed report are unaffected.
+///
+/// # Panics
+///
+/// As for [`run_trial`].
+pub fn run_trial_timed(
+    trial: &Trial,
+    resolved: &ResolvedCatalog,
+    template: &SpecTemplate,
+) -> (TrialRecord, LatencyHistogram) {
     let config = SimConfig {
         seed: trial.trial_seed(),
         arrivals: trial.arrivals,
@@ -234,7 +251,7 @@ pub fn run_trial(
     });
     let reconfiguration = report.reconfiguration.clone().unwrap_or_default();
 
-    TrialRecord {
+    let record = TrialRecord {
         id: trial.id,
         catalog: trial.catalog.clone(),
         algorithm: trial.algorithm.clone(),
@@ -267,7 +284,8 @@ pub fn run_trial(
         plans_refused: reconfiguration.plans_refused,
         mode_switches_survived: reconfiguration.mode_switches_survived,
         ledger_idle_at_end: report.ledger_idle_at_end,
-    }
+    };
+    (record, run.wall)
 }
 
 #[cfg(test)]

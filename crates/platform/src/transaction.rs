@@ -57,6 +57,7 @@ use crate::routing::{ni_claims, Path};
 use crate::state::{PlatformState, TileClaim};
 use crate::tile::TileId;
 use crate::topology::{LinkId, Platform};
+use rtsm_obs as obs;
 
 /// One applied operation, recorded so the transaction can invert it.
 #[derive(Debug, Clone, Copy)]
@@ -218,6 +219,7 @@ impl<'a> PlatformTransaction<'a> {
     pub fn commit(mut self) {
         self.committed = true;
         self.log.clear();
+        obs::count(obs::Counter::TxCommit, 1);
     }
 
     /// Rolls every staged operation back, restoring the ledger to exactly
@@ -261,6 +263,7 @@ impl Drop for PlatformTransaction<'_> {
     fn drop(&mut self) {
         if !self.committed {
             self.rollback();
+            obs::count(obs::Counter::TxAbort, 1);
         }
     }
 }

@@ -28,7 +28,8 @@
 //! algorithm produce a byte-identical serialized [`SimReport`], which is
 //! what makes long-horizon comparisons across mapping algorithms
 //! trustworthy. Wall-clock mapping latency is measured too, but kept
-//! outside the report ([`WallStats`]) because it cannot be reproducible.
+//! outside the report (a [`LatencyHistogram`] with p50/p90/p99/max)
+//! because it cannot be reproducible.
 //!
 //! # Example
 //!
@@ -62,8 +63,7 @@ pub mod sim;
 pub mod workload;
 
 pub use event::{EventQueue, InstanceId, SimEvent, SimTime};
-pub use metrics::{
-    MetricsCollector, ReconfigurationReport, SimReport, UtilizationSample, WallStats,
-};
+pub use metrics::{MetricsCollector, ReconfigurationReport, SimReport, UtilizationSample};
+pub use rtsm_obs::LatencyHistogram;
 pub use sim::{run_sim, SimConfig, SimRun};
 pub use workload::{ArrivalProcess, Catalog, CatalogEntry, HoldingTime};

@@ -8,14 +8,13 @@
 //!   [`SimReport`], which is byte-identical across re-runs of the same
 //!   seed;
 //! * *wall-clock* mapping latency (how long the algorithm itself took) is
-//!   kept in [`WallStats`], outside the report, precisely because it can
-//!   never be reproducible.
+//!   kept in a [`LatencyHistogram`](rtsm_obs::LatencyHistogram), outside
+//!   the report, precisely because it can never be reproducible.
 
 use crate::event::SimTime;
 use rtsm_core::runtime::{AdmissionErrorKind, Utilization};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::time::Duration;
 
 /// Platform occupancy at one sample instant. Ratios are in permille
 /// (integers keep the serialized report byte-stable).
@@ -337,36 +336,6 @@ impl SimReport {
             .map(|s| u64::from(s.slots_permille))
             .sum();
         total / self.samples.len() as u64
-    }
-}
-
-/// Wall-clock mapping-latency statistics, kept separate from the
-/// deterministic [`SimReport`] (see the module docs).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct WallStats {
-    /// Admission attempts timed.
-    pub map_calls: u64,
-    /// Total wall time spent inside the mapping algorithm.
-    pub total: Duration,
-    /// Slowest single admission attempt.
-    pub max: Duration,
-}
-
-impl WallStats {
-    /// Records one timed admission attempt.
-    pub fn record(&mut self, elapsed: Duration) {
-        self.map_calls += 1;
-        self.total += elapsed;
-        self.max = self.max.max(elapsed);
-    }
-
-    /// Mean wall time per admission attempt.
-    pub fn mean(&self) -> Duration {
-        if self.map_calls == 0 {
-            Duration::ZERO
-        } else {
-            self.total / self.map_calls as u32
-        }
     }
 }
 

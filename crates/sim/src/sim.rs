@@ -2,7 +2,7 @@
 //! [`RuntimeManager`] through virtual time.
 
 use crate::event::{EventQueue, InstanceId, SimEvent, SimTime};
-use crate::metrics::{MetricsCollector, SimReport, WallStats};
+use crate::metrics::{MetricsCollector, SimReport};
 use crate::workload::{ArrivalProcess, Catalog, HoldingTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -12,6 +12,7 @@ use rtsm_core::runtime::{
     RuntimeManager,
 };
 use rtsm_core::{MapError, MappingAlgorithm};
+use rtsm_obs::LatencyHistogram;
 use rtsm_platform::Platform;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -73,8 +74,9 @@ impl Default for SimConfig {
 pub struct SimRun {
     /// The deterministic, serializable report.
     pub report: SimReport,
-    /// Wall-clock time spent inside the mapping algorithm.
-    pub wall: WallStats,
+    /// Wall-clock mapping-latency distribution (one sample per timed
+    /// admission attempt), with p50/p90/p99/max.
+    pub wall: LatencyHistogram,
 }
 
 /// Attempt count a rejection reports, when its error carries one.
@@ -106,7 +108,7 @@ enum Admission {
 /// catalog entry never deep-copies the specification.
 fn try_admit<A: MappingAlgorithm>(
     manager: &mut RuntimeManager<A>,
-    wall: &mut WallStats,
+    wall: &mut LatencyHistogram,
     spec: std::sync::Arc<ApplicationSpec>,
 ) -> Result<Admission, AdmissionError> {
     let started = Instant::now();
@@ -189,7 +191,7 @@ pub fn run_sim<A: MappingAlgorithm>(
             policy.objective.lambda_permille,
         );
     }
-    let mut wall = WallStats::default();
+    let mut wall = LatencyHistogram::new();
     // Instance → current handle; absent once departed or blocked.
     let mut handles: BTreeMap<InstanceId, AppHandle> = BTreeMap::new();
     let mut scheduled_arrivals: u64 = 0;

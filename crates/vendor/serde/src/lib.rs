@@ -107,6 +107,20 @@ pub mod de {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// The identity deserialization: any value tree "is" a `Value`, which lets
+/// callers parse arbitrary JSON (e.g. an exported trace) without a schema.
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

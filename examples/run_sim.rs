@@ -68,11 +68,13 @@ fn main() {
         report.mean_slots_permille()
     );
     println!(
-        "wall clock: {} admission attempts, mean {:.1} µs, worst {:.1} µs (not part of the \
-         report: only virtual time is deterministic)",
-        run.wall.map_calls,
-        run.wall.mean().as_secs_f64() * 1e6,
-        run.wall.max.as_secs_f64() * 1e6
+        "wall clock: {} admission attempts, mean {:.1} µs, p50 {:.1} µs, p99 {:.1} µs, \
+         worst {:.1} µs (not part of the report: only virtual time is deterministic)",
+        run.wall.count(),
+        run.wall.mean_ns() as f64 / 1e3,
+        run.wall.p50_ns() as f64 / 1e3,
+        run.wall.p99_ns() as f64 / 1e3,
+        run.wall.max_ns() as f64 / 1e3
     );
     assert!(report.ledger_idle_at_end);
     println!("ledger idle after draining: commit/release stayed exact inverses");

@@ -30,7 +30,15 @@
 //! * [`exp`] — the sharded experiment harness: declarative sweep
 //!   matrices ([`ExperimentSpec`](exp::ExperimentSpec)) expanded into
 //!   independent trials, fanned across a vendored worker pool, and
-//!   sealed into byte-stable aggregate reports with Pareto fronts.
+//!   sealed into byte-stable aggregate reports with Pareto fronts;
+//! * [`obs`] — zero-dependency observability for the admission path:
+//!   the [`Probe`](obs::Probe) trait with thread-local installation,
+//!   span/counter instrumentation through mapper steps 1–4 and the
+//!   transactional runtime, log2-bucketed
+//!   [`LatencyHistogram`](obs::LatencyHistogram)s, and the ring-buffer
+//!   [`FlightRecorder`](obs::FlightRecorder) with Chrome trace-event
+//!   export. Probes never change behaviour: fixed-seed deterministic
+//!   reports stay byte-identical with probes on or off.
 //!
 //! ## Quickstart
 //!
@@ -87,6 +95,7 @@ pub use rtsm_baselines as baselines;
 pub use rtsm_core as core;
 pub use rtsm_dataflow as dataflow;
 pub use rtsm_exp as exp;
+pub use rtsm_obs as obs;
 pub use rtsm_platform as platform;
 pub use rtsm_sim as sim;
 pub use rtsm_workloads as workloads;

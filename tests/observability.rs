@@ -1,0 +1,167 @@
+//! The cardinal observability invariant: probes observe, they never
+//! steer. A simulation run with a recording probe installed must produce
+//! a [`SimReport`] byte-identical to the un-probed run, for every
+//! algorithm and any seed. Alongside it: the flight-recorder ring stays
+//! bounded and balanced, the Chrome trace export is well-formed, and
+//! latency histograms merge exactly.
+
+use proptest::prelude::*;
+use rtsm::baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm::core::{MappingAlgorithm, SpatialMapper};
+use rtsm::obs::{self, FlightRecorder, LatencyHistogram, SpanLatencyProbe};
+use rtsm::platform::paper::paper_platform;
+use rtsm::sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig};
+use std::rc::Rc;
+
+fn config(seed: u64, arrivals: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        arrivals,
+        arrival_process: ArrivalProcess::Poisson { mean_gap: 400 },
+        holding: HoldingTime::Exponential { mean: 1500 },
+        mode_switch_probability: 0.2,
+        sample_interval: 5000,
+        horizon: None,
+        reconfiguration: None,
+        track_fragmentation: false,
+    }
+}
+
+type MakeAlgorithm = fn() -> Box<dyn MappingAlgorithm>;
+
+fn all_algorithms() -> Vec<(&'static str, MakeAlgorithm)> {
+    vec![
+        ("paper", || Box::new(SpatialMapper::default())),
+        ("greedy", || Box::new(GreedyMapper)),
+        ("random", || Box::new(RandomMapper::default())),
+        ("annealing", || Box::new(AnnealingMapper::default())),
+        ("exhaustive", || Box::new(ExhaustiveMapper::default())),
+    ]
+}
+
+/// Serialized report for one run; when `probe` is given it observes the
+/// whole run through the thread-local slot.
+fn report_json(make: MakeAlgorithm, seed: u64, probe: Option<Rc<dyn obs::Probe>>) -> String {
+    let _guard = probe.map(obs::install);
+    let run = run_sim(
+        &paper_platform(),
+        make(),
+        &Catalog::hiperlan2(),
+        &config(seed, 40),
+    )
+    .expect("simulation never breaks its own ledger");
+    serde_json::to_string(&run.report).expect("reports serialize")
+}
+
+proptest! {
+    // Each case runs ten full 40-arrival simulations (five algorithms,
+    // probed and bare), so keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The cardinal invariant: a recording probe on the hot path leaves
+    /// every deterministic report byte for byte unchanged, for all five
+    /// algorithms.
+    #[test]
+    fn recording_probe_never_changes_the_report(seed in 0u64..1000) {
+        for (label, make) in all_algorithms() {
+            let recorder = Rc::new(FlightRecorder::new(1 << 16));
+            let probed = report_json(make, seed, Some(recorder.clone()));
+            let bare = report_json(make, seed, None);
+            prop_assert!(
+                probed == bare,
+                "algorithm `{label}` seed {seed}: report changed under observation"
+            );
+            prop_assert!(
+                !recorder.is_empty(),
+                "algorithm `{label}` seed {seed}: the probe saw no events"
+            );
+            prop_assert_eq!(
+                recorder.balance_errors(),
+                0,
+                "algorithm `{}` seed {}: unbalanced span events",
+                label,
+                seed
+            );
+        }
+    }
+
+    /// The ring never exceeds its capacity; once full it reports drops
+    /// instead of growing, and the Chrome export still emits only
+    /// balanced begin/end pairs.
+    #[test]
+    fn flight_recorder_ring_stays_bounded(seed in 0u64..1000, capacity in 8usize..200) {
+        let recorder = Rc::new(FlightRecorder::new(capacity));
+        {
+            let _guard = obs::install(recorder.clone() as Rc<dyn obs::Probe>);
+            run_sim(
+                &paper_platform(),
+                SpatialMapper::default(),
+                &Catalog::hiperlan2(),
+                &config(seed, 30),
+            )
+            .expect("simulation never breaks its own ledger");
+        }
+        prop_assert!(recorder.len() <= recorder.capacity());
+        prop_assert!(recorder.dropped() > 0, "30 arrivals overflow a {capacity}-slot ring");
+        let trace = recorder.chrome_trace_json();
+        let begins = trace.matches("\"ph\":\"B\"").count();
+        let ends = trace.matches("\"ph\":\"E\"").count();
+        prop_assert_eq!(begins, ends, "exported trace must pair every begin with an end");
+    }
+
+    /// Merging shards equals recording everything into one histogram —
+    /// the property the experiment harness relies on when it folds
+    /// per-trial histograms into the wall section.
+    #[test]
+    fn histogram_merge_is_exact(samples in collection::vec(1u64..1_000_000_000, 1..120),
+                                split in 0usize..120) {
+        let split = split.min(samples.len());
+        let mut whole = LatencyHistogram::new();
+        let (mut left, mut right) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for (i, &ns) in samples.iter().enumerate() {
+            whole.record_ns(ns);
+            if i < split { left.record_ns(ns) } else { right.record_ns(ns) }
+        }
+        left.merge(&right);
+        prop_assert_eq!(
+            serde_json::to_string(&whole).unwrap(),
+            serde_json::to_string(&left).unwrap()
+        );
+        prop_assert_eq!(whole.count(), samples.len() as u64);
+        prop_assert!(whole.p50_ns() <= whole.p90_ns());
+        prop_assert!(whole.p90_ns() <= whole.p99_ns());
+        prop_assert!(whole.p99_ns() <= whole.max_ns());
+        prop_assert!(whole.min_ns() <= whole.mean_ns());
+        prop_assert!(whole.mean_ns() <= whole.max_ns());
+    }
+}
+
+/// The per-span latency probe sees every mapper step of every admission
+/// attempt: the simulator's own wall histogram and the probe's `Map`
+/// histogram count the same attempts.
+#[test]
+fn span_latency_probe_counts_every_admission_attempt() {
+    let probe = Rc::new(SpanLatencyProbe::new());
+    let run = {
+        let _guard = obs::install(probe.clone() as Rc<dyn obs::Probe>);
+        run_sim(
+            &paper_platform(),
+            SpatialMapper::default(),
+            &Catalog::hiperlan2(),
+            &config(2008, 60),
+        )
+        .expect("simulation never breaks its own ledger")
+    };
+    let map = probe.histogram(obs::Span::Map);
+    assert!(
+        map.count() >= run.wall.count(),
+        "every timed admission maps"
+    );
+    for span in [obs::Span::Step1, obs::Span::BufferSizing] {
+        assert!(
+            probe.histogram(span).count() > 0,
+            "span {} never fired",
+            span.name()
+        );
+    }
+}
