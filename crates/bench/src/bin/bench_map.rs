@@ -20,6 +20,13 @@
 //!   spending strictly less migration energy than always-admit);
 //! * peak live heap allocation during one `map()` call, via the workspace's
 //!   [`PeakAlloc`] global allocator;
+//! * the fault-injection chaos run (`resilience` section, new in schema
+//!   6): a seeded tile/link failure process on the mixed catalog,
+//!   recovered through `RuntimeManager::evacuate`, with evacuation
+//!   latency percentiles from a `SpanLatencyProbe` on `Span::Evacuate`
+//!   and degraded-vs-healthy blocking. Byte-identical determinism of the
+//!   fault-injected report, at least one successful evacuation, full
+//!   repair coverage, and a leak-free ledger are asserted;
 //! * worker-pool **scaling** (`scaling` section): events/second of one
 //!   fixed experiment spec run through `rtsm_exp` at 1, 2, and 4 workers.
 //!   The sealed reports are asserted byte-identical across worker counts;
@@ -141,6 +148,34 @@ struct ParetoPoint {
     mode_switches_survived: u64,
 }
 
+/// The fault-injection chaos run (new in schema 6): a seeded tile/link
+/// failure process on the mixed catalog, recovered through
+/// `RuntimeManager::evacuate`. Virtual-time counters are deterministic
+/// per seed; the evacuation latency percentiles (from a
+/// `SpanLatencyProbe` on `Span::Evacuate`) are wall-clock and reported
+/// but never gated.
+#[derive(Serialize)]
+struct Resilience {
+    arrivals: u64,
+    mttf: u64,
+    mttr: u64,
+    failures_injected: u64,
+    repairs: u64,
+    apps_evacuated: u64,
+    apps_evicted: u64,
+    processes_moved: u64,
+    evacuation_energy_pj: u64,
+    mean_recovery_ticks: u64,
+    degraded_blocking_permille: u64,
+    healthy_blocking_permille: u64,
+    /// Evacuations timed by the probe (= failures that had any victims
+    /// or none — one span per `evacuate` call).
+    evacuate_calls: u64,
+    evacuate_p50_ns: u64,
+    evacuate_p99_ns: u64,
+    evacuate_max_ns: u64,
+}
+
 /// Throughput of the sharded experiment harness at one worker count.
 #[derive(Serialize)]
 struct ScalingPoint {
@@ -220,6 +255,7 @@ struct BenchReport {
     sim: Vec<SimPoint>,
     fragmented_admission: FragmentedAdmission,
     pareto: Vec<ParetoPoint>,
+    resilience: Resilience,
     scaling: Scaling,
     sanity_checks_passed: bool,
 }
@@ -658,6 +694,106 @@ fn main() {
     }
     assert!(deterministic, "fixed-seed reports must be byte-identical");
 
+    // --- Resilience: fault-injected chaos run on the mixed catalog --------
+    // A seeded failure process (exponential inter-failure, fixed repair)
+    // drives the evacuation path; Span::Evacuate latency comes from a
+    // SpanLatencyProbe installed for the primary run only. The bare rerun
+    // doubles as the observer-effect + determinism gate.
+    let chaos_platform = mesh_platform(
+        42,
+        4,
+        4,
+        &[
+            (TileKind::Montium, 4),
+            (TileKind::Arm, 4),
+            (TileKind::Dsp, 2),
+        ],
+    );
+    let chaos_catalog = Catalog::mixed_dsp();
+    let chaos_config = SimConfig {
+        seed,
+        arrivals: sim_arrivals.clamp(300, 2000),
+        faults: Some(rtsm_sim::FaultConfig {
+            mttf: 10_000,
+            mttr: 3_000,
+            ..rtsm_sim::FaultConfig::default()
+        }),
+        ..SimConfig::default()
+    };
+    let chaos_algorithm = SpatialMapper::new(MapperConfig::default().without_capture());
+    let evac_probe = Rc::new(SpanLatencyProbe::new());
+    let chaos_run = {
+        let _guard = obs::install(evac_probe.clone());
+        run_sim(
+            &chaos_platform,
+            &chaos_algorithm,
+            &chaos_catalog,
+            &chaos_config,
+        )
+        .expect("fault recovery never breaks the ledger")
+    };
+    let chaos_rerun = run_sim(
+        &chaos_platform,
+        &chaos_algorithm,
+        &chaos_catalog,
+        &chaos_config,
+    )
+    .expect("fault recovery never breaks the ledger");
+    assert_eq!(
+        serde_json::to_string(&chaos_run.report).expect("reports serialize"),
+        serde_json::to_string(&chaos_rerun.report).expect("reports serialize"),
+        "fault-injected reports must be byte-identical (and probe-independent)"
+    );
+    assert!(
+        chaos_run.report.ledger_idle_at_end,
+        "failure/repair cycles must leak no slots or bandwidth"
+    );
+    let surv = chaos_run
+        .report
+        .survivability
+        .clone()
+        .expect("faults were enabled");
+    assert!(
+        surv.apps_evacuated > 0,
+        "the chaos run must recover at least one app by evacuation"
+    );
+    assert_eq!(
+        surv.repairs,
+        surv.tile_failures + surv.link_failures,
+        "every injected failure must be repaired before the queue drains"
+    );
+    let evac_hist = evac_probe.histogram(Span::Evacuate);
+    let blocking =
+        |arrivals: u64, blocked: u64| (blocked * 1000).checked_div(arrivals).unwrap_or(0);
+    let resilience = Resilience {
+        arrivals: chaos_config.arrivals,
+        mttf: surv.mttf,
+        mttr: surv.mttr,
+        failures_injected: surv.tile_failures + surv.link_failures,
+        repairs: surv.repairs,
+        apps_evacuated: surv.apps_evacuated,
+        apps_evicted: surv.apps_evicted,
+        processes_moved: surv.processes_moved,
+        evacuation_energy_pj: surv.evacuation_energy_pj,
+        mean_recovery_ticks: surv.mean_recovery_ticks,
+        degraded_blocking_permille: blocking(surv.degraded_arrivals, surv.degraded_blocked),
+        healthy_blocking_permille: blocking(surv.healthy_arrivals, surv.healthy_blocked),
+        evacuate_calls: evac_hist.count(),
+        evacuate_p50_ns: evac_hist.p50_ns(),
+        evacuate_p99_ns: evac_hist.p99_ns(),
+        evacuate_max_ns: evac_hist.max_ns(),
+    };
+    println!(
+        "resilience: {} failures, {} evacuated, {} evicted; evacuate p50 {:.1} µs, \
+         blocking {}‰ degraded vs {}‰ healthy",
+        resilience.failures_injected,
+        resilience.apps_evacuated,
+        resilience.apps_evicted,
+        resilience.evacuate_p50_ns as f64 / 1e3,
+        resilience.degraded_blocking_permille,
+        resilience.healthy_blocking_permille,
+    );
+
     // --- Worker-pool scaling: events/s vs workers -------------------------
     // One fixed 8-trial spec through the experiment harness at 1, 2, and
     // 4 workers. The sealed reports must be byte-identical (hard gate);
@@ -733,7 +869,7 @@ fn main() {
     };
 
     let report = BenchReport {
-        schema: "rtsm-bench-map/5".into(),
+        schema: "rtsm-bench-map/6".into(),
         seed,
         baseline: Baseline {
             commit: "c9eb51b".into(),
@@ -753,6 +889,7 @@ fn main() {
         sim,
         fragmented_admission,
         pareto,
+        resilience,
         scaling,
         sanity_checks_passed: true,
     };

@@ -6,11 +6,32 @@
 //! simulate [--seed N] [--arrivals N] [--algorithm NAME|all]
 //!          [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N]
 //!          [--mean-gap N] [--mean-hold N] [--switch-prob PCT]
+//!          [--holding exponential|fixed|pareto] [--flash-crowd BURST]
 //!          [--sample-interval N] [--horizon N] [--json] [--out PATH]
 //!          [--trace-out PATH] [--reconfigure] [--max-migrations N] [--max-plans N]
 //!          [--policy always|energy-budget|amortized-payback]
 //!          [--lambda PERMILLE] [--budget-pj N] [--payback N]
+//!          [--faults] [--mttf N] [--mttr N]
 //! ```
+//!
+//! `--faults` enables the seeded fault process: tile/link failures with
+//! exponential inter-failure times (mean `--mttf`, default 50 000 ticks)
+//! and a fixed repair time (`--mttr`, default 5000 ticks). Failed
+//! resources are quarantined and their tenants evacuated through
+//! `RuntimeManager::evacuate`; apps with no admissible relocation are
+//! *evicted*. The report gains a `survivability` section, and the run
+//! **asserts** fault-injected determinism (each algorithm simulated
+//! twice, byte-compared), instance conservation including evictions, and
+//! a leak-free ledger after every failure/repair cycle — the CI chaos
+//! smoke. `--mttf`/`--mttr` without `--faults` is an error.
+//!
+//! `--flash-crowd BURST` replaces Poisson arrivals with flash crowds:
+//! BURST arrivals land at one instant, with exponential gaps between
+//! bursts of mean `--mean-gap × BURST` (same long-run rate, adversarial
+//! spikes). BURST must be ≥ 1. `--holding pareto` draws heavy-tailed
+//! bounded-Pareto holding times (support `[mean/3, mean×100]`, α = 1.5,
+//! from `--mean-hold`); `fixed` holds every instance exactly
+//! `--mean-hold` ticks.
 //!
 //! `--reconfigure` enables defragmentation-by-migration: blocked arrivals
 //! retry through `RuntimeManager::start_with_reconfiguration`, the report
@@ -59,7 +80,7 @@ use rtsm_core::{
 use rtsm_obs::{self as obs, FlightRecorder};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
-use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, SimRun};
+use rtsm_sim::{run_sim, ArrivalProcess, Catalog, FaultConfig, HoldingTime, SimConfig, SimRun};
 use rtsm_workloads::{defrag_platform, mesh_platform};
 
 fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
@@ -94,7 +115,7 @@ fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
 }
 
 /// Flags that take a value, in usage order.
-const VALUE_FLAGS: [&str; 18] = [
+const VALUE_FLAGS: [&str; 22] = [
     "--seed",
     "--arrivals",
     "--algorithm",
@@ -103,6 +124,8 @@ const VALUE_FLAGS: [&str; 18] = [
     "--mean-gap",
     "--mean-hold",
     "--switch-prob",
+    "--holding",
+    "--flash-crowd",
     "--sample-interval",
     "--horizon",
     "--out",
@@ -113,6 +136,8 @@ const VALUE_FLAGS: [&str; 18] = [
     "--lambda",
     "--budget-pj",
     "--payback",
+    "--mttf",
+    "--mttr",
 ];
 
 /// Rejects unknown flags, `--flag=value` syntax, and value flags missing
@@ -126,7 +151,7 @@ fn validate_args(args: &[String]) {
                 usage_error(&format!("{arg} expects a value"));
             }
             i += 2;
-        } else if arg == "--json" || arg == "--reconfigure" {
+        } else if arg == "--json" || arg == "--reconfigure" || arg == "--faults" {
             i += 1;
         } else {
             usage_error(&format!("unknown argument `{arg}`"));
@@ -147,11 +172,12 @@ fn usage_error(message: &str) -> ! {
     eprintln!(
         "usage: simulate [--seed N] [--arrivals N] [--algorithm all|paper|greedy|random|\
          annealing|exhaustive] [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N] \
-         [--mean-gap N] [--mean-hold N] [--switch-prob PCT] [--sample-interval N] \
+         [--mean-gap N] [--mean-hold N] [--switch-prob PCT] \
+         [--holding exponential|fixed|pareto] [--flash-crowd BURST] [--sample-interval N] \
          [--horizon N] [--json] [--out PATH] [--trace-out PATH] [--reconfigure] \
          [--max-migrations N] \
          [--max-plans N] [--policy always|energy-budget|amortized-payback] \
-         [--lambda PERMILLE] [--budget-pj N] [--payback N]"
+         [--lambda PERMILLE] [--budget-pj N] [--payback N] [--faults] [--mttf N] [--mttr N]"
     );
     std::process::exit(2);
 }
@@ -194,6 +220,28 @@ fn main() {
     let lambda_permille = parse_u64(&args, "--lambda", 1000);
     let budget_pj = parse_u64(&args, "--budget-pj", 500_000);
     let payback = parse_u64(&args, "--payback", 64);
+    let faults = args.iter().any(|a| a == "--faults");
+    if !faults {
+        for flag in ["--mttf", "--mttr"] {
+            if parse_flag(&args, flag).is_some() {
+                one_line_error(&format!("{flag} requires --faults"));
+            }
+        }
+    }
+    let mttf = parse_u64(&args, "--mttf", 50_000);
+    let mttr = parse_u64(&args, "--mttr", 5_000);
+    if faults && mttf == 0 {
+        one_line_error("--mttf is 0, must be ≥ 1 tick");
+    }
+    let flash_crowd = parse_flag(&args, "--flash-crowd").map(|v| {
+        v.parse::<u32>().unwrap_or_else(|_| {
+            usage_error(&format!("--flash-crowd expects an integer, got `{v}`"))
+        })
+    });
+    if flash_crowd == Some(0) {
+        one_line_error("--flash-crowd is 0, burst size must be ≥ 1");
+    }
+    let holding_name = parse_flag(&args, "--holding").unwrap_or_else(|| "exponential".into());
     let policy_name = parse_flag(&args, "--policy").unwrap_or_else(|| "always".into());
     let admission = match policy_name.as_str() {
         "always" => AdmissionPolicy::AlwaysAdmit,
@@ -256,16 +304,39 @@ fn main() {
         admission,
         ..ReconfigurationPolicy::default()
     };
+    let holding = match holding_name.as_str() {
+        "exponential" => HoldingTime::Exponential { mean: mean_hold },
+        "fixed" => HoldingTime::Fixed { ticks: mean_hold },
+        "pareto" => HoldingTime::BoundedPareto {
+            min: (mean_hold / 3).max(1),
+            max: mean_hold.saturating_mul(100),
+            alpha_permille: 1500,
+        },
+        other => one_line_error(&format!(
+            "unknown holding-time distribution `{other}` (valid: exponential, fixed, pareto)"
+        )),
+    };
     let config = SimConfig {
         seed,
         arrivals,
-        arrival_process: ArrivalProcess::Poisson { mean_gap },
-        holding: HoldingTime::Exponential { mean: mean_hold },
+        arrival_process: match flash_crowd {
+            Some(burst_size) => ArrivalProcess::FlashCrowd {
+                mean_gap,
+                burst_size,
+            },
+            None => ArrivalProcess::Poisson { mean_gap },
+        },
+        holding,
         mode_switch_probability: switch_pct as f64 / 100.0,
         sample_interval,
         horizon,
         reconfiguration: reconfigure.then(|| reconfiguration_policy(admission)),
         track_fragmentation: reconfigure,
+        faults: faults.then(|| FaultConfig {
+            mttf,
+            mttr,
+            ..FaultConfig::default()
+        }),
     };
     // The Pareto smoke: a bounded policy is compared against AlwaysAdmit
     // at the same λ — same recoveries where affordable, strictly less
@@ -278,7 +349,16 @@ fn main() {
 
     println!(
         "simulating {arrivals} arrivals on `{catalog_name}` (seed {seed}, mean gap {mean_gap}, \
-         mean hold {mean_hold}, switch prob {switch_pct}%{})",
+         mean hold {mean_hold} ({holding_name}), switch prob {switch_pct}%{}{}{})",
+        match flash_crowd {
+            Some(burst) => format!(", flash crowds of {burst}"),
+            None => String::new(),
+        },
+        if faults {
+            format!(", faults mttf {mttf} mttr {mttr}")
+        } else {
+            String::new()
+        },
         if reconfigure {
             format!(
                 ", reconfigure ≤{max_migrations} migrations × {max_plans} plans, \
@@ -330,16 +410,34 @@ fn main() {
             run_sim(&platform, &algorithm, &catalog, &config)
                 .expect("the simulation never breaks its own ledger")
         };
-        if reconfigure {
-            // Determinism gate for the reconfiguration path: a second run
-            // must serialize byte-identically.
+        if reconfigure || faults {
+            // Determinism gate for the reconfiguration and fault-injection
+            // paths: a second run must serialize byte-identically.
             let rerun = run_sim(&platform, &algorithm, &catalog, &config)
                 .expect("the simulation never breaks its own ledger");
             let a = serde_json::to_string(&run.report).expect("reports serialize");
             let b = serde_json::to_string(&rerun.report).expect("reports serialize");
             assert_eq!(
                 a, b,
-                "fixed-seed reconfiguration reports must be byte-identical"
+                "fixed-seed reconfiguration/fault-injection reports must be byte-identical"
+            );
+        }
+        if let Some(s) = &run.report.survivability {
+            // Instance conservation with eviction as a terminal outcome:
+            // every admitted instance departed, left at a blocked mode
+            // switch, was evicted, or survived to the horizon cut.
+            assert_eq!(
+                run.report.departures
+                    + run.report.mode_switch_blocked
+                    + s.apps_evicted
+                    + run.report.final_running,
+                run.report.admitted,
+                "evicted + departed + switch-lost + running must equal admitted"
+            );
+            assert_eq!(
+                s.repairs,
+                s.tile_failures + s.link_failures,
+                "every injected failure must be repaired (no leaked quarantine)"
             );
         }
         if let Some(baseline) = &baseline_config {
@@ -414,6 +512,47 @@ fn main() {
                 "reconfiguration must recover at least one admission on this workload"
             );
         }
+    }
+    if faults {
+        let mut failures = 0u64;
+        let mut evacuated = 0u64;
+        let mut evicted = 0u64;
+        let mut degraded = (0u64, 0u64); // (arrivals, blocked)
+        let mut healthy = (0u64, 0u64);
+        for run in &runs {
+            let s = run
+                .report
+                .survivability
+                .as_ref()
+                .expect("faults were enabled");
+            failures += s.tile_failures + s.link_failures;
+            evacuated += s.apps_evacuated;
+            evicted += s.apps_evicted;
+            degraded.0 += s.degraded_arrivals;
+            degraded.1 += s.degraded_blocked;
+            healthy.0 += s.healthy_arrivals;
+            healthy.1 += s.healthy_blocked;
+        }
+        let blocking =
+            |(arrivals, blocked): (u64, u64)| (blocked * 1000).checked_div(arrivals).unwrap_or(0);
+        println!(
+            "survivability (all algorithms): {failures} failures, {evacuated} evacuated, \
+             {evicted} evicted; blocking {}‰ degraded vs {}‰ healthy \
+             ({} of {} arrivals degraded)",
+            blocking(degraded),
+            blocking(healthy),
+            degraded.0,
+            degraded.0 + healthy.0,
+        );
+        assert!(
+            failures > 0,
+            "the chaos smoke needs at least one injected failure — lower --mttf"
+        );
+        assert!(
+            evacuated > 0,
+            "the chaos smoke needs at least one successful evacuation — this workload \
+             only produced evictions; raise --mttf or use a roomier catalog"
+        );
     }
 
     let json_lines = || -> Vec<String> {

@@ -81,7 +81,8 @@ pub use feedback::Feedback;
 pub use mapper::{MapperConfig, SpatialMapper};
 pub use mapping::{Assignment, Mapping, RouteBinding};
 pub use runtime::{
-    AdmissionError, AdmissionErrorKind, AdmissionPolicy, AppHandle, Migration, Reconfiguration,
-    ReconfigurationFailure, ReconfigurationObjective, ReconfigurationPolicy, RunningApp,
-    RuntimeError, RuntimeErrorKind, RuntimeManager, StopAllError, Utilization,
+    AdmissionError, AdmissionErrorKind, AdmissionPolicy, AppHandle, EvacuatedApp, Evacuation,
+    EvacuationPolicy, FailureEvent, Migration, Reconfiguration, ReconfigurationFailure,
+    ReconfigurationObjective, ReconfigurationPolicy, RunningApp, RuntimeError, RuntimeErrorKind,
+    RuntimeManager, StopAllError, Utilization,
 };

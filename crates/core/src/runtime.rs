@@ -38,9 +38,12 @@ use crate::algorithm::{MappingAlgorithm, MappingOutcome};
 use crate::constraints::MappingConstraints;
 use crate::cost::CostModel;
 use crate::error::{MapError, MapErrorKind};
+use crate::mapping::RouteBinding;
 use rtsm_app::ApplicationSpec;
 use rtsm_obs as obs;
-use rtsm_platform::{EnergyModel, Platform, PlatformError, PlatformState, PlatformTransaction};
+use rtsm_platform::{
+    EnergyModel, LinkId, Platform, PlatformError, PlatformState, PlatformTransaction, TileId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -484,6 +487,102 @@ impl std::error::Error for ReconfigurationFailure {
     }
 }
 
+/// A resource failure the manager can react to: one tile or one link.
+///
+/// Failures are *events*, not states — the corresponding state lives in
+/// the ledger's health layer ([`PlatformState::is_tile_failed`] /
+/// [`PlatformState::is_link_failed`]), which
+/// [`RuntimeManager::evacuate`] sets and [`RuntimeManager::repair`]
+/// clears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureEvent {
+    /// A tile failed: its compute slots, memory, cycles and NI bandwidth
+    /// are quarantined. (Its *router* keeps forwarding — the mesh loses
+    /// processing capacity, not connectivity.)
+    Tile(TileId),
+    /// A link failed: routes through it are invalid and its bandwidth is
+    /// quarantined.
+    Link(LinkId),
+}
+
+impl fmt::Display for FailureEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureEvent::Tile(t) => write!(f, "tile#{}", t.index()),
+            FailureEvent::Link(l) => write!(f, "link#{}", l.index()),
+        }
+    }
+}
+
+/// How [`RuntimeManager::evacuate`] re-places the victims of a failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvacuationPolicy {
+    /// First try re-maps that *pin* every process currently on a healthy
+    /// tile in place, so only the processes that lost their tile move (for
+    /// a link failure: nothing moves, routes are just re-planned around
+    /// the link). When the pinned attempt finds no feasible mapping — or
+    /// the admission policy refuses it — an unpinned attempt follows.
+    pub pin_healthy: bool,
+    /// Prices the state-transfer term of each relocation
+    /// ([`CostModel::migration_cost`] over this model).
+    pub energy: EnergyModel,
+    /// Scores each committed relocation (reported per evacuated app).
+    pub objective: ReconfigurationObjective,
+    /// Whether a relocation spending a given migration energy may commit;
+    /// refused relocations fall through to the next attempt or, when none
+    /// remains, to eviction.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for EvacuationPolicy {
+    fn default() -> Self {
+        EvacuationPolicy {
+            pin_healthy: true,
+            energy: EnergyModel::default(),
+            objective: ReconfigurationObjective::default(),
+            admission: AdmissionPolicy::AlwaysAdmit,
+        }
+    }
+}
+
+/// One victim successfully re-placed by [`RuntimeManager::evacuate`]; its
+/// handle is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvacuatedApp {
+    /// The relocated application.
+    pub handle: AppHandle,
+    /// Processes whose tile changed (0 for a pure re-route around a
+    /// failed link).
+    pub processes_moved: usize,
+    /// Modelled state-transfer energy of the relocation, in picojoules.
+    pub migration_energy_pj: u64,
+    /// The relocation's [`ReconfigurationObjective::score`] (post-commit
+    /// steady-state energy of the running set, plus the weighted transfer
+    /// term).
+    pub objective: u64,
+}
+
+/// What one [`RuntimeManager::evacuate`] call did: which applications the
+/// failure hit, which were re-placed, and which had to be *evicted* — a
+/// terminal outcome distinct from blocking (the application was running
+/// and lost its resources, it was not refused admission).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evacuation {
+    /// The failure that triggered the evacuation.
+    pub failure: FailureEvent,
+    /// Every running application the failure touched, in handle
+    /// (admission) order — `evacuated` ∪ `evicted`, disjointly.
+    pub victims: Vec<AppHandle>,
+    /// Victims re-placed onto healthy resources (handles unchanged).
+    pub evacuated: Vec<EvacuatedApp>,
+    /// Victims that could not be re-placed under the policy: stopped, all
+    /// their resources released.
+    pub evicted: Vec<AppHandle>,
+    /// Total modelled state-transfer energy of all relocations, in
+    /// picojoules.
+    pub migration_energy_pj: u64,
+}
+
 /// One admitted application: its specification and the mapping it runs
 /// under.
 ///
@@ -510,7 +609,9 @@ pub struct Utilization {
     pub used_memory_bytes: u64,
     /// Total tile memory of the platform.
     pub total_memory_bytes: u64,
-    /// Link bandwidth in use, words/second summed over directed links.
+    /// Link bandwidth unavailable, words/second summed over directed
+    /// links: claimed bandwidth, plus the full capacity of links currently
+    /// quarantined by the health layer (a failed link has residual 0).
     pub used_link_bandwidth: u64,
     /// Total link bandwidth of the platform.
     pub total_link_bandwidth: u64,
@@ -526,6 +627,14 @@ pub struct Utilization {
     /// by migration ([`RuntimeManager::start_with_reconfiguration`]) is
     /// exactly the lever that drives this back down.
     pub fragmentation_permille: u32,
+    /// Tiles currently quarantined by the health layer (failed, not yet
+    /// repaired).
+    pub failed_tiles: u32,
+    /// Quarantined compute capacity in permille of the platform's total
+    /// slots: 0‰ when fully healthy, 1000‰ when every tile has failed.
+    /// Unlike the usage figures this counts *capacity* — a failed tile's
+    /// slots are degraded whether or not they were in use.
+    pub degraded_permille: u32,
 }
 
 impl Utilization {
@@ -1069,6 +1178,231 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
         self.replace_mapping(handle, spec.into(), &MappingConstraints::none())
     }
 
+    /// Reacts to a resource failure: quarantines the failed tile or link
+    /// in the ledger's health layer, identifies every running application
+    /// the failure touches (a process or buffer on the failed tile, or a
+    /// route through the failed link), and re-places each victim on the
+    /// healthy remainder of the platform.
+    ///
+    /// Victims are processed in handle (admission) order, each inside its
+    /// own transaction: the victim's reservations are released, the
+    /// algorithm re-maps it under auto-derived [`MappingConstraints`]
+    /// (every currently-failed tile excluded; with
+    /// [`EvacuationPolicy::pin_healthy`], processes on healthy tiles first
+    /// pinned in place), the relocation is priced through
+    /// [`CostModel::migration_cost`] and gated by the policy's
+    /// [`AdmissionPolicy`]. If no attempt commits, the victim is *evicted*
+    /// — stopped, its resources released — which is a terminal outcome
+    /// distinct from blocking.
+    ///
+    /// # Failure windows
+    ///
+    /// The manager serializes all ledger mutation behind `&mut self`, so a
+    /// failure cannot be injected *between* plan evaluation and commit: an
+    /// `evacuate` call observes the ledger either entirely before or
+    /// entirely after any admission. Within the call, each victim's
+    /// release + re-map + commit is one [`PlatformTransaction`]; a
+    /// relocation that fails partway (infeasible re-map, commit refusal,
+    /// admission-policy veto) aborts its transaction and the victim's
+    /// original reservations are restored **exactly — including onto the
+    /// failed resources** (rollback bypasses the health check), so the
+    /// subsequent eviction releases precisely what admission committed.
+    /// Victims already relocated by the same call keep their new
+    /// placements; there is no cross-victim rollback, because a committed
+    /// relocation is already a complete, consistent state.
+    ///
+    /// Idempotent on the health layer: evacuating an already-failed
+    /// resource re-runs victim identification (normally finding none).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ReleaseFailed`] only — the ledger no longer holds a
+    /// victim's committed reservations (external mutation). Infeasible
+    /// re-maps are not errors; they become evictions.
+    pub fn evacuate(
+        &mut self,
+        failure: FailureEvent,
+        policy: &EvacuationPolicy,
+    ) -> Result<Evacuation, RuntimeError> {
+        let _span = obs::span(obs::Span::Evacuate);
+        match failure {
+            FailureEvent::Tile(tile) => self.state.fail_tile(tile),
+            FailureEvent::Link(link) => self.state.fail_link(link),
+        };
+        let victims: Vec<AppHandle> = self
+            .running
+            .iter()
+            .filter(|(_, app)| Self::touched_by(app, failure))
+            .map(|(handle, _)| *handle)
+            .collect();
+        let mut evacuation = Evacuation {
+            failure,
+            victims: victims.clone(),
+            evacuated: Vec::new(),
+            evicted: Vec::new(),
+            migration_energy_pj: 0,
+        };
+        for handle in victims {
+            let current_energy_pj = self.running_energy_pj();
+            let unpinned = self.failure_constraints();
+            let mut relocated = None;
+            if policy.pin_healthy {
+                let pinned = self.pin_healthy_constraints(handle);
+                relocated = self.try_relocate(handle, &pinned, policy, current_energy_pj)?;
+            }
+            if relocated.is_none() {
+                relocated = self.try_relocate(handle, &unpinned, policy, current_energy_pj)?;
+            }
+            match relocated {
+                Some(app) => {
+                    evacuation.migration_energy_pj += app.migration_energy_pj;
+                    evacuation.evacuated.push(app);
+                }
+                None => {
+                    self.stop(handle)?;
+                    evacuation.evicted.push(handle);
+                }
+            }
+        }
+        Ok(evacuation)
+    }
+
+    /// Clears a failure from the ledger's health layer, making the
+    /// resource claimable again. Returns `true` if the resource was failed
+    /// (the call changed state). Repair never re-places applications —
+    /// evacuated victims stay where evacuation put them.
+    pub fn repair(&mut self, failure: FailureEvent) -> bool {
+        match failure {
+            FailureEvent::Tile(tile) => self.state.repair_tile(tile),
+            FailureEvent::Link(link) => self.state.repair_link(link),
+        }
+    }
+
+    /// True while `failure`'s resource is quarantined.
+    pub fn is_failed(&self, failure: FailureEvent) -> bool {
+        match failure {
+            FailureEvent::Tile(tile) => self.state.is_tile_failed(tile),
+            FailureEvent::Link(link) => self.state.is_link_failed(link),
+        }
+    }
+
+    /// Whether `app`'s committed mapping holds resources the failure
+    /// quarantines: a process or buffer on the failed tile, or a routed
+    /// path through the failed link.
+    fn touched_by(app: &RunningApp, failure: FailureEvent) -> bool {
+        match failure {
+            FailureEvent::Tile(tile) => {
+                app.outcome
+                    .mapping
+                    .assignments()
+                    .any(|(_, assignment)| assignment.tile == tile)
+                    || app.outcome.buffers.iter().any(|buffer| buffer.tile == tile)
+                    // Routes terminating at the tile hold network-interface
+                    // claims there even when no process is assigned to it
+                    // (fixed Source/Sink endpoints).
+                    || app.outcome.mapping.routes().any(|(_, binding)| match binding {
+                        RouteBinding::Path(path) => path.from == tile || path.to == tile,
+                        RouteBinding::SameTile => false,
+                    })
+            }
+            FailureEvent::Link(link) => {
+                app.outcome
+                    .mapping
+                    .routes()
+                    .any(|(_, binding)| match binding {
+                        RouteBinding::Path(path) => path.links.contains(&link),
+                        RouteBinding::SameTile => false,
+                    })
+            }
+        }
+    }
+
+    /// Constraints every evacuation re-map runs under: all currently
+    /// failed tiles excluded. (Failed links need no constraint — their
+    /// residual is 0, so routing cannot use them.)
+    fn failure_constraints(&self) -> MappingConstraints {
+        let mut constraints = MappingConstraints::none();
+        for (tile, _) in self.platform.tiles() {
+            if self.state.is_tile_failed(tile) {
+                constraints = constraints.exclude_tile(tile);
+            }
+        }
+        constraints
+    }
+
+    /// [`RuntimeManager::failure_constraints`] plus a pin for every one of
+    /// the victim's processes that currently sits on a healthy tile, so
+    /// the first relocation attempt moves only what the failure displaced.
+    fn pin_healthy_constraints(&self, handle: AppHandle) -> MappingConstraints {
+        let mut constraints = self.failure_constraints();
+        let app = self.running.get(&handle).expect("victim is running");
+        for (process, assignment) in app.outcome.mapping.assignments() {
+            if !self.state.is_tile_failed(assignment.tile) {
+                constraints = constraints.pin(process, assignment.tile);
+            }
+        }
+        constraints
+    }
+
+    /// One relocation attempt: inside one transaction the victim's
+    /// reservations are released, its spec re-mapped under `constraints`,
+    /// and the new reservations committed — but only if the priced
+    /// migration passes the policy's admission gate. Any refusal or
+    /// infeasibility aborts the transaction (exact rollback, health checks
+    /// bypassed for the restore) and returns `Ok(None)`.
+    fn try_relocate(
+        &mut self,
+        handle: AppHandle,
+        constraints: &MappingConstraints,
+        policy: &EvacuationPolicy,
+        current_energy_pj: u64,
+    ) -> Result<Option<EvacuatedApp>, RuntimeError> {
+        let app = self.running.get(&handle).expect("victim is running");
+        let pricing = CostModel::Energy(policy.energy);
+        let mut tx = PlatformTransaction::begin(&self.platform, &mut self.state);
+        app.outcome
+            .stage_release(&app.spec, &mut tx)
+            .map_err(RuntimeError::ReleaseFailed)?; // tx drop restores
+        let Ok(mut outcome) =
+            self.algorithm
+                .map_constrained(&app.spec, &self.platform, tx.state(), constraints)
+        else {
+            return Ok(None);
+        };
+        if outcome.stage_commit(&app.spec, &mut tx).is_err() {
+            return Ok(None);
+        }
+        let (processes_moved, migration_energy_pj) = pricing.migration_cost(
+            &app.spec,
+            &self.platform,
+            &app.outcome.mapping,
+            &outcome.mapping,
+        );
+        if !policy
+            .admission
+            .admits(migration_energy_pj, outcome.energy_pj)
+        {
+            return Ok(None);
+        }
+        let steady_state_energy_pj = current_energy_pj
+            .saturating_sub(app.outcome.energy_pj)
+            .saturating_add(outcome.energy_pj);
+        let objective = policy
+            .objective
+            .score(steady_state_energy_pj, migration_energy_pj);
+        tx.commit();
+        outcome.trace = None;
+        outcome.csdf = None;
+        let record = self.running.get_mut(&handle).expect("victim is running");
+        record.outcome = outcome;
+        Ok(Some(EvacuatedApp {
+            handle,
+            processes_moved,
+            migration_energy_pj,
+            objective,
+        }))
+    }
+
     /// Stops every running application in handle (admission) order,
     /// releasing all their resources, and returns the stopped records.
     /// After a successful call the ledger holds only what was committed
@@ -1127,6 +1461,8 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             running_apps: self.running.len(),
             largest_free_slot_region: fragmentation.largest_free_region_slots,
             fragmentation_permille: fragmentation.fragmentation_permille,
+            failed_tiles: self.state.failed_tile_count(),
+            degraded_permille: 0,
         };
         for (tile, spec) in self.platform.tiles() {
             util.used_slots += self.state.used_slots(tile);
@@ -1139,6 +1475,9 @@ impl<A: MappingAlgorithm> RuntimeManager<A> {
             util.used_link_bandwidth +=
                 spec.capacity - self.state.residual_link(&self.platform, link);
         }
+        util.degraded_permille = (self.state.failed_slot_capacity(&self.platform) * 1000)
+            .checked_div(util.total_slots)
+            .unwrap_or(0);
         util
     }
 
@@ -1742,6 +2081,213 @@ mod tests {
         m.stop(h).unwrap();
         let err = m.switch(h, heavy()).unwrap_err();
         assert_eq!(err.kind(), RuntimeErrorKind::UnknownHandle);
+    }
+
+    // --- Fault injection and evacuation ----------------------------------
+
+    #[test]
+    fn tile_failure_evacuates_the_victim_to_a_healthy_tile() {
+        let platform = defrag_platform();
+        let arm_a = platform.tile_by_name("ARM-a").unwrap();
+        let arm_b = platform.tile_by_name("ARM-b").unwrap();
+        let mut m = RuntimeManager::new(platform, SpatialMapper::default());
+        let h = m.start(light()).unwrap();
+        let process = m
+            .get(h)
+            .unwrap()
+            .spec
+            .graph
+            .process_by_name("Stage")
+            .unwrap();
+        assert_eq!(
+            m.get(h)
+                .unwrap()
+                .outcome
+                .mapping
+                .assignment(process)
+                .unwrap()
+                .tile,
+            arm_a
+        );
+
+        let evacuation = m
+            .evacuate(FailureEvent::Tile(arm_a), &EvacuationPolicy::default())
+            .unwrap();
+        assert_eq!(evacuation.victims, vec![h]);
+        assert_eq!(evacuation.evacuated.len(), 1);
+        assert!(evacuation.evicted.is_empty());
+        assert_eq!(evacuation.evacuated[0].processes_moved, 1);
+        assert_eq!(
+            m.get(h)
+                .unwrap()
+                .outcome
+                .mapping
+                .assignment(process)
+                .unwrap()
+                .tile,
+            arm_b,
+            "the victim now runs on the healthy ARM"
+        );
+        let util = m.utilization();
+        assert_eq!(util.failed_tiles, 1);
+        assert!(util.degraded_permille > 0);
+
+        // Repair restores admissibility; the evacuee stays where it is.
+        assert!(m.repair(FailureEvent::Tile(arm_a)));
+        assert!(!m.is_failed(FailureEvent::Tile(arm_a)));
+        assert_eq!(
+            m.get(h)
+                .unwrap()
+                .outcome
+                .mapping
+                .assignment(process)
+                .unwrap()
+                .tile,
+            arm_b
+        );
+        m.stop_all().unwrap();
+        assert!(m.utilization().is_idle(), "no claims leak across the cycle");
+    }
+
+    #[test]
+    fn unplaceable_victim_is_evicted_not_blocked() {
+        // Both ARMs hold two lights each; failing one ARM leaves no healthy
+        // capacity for its two tenants — they are evicted, the others stay.
+        let platform = defrag_platform();
+        let arm_a = platform.tile_by_name("ARM-a").unwrap();
+        let mut m = RuntimeManager::new(platform, SpatialMapper::default());
+        let handles: Vec<_> = (0..4).map(|_| m.start(light()).unwrap()).collect();
+        let before_running = m.n_running();
+        assert_eq!(before_running, 4);
+
+        let evacuation = m
+            .evacuate(FailureEvent::Tile(arm_a), &EvacuationPolicy::default())
+            .unwrap();
+        assert_eq!(evacuation.victims.len(), 2, "two tenants on the failed ARM");
+        assert!(evacuation.evacuated.is_empty(), "ARM-b is already full");
+        assert_eq!(evacuation.evicted.len(), 2);
+        assert_eq!(m.n_running(), 2, "evicted apps are terminal");
+        for evicted in &evacuation.evicted {
+            assert!(m.get(*evicted).is_none());
+            assert!(handles.contains(evicted));
+        }
+        m.repair(FailureEvent::Tile(arm_a));
+        m.stop_all().unwrap();
+        assert!(m.utilization().is_idle(), "evictions released everything");
+    }
+
+    #[test]
+    fn failed_evacuation_rolls_back_exactly_before_eviction() {
+        // One light on each ARM plus co-tenants so nothing can move: the
+        // victim's failed attempt must leave every *other* app untouched.
+        let platform = defrag_platform();
+        let arm_a = platform.tile_by_name("ARM-a").unwrap();
+        let mut m = RuntimeManager::new(platform, SpatialMapper::default());
+        for _ in 0..4 {
+            m.start(light()).unwrap();
+        }
+        let survivors: Vec<_> = m
+            .running()
+            .filter(|(_, app)| {
+                let p = app.spec.graph.process_by_name("Stage").unwrap();
+                app.outcome.mapping.assignment(p).unwrap().tile != arm_a
+            })
+            .map(|(h, app)| (h, app.clone()))
+            .collect();
+        m.evacuate(FailureEvent::Tile(arm_a), &EvacuationPolicy::default())
+            .unwrap();
+        for (h, record) in survivors {
+            assert_eq!(m.get(h).unwrap(), &record, "survivors are untouched");
+        }
+        m.repair(FailureEvent::Tile(arm_a));
+        m.stop_all().unwrap();
+        assert!(m.utilization().is_idle());
+    }
+
+    #[test]
+    fn admission_policy_can_veto_relocations_into_eviction() {
+        let platform = defrag_platform();
+        let arm_a = platform.tile_by_name("ARM-a").unwrap();
+        let mut m = RuntimeManager::new(platform, SpatialMapper::default());
+        m.start(light()).unwrap();
+        let policy = EvacuationPolicy {
+            admission: AdmissionPolicy::EnergyBudget { max_transfer_pj: 0 },
+            ..EvacuationPolicy::default()
+        };
+        let evacuation = m.evacuate(FailureEvent::Tile(arm_a), &policy).unwrap();
+        assert!(
+            evacuation.evacuated.is_empty(),
+            "zero budget vetoes the move"
+        );
+        assert_eq!(evacuation.evicted.len(), 1);
+        m.repair(FailureEvent::Tile(arm_a));
+        assert!(m.utilization().is_idle());
+    }
+
+    #[test]
+    fn link_failure_reroutes_without_moving_processes() {
+        // hiperlan2 on the paper platform commits routed paths; failing a
+        // link one of them uses must re-route the app with every process
+        // pinned in place (processes_moved == 0) when possible, or at
+        // least keep the ledger exact.
+        let mut m = manager();
+        let h = m.start(hiperlan2_receiver(Hiperlan2Mode::Qpsk34)).unwrap();
+        let used_link = m
+            .get(h)
+            .unwrap()
+            .outcome
+            .mapping
+            .routes()
+            .find_map(|(_, binding)| match binding {
+                RouteBinding::Path(path) => path.links.first().copied(),
+                RouteBinding::SameTile => None,
+            })
+            .expect("the paper mapping routes at least one channel");
+        let evacuation = m
+            .evacuate(FailureEvent::Link(used_link), &EvacuationPolicy::default())
+            .unwrap();
+        assert_eq!(evacuation.victims, vec![h], "the app uses the failed link");
+        if let Some(evacuee) = evacuation.evacuated.first() {
+            // The new mapping avoids the failed link entirely.
+            let avoids =
+                m.get(h)
+                    .unwrap()
+                    .outcome
+                    .mapping
+                    .routes()
+                    .all(|(_, binding)| match binding {
+                        RouteBinding::Path(path) => !path.links.contains(&used_link),
+                        RouteBinding::SameTile => true,
+                    });
+            assert!(avoids, "evacuated mapping must not touch the failed link");
+            assert_eq!(
+                evacuee.processes_moved, 0,
+                "pin-healthy re-route moves no process"
+            );
+        } else {
+            assert_eq!(evacuation.evicted, vec![h]);
+        }
+        m.repair(FailureEvent::Link(used_link));
+        m.stop_all().unwrap();
+        assert!(m.utilization().is_idle());
+    }
+
+    #[test]
+    fn evacuating_an_untouched_platform_finds_no_victims() {
+        let platform = defrag_platform();
+        let sink = platform.tile_by_name("Sink").unwrap();
+        let mut m = RuntimeManager::new(platform, SpatialMapper::default());
+        let h = m.start(light()).unwrap();
+        let record = m.get(h).unwrap().clone();
+        let evacuation = m
+            .evacuate(FailureEvent::Tile(sink), &EvacuationPolicy::default())
+            .unwrap();
+        assert!(evacuation.victims.is_empty());
+        assert_eq!(m.get(h).unwrap(), &record);
+        // While the Sink is failed, admissions cannot use it.
+        assert!(m.is_failed(FailureEvent::Tile(sink)));
+        m.repair(FailureEvent::Tile(sink));
+        m.stop_all().unwrap();
     }
 
     #[test]

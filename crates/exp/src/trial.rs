@@ -233,6 +233,7 @@ pub fn run_trial_timed(
         horizon: template.horizon,
         reconfiguration: trial.policy.to_policy(),
         track_fragmentation: true,
+        faults: None,
     };
     let algorithm =
         make_algorithm(&trial.algorithm).expect("trial algorithms are validated before expansion");

@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Number of distinct [`Span`] kinds, for fixed-size per-span tables.
-pub const N_SPANS: usize = 10;
+pub const N_SPANS: usize = 11;
 
 /// Number of distinct [`Counter`] kinds, for fixed-size tables.
 pub const N_COUNTERS: usize = 4;
@@ -48,6 +48,10 @@ pub enum Span {
     Step4,
     /// Buffer-capacity computation inside step 4 (`size_buffers`).
     BufferSizing,
+    /// `RuntimeManager::evacuate` — one failure's recovery end to end
+    /// (victim identification, constrained re-maps, evictions). Opens a
+    /// new trace lane.
+    Evacuate,
 }
 
 impl Span {
@@ -63,6 +67,7 @@ impl Span {
         Span::Step3,
         Span::Step4,
         Span::BufferSizing,
+        Span::Evacuate,
     ];
 
     /// Dense index of this span, `0..N_SPANS`.
@@ -83,6 +88,7 @@ impl Span {
             Span::Step3 => "step3",
             Span::Step4 => "step4",
             Span::BufferSizing => "buffer_sizing",
+            Span::Evacuate => "evacuate",
         }
     }
 
@@ -90,7 +96,10 @@ impl Span {
     /// admission-path entry, so Perfetto shows each arrival on its own
     /// row.
     pub const fn starts_lane(self) -> bool {
-        matches!(self, Span::Admission | Span::Remap | Span::Switch)
+        matches!(
+            self,
+            Span::Admission | Span::Remap | Span::Switch | Span::Evacuate
+        )
     }
 }
 

@@ -179,6 +179,11 @@ pub fn route_with<'s>(
     scratch: &'s mut RouteScratch,
 ) -> Result<&'s Path, PlatformError> {
     let no_route = || PlatformError::NoRoute { from, to, demand };
+    // A quarantined endpoint is unroutable even at zero demand: the path
+    // would claim network-interface capacity on a failed tile.
+    if state.is_tile_failed(from) || state.is_tile_failed(to) {
+        return Err(no_route());
+    }
     if state.residual_injection(platform, from) < demand
         || state.residual_ejection(platform, to) < demand
     {
@@ -212,7 +217,11 @@ pub fn route_with<'s>(
             break;
         }
         for entry in platform.adjacency(here) {
-            if state.residual_link(platform, entry.link) < demand {
+            // A quarantined link is unusable even at zero demand: routes
+            // through failed links are invalid, not merely full.
+            if state.is_link_failed(entry.link)
+                || state.residual_link(platform, entry.link) < demand
+            {
                 continue;
             }
             let ncost = cost + 1;
@@ -349,6 +358,10 @@ pub fn route_xy_with<'s>(
     scratch: &'s mut RouteScratch,
 ) -> Result<&'s Path, PlatformError> {
     let no_route = || PlatformError::NoRoute { from, to, demand };
+    // As in [`route_with`]: quarantined endpoints are unroutable.
+    if state.is_tile_failed(from) || state.is_tile_failed(to) {
+        return Err(no_route());
+    }
     if state.residual_injection(platform, from) < demand
         || state.residual_ejection(platform, to) < demand
     {
@@ -390,7 +403,7 @@ pub fn route_xy_with<'s>(
             .find(|e| e.to == w[1])
             .map(|e| e.link)
             .ok_or_else(no_route)?;
-        if state.residual_link(platform, link) < demand {
+        if state.is_link_failed(link) || state.residual_link(platform, link) < demand {
             return Err(no_route());
         }
         scratch.path.links.push(link);

@@ -41,6 +41,8 @@ pub struct PlatformState {
     used_injection: Vec<u64>,
     used_ejection: Vec<u64>,
     used_links: Vec<u64>,
+    failed_tiles: Vec<bool>,
+    failed_links: Vec<bool>,
 }
 
 impl PlatformState {
@@ -55,11 +57,22 @@ impl PlatformState {
             used_injection: vec![0; n],
             used_ejection: vec![0; n],
             used_links: vec![0; m],
+            failed_tiles: vec![false; n],
+            failed_links: vec![false; m],
         }
     }
 
     /// True if `claim` fits on `tile` given current usage.
+    ///
+    /// A failed tile fits nothing: every admission path funnels through
+    /// this check, so quarantining here makes all mapping algorithms and
+    /// transactions refuse failed tiles without any change on their side.
     pub fn fits_tile(&self, platform: &Platform, tile: TileId, claim: &TileClaim) -> bool {
+        !self.failed_tiles[tile.index()] && self.tile_has_capacity(platform, tile, claim)
+    }
+
+    /// The capacity half of [`PlatformState::fits_tile`], ignoring health.
+    fn tile_has_capacity(&self, platform: &Platform, tile: TileId, claim: &TileClaim) -> bool {
         let t = platform.tile(tile);
         let i = tile.index();
         let cycle_budget = u64::from(t.clock_mhz) * 1_000_000;
@@ -124,7 +137,9 @@ impl PlatformState {
     fn first_missing(&self, platform: &Platform, tile: TileId, claim: &TileClaim) -> &'static str {
         let t = platform.tile(tile);
         let i = tile.index();
-        if self.used_slots[i] + claim.slots > t.compute_slots {
+        if self.failed_tiles[i] {
+            "tile failed"
+        } else if self.used_slots[i] + claim.slots > t.compute_slots {
             "compute slots"
         } else if self.used_memory[i] + claim.memory_bytes > t.memory_bytes {
             "memory"
@@ -139,7 +154,14 @@ impl PlatformState {
     }
 
     /// Residual capacity of `link` in words/second.
+    ///
+    /// A failed link has residual 0, so every route through it is refused
+    /// by [`PlatformState::allocate_link`] — routes through failed links
+    /// are invalid without any router-side special-casing.
     pub fn residual_link(&self, platform: &Platform, link: LinkId) -> u64 {
+        if self.failed_links[link.index()] {
+            return 0;
+        }
         platform.link(link).capacity - self.used_links[link.index()]
     }
 
@@ -208,6 +230,116 @@ impl PlatformState {
         platform.tile(tile).ni_ejection - self.used_ejection[tile.index()]
     }
 
+    // --- Health layer -----------------------------------------------------
+    //
+    // A failed tile is claimable by no one (`fits_tile` is false) and a
+    // failed link has residual 0, but *existing* claims survive both ways:
+    // releases stay legal on failed resources, so an evacuation can release
+    // a victim's claims from the exact ledger they were made against. The
+    // fail/repair bits are health metadata, not usage — they never change
+    // the usage counters themselves.
+
+    /// Marks `tile` as failed. Returns `true` if the tile was healthy
+    /// before (the call changed state).
+    pub fn fail_tile(&mut self, tile: TileId) -> bool {
+        !std::mem::replace(&mut self.failed_tiles[tile.index()], true)
+    }
+
+    /// Marks `tile` as healthy again. Returns `true` if the tile was
+    /// failed before (the call changed state).
+    pub fn repair_tile(&mut self, tile: TileId) -> bool {
+        std::mem::replace(&mut self.failed_tiles[tile.index()], false)
+    }
+
+    /// Marks `link` as failed. Returns `true` if the link was healthy
+    /// before (the call changed state).
+    pub fn fail_link(&mut self, link: LinkId) -> bool {
+        !std::mem::replace(&mut self.failed_links[link.index()], true)
+    }
+
+    /// Marks `link` as healthy again. Returns `true` if the link was
+    /// failed before (the call changed state).
+    pub fn repair_link(&mut self, link: LinkId) -> bool {
+        std::mem::replace(&mut self.failed_links[link.index()], false)
+    }
+
+    /// True if `tile` is currently marked failed.
+    pub fn is_tile_failed(&self, tile: TileId) -> bool {
+        self.failed_tiles[tile.index()]
+    }
+
+    /// True if `link` is currently marked failed.
+    pub fn is_link_failed(&self, link: LinkId) -> bool {
+        self.failed_links[link.index()]
+    }
+
+    /// True if any tile or link is currently marked failed.
+    pub fn any_failed(&self) -> bool {
+        self.failed_tiles.iter().any(|&f| f) || self.failed_links.iter().any(|&f| f)
+    }
+
+    /// Number of tiles currently marked failed.
+    pub fn failed_tile_count(&self) -> u32 {
+        self.failed_tiles.iter().filter(|&&f| f).count() as u32
+    }
+
+    /// Compute slots on tiles currently marked failed (quarantined
+    /// capacity, whether or not it was in use when the tile failed).
+    pub fn failed_slot_capacity(&self, platform: &Platform) -> u32 {
+        (0..platform.n_tiles())
+            .filter(|&i| self.failed_tiles[i])
+            .map(|i| platform.tile(TileId::from_index(i)).compute_slots)
+            .sum()
+    }
+
+    /// Re-applies a claim previously released from this ledger, bypassing
+    /// the health check (capacity checks still apply).
+    ///
+    /// Only for transaction rollback: aborting an evacuation must be able
+    /// to put a victim's claims back onto the failed tile they were
+    /// released from, which [`PlatformState::claim_tile`] — correctly —
+    /// refuses.
+    pub(crate) fn restore_tile(
+        &mut self,
+        platform: &Platform,
+        tile: TileId,
+        claim: &TileClaim,
+    ) -> Result<(), PlatformError> {
+        if !self.tile_has_capacity(platform, tile, claim) {
+            return Err(PlatformError::InsufficientResource {
+                tile,
+                resource: self.first_missing(platform, tile, claim),
+            });
+        }
+        let i = tile.index();
+        self.used_slots[i] += claim.slots;
+        self.used_memory[i] += claim.memory_bytes;
+        self.used_cycles[i] += claim.cycles_per_second;
+        self.used_injection[i] += claim.injection;
+        self.used_ejection[i] += claim.ejection;
+        Ok(())
+    }
+
+    /// Re-applies a link allocation previously released from this ledger,
+    /// bypassing the health check (capacity still applies). Rollback-only,
+    /// like [`PlatformState::restore_tile`].
+    pub(crate) fn restore_link(
+        &mut self,
+        platform: &Platform,
+        link: LinkId,
+        demand: u64,
+    ) -> Result<(), PlatformError> {
+        let i = link.index();
+        let free = platform.link(link).capacity - self.used_links[i];
+        if free < demand {
+            return Err(PlatformError::LinkAccounting {
+                detail: format!("restoring {demand} words/s exceeds capacity ({free} free)"),
+            });
+        }
+        self.used_links[i] += demand;
+        Ok(())
+    }
+
     /// How fragmented the free compute capacity is (see [`Fragmentation`]).
     ///
     /// Two tiles belong to the same free region when both have at least one
@@ -221,6 +353,10 @@ impl PlatformState {
         let n = platform.n_tiles();
         let free: Vec<u32> = (0..n)
             .map(|i| {
+                if self.failed_tiles[i] {
+                    // Quarantined capacity is not free capacity.
+                    return 0;
+                }
                 let tile = platform.tile(TileId::from_index(i));
                 tile.compute_slots - self.used_slots[i]
             })
@@ -452,6 +588,70 @@ mod tests {
             full.fragmentation_permille, 0,
             "nothing free, nothing fragmented"
         );
+    }
+
+    #[test]
+    fn failed_tile_rejects_claims_but_allows_releases() {
+        let p = platform();
+        let t = p.tile_by_name("a").unwrap();
+        let mut s = p.initial_state();
+        s.claim_tile(&p, t, &claim()).unwrap();
+
+        assert!(s.fail_tile(t), "first failure changes state");
+        assert!(!s.fail_tile(t), "double failure is a no-op");
+        assert!(s.is_tile_failed(t));
+        assert!(s.any_failed());
+        assert_eq!(s.failed_tile_count(), 1);
+
+        // New claims are quarantined with a distinct diagnosis…
+        assert!(!s.fits_tile(&p, t, &claim()));
+        let err = s.claim_tile(&p, t, &claim()).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::InsufficientResource {
+                resource: "tile failed",
+                ..
+            }
+        ));
+        // …but the existing claim can still be evacuated (released).
+        s.release_tile(t, &claim()).unwrap();
+
+        assert!(s.repair_tile(t), "repair changes state");
+        assert!(!s.repair_tile(t), "double repair is a no-op");
+        assert!(!s.any_failed());
+        assert!(s.fits_tile(&p, t, &claim()), "repaired tile admits again");
+    }
+
+    #[test]
+    fn failed_link_has_zero_residual_but_allows_releases() {
+        let p = platform();
+        let (lid, _) = p.links().next().unwrap();
+        let mut s = p.initial_state();
+        s.allocate_link(&p, lid, 100).unwrap();
+
+        assert!(s.fail_link(lid));
+        assert!(s.is_link_failed(lid));
+        assert_eq!(s.residual_link(&p, lid), 0);
+        assert!(s.allocate_link(&p, lid, 1).is_err());
+        // Evacuation releases the route from the failed link.
+        s.release_link(lid, 100).unwrap();
+
+        assert!(s.repair_link(lid));
+        assert_eq!(s.residual_link(&p, lid), p.link(lid).capacity);
+    }
+
+    #[test]
+    fn failed_tiles_are_not_free_capacity() {
+        let p = platform();
+        let mut s = p.initial_state();
+        let healthy = s.fragmentation(&p);
+        assert_eq!(healthy.free_slots, 4);
+
+        s.fail_tile(p.tile_by_name("a").unwrap());
+        let degraded = s.fragmentation(&p);
+        assert_eq!(degraded.free_slots, 2, "quarantined slots are not free");
+        assert_eq!(degraded.largest_free_region_slots, 2);
+        assert_eq!(s.failed_slot_capacity(&p), 2);
     }
 
     #[test]

@@ -21,6 +21,34 @@
 //! violated inverse is a logic error and panics rather than corrupting the
 //! ledger.
 //!
+//! # Failure windows
+//!
+//! The health layer ([`PlatformState::fail_tile`] and friends) composes
+//! with transactions as follows:
+//!
+//! * **Claims on failed resources are refused at staging time.** Every
+//!   staged claim goes through [`PlatformState::claim_tile`] /
+//!   [`PlatformState::allocate_link`], which consult the health bits — a
+//!   plan that names a failed tile or routes through a failed link fails
+//!   at [`claim_tile`](PlatformTransaction::claim_tile) /
+//!   [`allocate_path`](PlatformTransaction::allocate_path), before
+//!   anything commits. There is no window in which a commit can land
+//!   claims on a resource that failed before the transaction staged them:
+//!   the whole plan→stage→commit sequence runs under one `&mut
+//!   PlatformState` borrow, so no failure can be injected between plan
+//!   evaluation and commit — a failure observed by the staging step is a
+//!   failure that happened before `begin`.
+//! * **Releases (and their rollback) ignore health.** Evacuating a victim
+//!   releases claims from a failed tile; aborting that evacuation must
+//!   restore them onto the same failed tile. Releases check only ledger
+//!   underflow, and rollback of a staged release re-applies it through a
+//!   capacity-only restore path, so the drop-abort guarantee — the ledger
+//!   is restored byte-for-byte — holds even while resources are failed.
+//! * **Fail/repair are not transactional operations.** They mutate health
+//!   metadata, never usage counters, and are applied by the runtime
+//!   manager outside any open transaction; a transaction's undo log never
+//!   contains them.
+//!
 //! # Example
 //!
 //! ```
@@ -242,9 +270,13 @@ impl<'a> PlatformTransaction<'a> {
                     .state
                     .release_tile(tile, &claim)
                     .expect("inverting a claim staged by this transaction"),
+                // Restores bypass the health check: an aborted evacuation
+                // must put the victim's claims back onto the very tile or
+                // link whose failure triggered it (see the module docs on
+                // failure windows).
                 TxOp::ReleasedTile { tile, claim } => self
                     .state
-                    .claim_tile(self.platform, tile, &claim)
+                    .restore_tile(self.platform, tile, &claim)
                     .expect("re-claiming a release staged by this transaction"),
                 TxOp::AllocatedLink { link, demand } => self
                     .state
@@ -252,7 +284,7 @@ impl<'a> PlatformTransaction<'a> {
                     .expect("inverting a link allocation staged by this transaction"),
                 TxOp::ReleasedLink { link, demand } => self
                     .state
-                    .allocate_link(self.platform, link, demand)
+                    .restore_link(self.platform, link, demand)
                     .expect("re-allocating a link release staged by this transaction"),
             }
         }
@@ -395,6 +427,47 @@ mod tests {
         let mut tx = PlatformTransaction::begin(&p, &mut state);
         tx.release_path(&path).unwrap();
         tx.commit();
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn abort_restores_claims_onto_a_failed_tile() {
+        // The evacuation-rollback window: the victim's claims were released
+        // from a tile that is *currently failed*; abort must restore them
+        // onto that same failed tile, byte-for-byte.
+        let p = platform();
+        let a = p.tile_by_name("a").unwrap();
+        let mut state = p.initial_state();
+        state.claim_tile(&p, a, &claim(100)).unwrap();
+        state.fail_tile(a);
+        let before = state.clone();
+
+        let mut tx = PlatformTransaction::begin(&p, &mut state);
+        tx.release_tile(a, &claim(100)).unwrap();
+        assert!(
+            tx.claim_tile(a, &claim(100)).is_err(),
+            "new claims on the failed tile are refused even inside the tx"
+        );
+        tx.abort();
+        assert_eq!(state, before, "abort restores the failed tile's claims");
+    }
+
+    #[test]
+    fn staging_refuses_failed_resources() {
+        let p = platform();
+        let a = p.tile_by_name("a").unwrap();
+        let b = p.tile_by_name("b").unwrap();
+        let mut state = p.initial_state();
+        let path = route(&p, &state, a, b, 1_000).unwrap();
+        state.fail_link(path.links[0]);
+        let before = state.clone();
+
+        let mut tx = PlatformTransaction::begin(&p, &mut state);
+        assert!(
+            tx.allocate_path(&path).is_err(),
+            "routes through failed links are invalid"
+        );
+        drop(tx);
         assert_eq!(state, before);
     }
 

@@ -59,6 +59,27 @@ pub enum SimEvent {
         /// Catalog index the blocked arrival requested.
         catalog_index: usize,
     },
+    /// A tile fails (fault injection): the runtime manager quarantines it
+    /// and evacuates its tenants. A matching [`SimEvent::Repair`] is
+    /// scheduled one repair time later.
+    TileFail {
+        /// The failing tile.
+        tile: rtsm_platform::TileId,
+    },
+    /// A link fails (fault injection): routes through it are invalid; apps
+    /// using it are re-routed or evicted. A matching [`SimEvent::Repair`]
+    /// is scheduled one repair time later.
+    LinkFail {
+        /// The failing link.
+        link: rtsm_platform::LinkId,
+    },
+    /// A previously injected failure is repaired: the resource becomes
+    /// claimable again (evacuated applications stay where evacuation put
+    /// them).
+    Repair {
+        /// The failure being repaired.
+        failure: rtsm_core::FailureEvent,
+    },
 }
 
 /// A scheduled event: ordering key `(time, seq)` where `seq` is the

@@ -63,7 +63,9 @@ pub mod sim;
 pub mod workload;
 
 pub use event::{EventQueue, InstanceId, SimEvent, SimTime};
-pub use metrics::{MetricsCollector, ReconfigurationReport, SimReport, UtilizationSample};
+pub use metrics::{
+    MetricsCollector, ReconfigurationReport, SimReport, SurvivabilityReport, UtilizationSample,
+};
 pub use rtsm_obs::LatencyHistogram;
-pub use sim::{run_sim, SimConfig, SimRun};
-pub use workload::{ArrivalProcess, Catalog, CatalogEntry, HoldingTime};
+pub use sim::{run_sim, FaultConfig, SimConfig, SimRun};
+pub use workload::{bounded_pareto_mean, ArrivalProcess, Catalog, CatalogEntry, HoldingTime};

@@ -146,13 +146,56 @@ pub struct ReconfigurationReport {
     pub mode_switches_survived: u64,
 }
 
+/// Survivability counters of one simulation run — present in the
+/// [`SimReport`] only when the run injected faults (a
+/// [`FaultConfig`](crate::FaultConfig) was set), so fault-free runs
+/// serialize byte-identically to pre-fault-injection reports.
+///
+/// The degraded/healthy split classifies every arrival by whether *any*
+/// resource was quarantined at its instant, so the blocking figures can
+/// be compared between the two operating regimes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SurvivabilityReport {
+    /// Configured mean time to failure, in ticks.
+    pub mttf: u64,
+    /// Configured (fixed) time to repair, in ticks.
+    pub mttr: u64,
+    /// Tile failures injected.
+    pub tile_failures: u64,
+    /// Link failures injected.
+    pub link_failures: u64,
+    /// Repairs processed (equals injected failures once the queue drains).
+    pub repairs: u64,
+    /// Applications relocated off a failed resource by evacuation.
+    pub apps_evacuated: u64,
+    /// Applications evicted — no admissible relocation existed. A
+    /// terminal outcome distinct from blocking: the app *was* running.
+    pub apps_evicted: u64,
+    /// Processes physically moved across all evacuations.
+    pub processes_moved: u64,
+    /// Total modelled state-transfer energy of evacuations, pJ.
+    pub evacuation_energy_pj: u64,
+    /// Mean ticks from a failure's injection to its repair (0 when no
+    /// repair was processed).
+    pub mean_recovery_ticks: u64,
+    /// Arrivals that landed while at least one resource was quarantined.
+    pub degraded_arrivals: u64,
+    /// Of those, how many were blocked.
+    pub degraded_blocked: u64,
+    /// Arrivals that landed on a fully healthy platform.
+    pub healthy_arrivals: u64,
+    /// Of those, how many were blocked.
+    pub healthy_blocked: u64,
+}
+
 /// The deterministic result of one simulation run: same seed, same
 /// platform, same algorithm ⇒ byte-identical serialized report.
 ///
 /// Serialization is hand-written: the optional
-/// [`reconfiguration`](SimReport::reconfiguration) section is omitted —
+/// [`reconfiguration`](SimReport::reconfiguration) and
+/// [`survivability`](SimReport::survivability) sections are omitted —
 /// not `null` — when absent, keeping plain runs byte-identical to reports
-/// from before reconfiguration existed.
+/// from before reconfiguration or fault injection existed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Name of the mapping algorithm that admitted applications.
@@ -205,6 +248,9 @@ pub struct SimReport {
     /// Reconfiguration counters; `Some` exactly when the run was
     /// configured with a reconfiguration policy.
     pub reconfiguration: Option<ReconfigurationReport>,
+    /// Survivability counters; `Some` exactly when the run injected
+    /// faults.
+    pub survivability: Option<SurvivabilityReport>,
 }
 
 impl Serialize for SimReport {
@@ -264,6 +310,9 @@ impl Serialize for SimReport {
         if let Some(reconfiguration) = &self.reconfiguration {
             entries.push(("reconfiguration".to_string(), reconfiguration.to_value()));
         }
+        if let Some(survivability) = &self.survivability {
+            entries.push(("survivability".to_string(), survivability.to_value()));
+        }
         serde::Value::Map(entries)
     }
 }
@@ -292,6 +341,7 @@ impl Deserialize for SimReport {
             final_running: serde::de::field(value, "final_running")?,
             ledger_idle_at_end: serde::de::field(value, "ledger_idle_at_end")?,
             reconfiguration: serde::de::field(value, "reconfiguration")?,
+            survivability: serde::de::field(value, "survivability")?,
         })
     }
 }
@@ -364,6 +414,8 @@ pub struct MetricsCollector {
     energy_pj_ticks: u64,
     samples: Vec<UtilizationSample>,
     reconfiguration: Option<ReconfigurationReport>,
+    survivability: Option<SurvivabilityReport>,
+    recovery_ticks_total: u64,
 }
 
 impl MetricsCollector {
@@ -391,6 +443,8 @@ impl MetricsCollector {
             energy_pj_ticks: 0,
             samples: Vec::new(),
             reconfiguration: None,
+            survivability: None,
+            recovery_ticks_total: 0,
         }
     }
 
@@ -412,6 +466,19 @@ impl MetricsCollector {
             policy,
             lambda_permille,
             ..ReconfigurationReport::default()
+        });
+        self
+    }
+
+    /// Enables the survivability counters (builder style), stamping them
+    /// with the run's fault-process parameters; the finished report then
+    /// carries a [`SurvivabilityReport`].
+    #[must_use]
+    pub fn with_survivability_counters(mut self, mttf: u64, mttr: u64) -> Self {
+        self.survivability = Some(SurvivabilityReport {
+            mttf,
+            mttr,
+            ..SurvivabilityReport::default()
         });
         self
     }
@@ -567,6 +634,73 @@ impl MetricsCollector {
         self.reconfig().mode_switches_survived += 1;
     }
 
+    /// The survivability counters, for in-flight updates. Panics when the
+    /// collector was built without
+    /// [`with_survivability_counters`](MetricsCollector::with_survivability_counters).
+    fn surv(&mut self) -> &mut SurvivabilityReport {
+        self.survivability
+            .as_mut()
+            .expect("survivability counters were enabled")
+    }
+
+    /// Records an injected tile failure.
+    pub fn record_tile_failure(&mut self) {
+        self.surv().tile_failures += 1;
+    }
+
+    /// Records an injected link failure.
+    pub fn record_link_failure(&mut self) {
+        self.surv().link_failures += 1;
+    }
+
+    /// Records one evacuation's outcome: how many victims were relocated,
+    /// how many evicted, and the physical cost of the relocations.
+    pub fn record_evacuation(
+        &mut self,
+        evacuated: u64,
+        evicted: u64,
+        processes_moved: u64,
+        energy_pj: u64,
+    ) {
+        let s = self.surv();
+        s.apps_evacuated += evacuated;
+        s.apps_evicted += evicted;
+        s.processes_moved += processes_moved;
+        s.evacuation_energy_pj += energy_pj;
+    }
+
+    /// Records a processed repair, `recovery_ticks` after its failure was
+    /// injected.
+    pub fn record_repair(&mut self, recovery_ticks: SimTime) {
+        self.surv().repairs += 1;
+        self.recovery_ticks_total += recovery_ticks;
+    }
+
+    /// Classifies an arrival by operating regime: `degraded` when any
+    /// resource was quarantined at its instant. Call *in addition to*
+    /// [`record_arrival`](MetricsCollector::record_arrival), only on runs
+    /// with survivability counters.
+    pub fn record_window_arrival(&mut self, degraded: bool) {
+        let s = self.surv();
+        if degraded {
+            s.degraded_arrivals += 1;
+        } else {
+            s.healthy_arrivals += 1;
+        }
+    }
+
+    /// Classifies a *definitively blocked* arrival by the regime recorded
+    /// at its [`record_window_arrival`](MetricsCollector::record_window_arrival)
+    /// call (pass the same flag).
+    pub fn record_window_blocked(&mut self, degraded: bool) {
+        let s = self.surv();
+        if degraded {
+            s.degraded_blocked += 1;
+        } else {
+            s.healthy_blocked += 1;
+        }
+    }
+
     /// Notes the current number of running applications (peak tracking).
     pub fn note_running(&mut self, running: usize) {
         self.peak_running = self.peak_running.max(running as u64);
@@ -582,6 +716,13 @@ impl MetricsCollector {
     ) -> SimReport {
         let attempts_total = self.arrivals + self.mode_switch_attempts;
         let blocked_total = self.blocked + self.mode_switch_blocked;
+        let mut survivability = self.survivability;
+        if let Some(s) = &mut survivability {
+            s.mean_recovery_ticks = self
+                .recovery_ticks_total
+                .checked_div(s.repairs)
+                .unwrap_or(0);
+        }
         SimReport {
             algorithm: algorithm.to_string(),
             seed,
@@ -606,6 +747,7 @@ impl MetricsCollector {
             final_running,
             ledger_idle_at_end,
             reconfiguration: self.reconfiguration,
+            survivability,
         }
     }
 }
@@ -625,6 +767,8 @@ mod tests {
             running_apps: 0,
             largest_free_slot_region: 10,
             fragmentation_permille: 0,
+            failed_tiles: 0,
+            degraded_permille: 0,
         }
     }
 
@@ -707,6 +851,45 @@ mod tests {
         report.energy_pj_ticks = 100;
         assert_eq!(report.frag_permille_sorted(), vec![400, 400]);
         assert_eq!(report.energy_pj_ticks_per_admitted(), Some(25));
+    }
+
+    #[test]
+    fn survivability_section_is_omitted_when_faults_are_off() {
+        let mut m = MetricsCollector::new(10);
+        m.advance(5, &idle_util(), 0);
+        let report = m.finish("test", 0, 0, true);
+        assert!(report.survivability.is_none());
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(
+            !json.contains("survivability"),
+            "fault-free reports must not even mention the section"
+        );
+    }
+
+    #[test]
+    fn survivability_counters_aggregate_and_average_recovery() {
+        let mut m = MetricsCollector::new(1_000_000).with_survivability_counters(50_000, 3_000);
+        m.advance(5, &idle_util(), 0);
+        m.record_tile_failure();
+        m.record_link_failure();
+        m.record_evacuation(2, 1, 3, 400);
+        m.record_repair(3_000);
+        m.record_repair(5_000);
+        m.record_window_arrival(true);
+        m.record_window_blocked(true);
+        m.record_window_arrival(false);
+        let report = m.finish("test", 0, 0, true);
+        let s = report.survivability.as_ref().expect("counters enabled");
+        assert_eq!((s.mttf, s.mttr), (50_000, 3_000));
+        assert_eq!((s.tile_failures, s.link_failures, s.repairs), (1, 1, 2));
+        assert_eq!((s.apps_evacuated, s.apps_evicted), (2, 1));
+        assert_eq!((s.processes_moved, s.evacuation_energy_pj), (3, 400));
+        assert_eq!(s.mean_recovery_ticks, 4_000);
+        assert_eq!((s.degraded_arrivals, s.degraded_blocked), (1, 1));
+        assert_eq!((s.healthy_arrivals, s.healthy_blocked), (1, 0));
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: SimReport = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, report);
     }
 
     #[test]

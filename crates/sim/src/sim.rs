@@ -3,19 +3,52 @@
 
 use crate::event::{EventQueue, InstanceId, SimEvent, SimTime};
 use crate::metrics::{MetricsCollector, SimReport};
-use crate::workload::{ArrivalProcess, Catalog, HoldingTime};
+use crate::workload::{exponential_ticks, ArrivalProcess, Catalog, HoldingTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rtsm_app::ApplicationSpec;
 use rtsm_core::runtime::{
-    AdmissionError, AdmissionErrorKind, AppHandle, ReconfigurationPolicy, RuntimeError,
-    RuntimeManager,
+    AdmissionError, AdmissionErrorKind, AppHandle, EvacuationPolicy, FailureEvent,
+    ReconfigurationPolicy, RuntimeError, RuntimeManager,
 };
 use rtsm_core::{MapError, MappingAlgorithm};
 use rtsm_obs::LatencyHistogram;
-use rtsm_platform::Platform;
-use std::collections::BTreeMap;
+use rtsm_platform::{LinkId, Platform, TileId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
+
+/// Salt XORed into the workload seed to derive the *fault* RNG stream:
+/// fault draws never consume workload randomness, so enabling faults
+/// leaves the arrival/holding/switch sequence bit-identical.
+const FAULT_SEED_SALT: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// Parameters of the seeded fault process: exponential inter-failure
+/// times (mean `mttf`), a fixed repair time (`mttr`), and the policy the
+/// [`RuntimeManager::evacuate`] call recovers with. Failures alternate
+/// 50/50 between tiles and links, uniform over the platform's resources;
+/// a failure drawn for an already-quarantined resource is skipped (no
+/// double repair). Failure injection stops with the arrival process, and
+/// every injected failure's repair is processed before the queue drains,
+/// so teardown always sees a healthy platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Mean time to failure: inter-failure gaps are Exp(1/mttf), ticks.
+    pub mttf: SimTime,
+    /// Fixed time from a failure's injection to its repair, ticks.
+    pub mttr: SimTime,
+    /// How evacuation relocates (or evicts) the failure's victims.
+    pub evacuation: EvacuationPolicy,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            mttf: 50_000,
+            mttr: 5_000,
+            evacuation: EvacuationPolicy::default(),
+        }
+    }
+}
 
 /// Parameters of one simulation run. Everything stochastic derives from
 /// `seed`; two runs with equal configs produce identical [`SimReport`]s.
@@ -49,6 +82,12 @@ pub struct SimConfig {
     /// default so plain reports stay byte-identical to pre-fragmentation
     /// runs.
     pub track_fragmentation: bool,
+    /// When set, a seeded fault process injects tile/link failures
+    /// (recovered via [`RuntimeManager::evacuate`]) and the report carries
+    /// a [`crate::SurvivabilityReport`]. The fault RNG is derived from
+    /// `seed ^` a fixed salt, so `None` — the default — reproduces
+    /// fault-free reports byte-for-byte.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SimConfig {
@@ -63,6 +102,7 @@ impl Default for SimConfig {
             horizon: None,
             reconfiguration: None,
             track_fragmentation: false,
+            faults: None,
         }
     }
 }
@@ -158,6 +198,15 @@ fn try_admit<A: MappingAlgorithm>(
 ///   plans may move running applications (all-or-nothing) to make room.
 ///   Success is counted as a *recovered admission*; failure is the
 ///   instance's definitive blocking.
+/// * **TileFail / LinkFail** — fault injection (only with
+///   [`SimConfig::faults`] set): the resource is quarantined and its
+///   tenants are evacuated through [`RuntimeManager::evacuate`] — victims
+///   with an admissible relocation move, the rest are *evicted* (their
+///   scheduled departures become stale). A [`SimEvent::Repair`] lands a
+///   fixed `mttr` later. Failures drawn for an already-failed resource
+///   are skipped.
+/// * **Repair** — the quarantined resource becomes claimable again;
+///   evacuated applications stay where evacuation put them.
 ///
 /// # Errors
 ///
@@ -191,8 +240,12 @@ pub fn run_sim<A: MappingAlgorithm>(
             policy.objective.lambda_permille,
         );
     }
+    if let Some(faults) = &config.faults {
+        metrics = metrics.with_survivability_counters(faults.mttf, faults.mttr);
+    }
     let mut wall = LatencyHistogram::new();
-    // Instance → current handle; absent once departed or blocked.
+    // Instance → current handle; absent once departed, blocked, or
+    // evicted.
     let mut handles: BTreeMap<InstanceId, AppHandle> = BTreeMap::new();
     let mut scheduled_arrivals: u64 = 0;
 
@@ -200,9 +253,10 @@ pub fn run_sim<A: MappingAlgorithm>(
         |rng: &mut StdRng, queue: &mut EventQueue, scheduled: &mut u64, now: SimTime| {
             if *scheduled < config.arrivals {
                 let instance = InstanceId(*scheduled);
+                let index = *scheduled;
                 *scheduled += 1;
                 queue.push(
-                    now + config.arrival_process.next_gap(rng),
+                    now + config.arrival_process.next_gap(rng, index),
                     SimEvent::Arrival {
                         instance,
                         catalog_index: catalog.sample(rng),
@@ -212,6 +266,32 @@ pub fn run_sim<A: MappingAlgorithm>(
         };
 
     schedule_arrival(&mut rng, &mut queue, &mut scheduled_arrivals, 0);
+
+    // The fault process draws from its own salted RNG stream, so enabling
+    // it never perturbs the workload sequence. Targets are drawn when the
+    // failure is scheduled (like arrivals draw their catalog entry).
+    let mut fault_rng = StdRng::seed_from_u64(config.seed ^ FAULT_SEED_SALT);
+    let tile_ids: Vec<TileId> = platform.tiles().map(|(id, _)| id).collect();
+    let link_ids: Vec<LinkId> = platform.links().map(|(id, _)| id).collect();
+    let schedule_fault = |fault_rng: &mut StdRng, queue: &mut EventQueue, now: SimTime| {
+        let Some(faults) = &config.faults else {
+            return;
+        };
+        let gap = exponential_ticks(fault_rng, faults.mttf);
+        let event = if !link_ids.is_empty() && fault_rng.random_bool(0.5) {
+            SimEvent::LinkFail {
+                link: link_ids[fault_rng.random_range(0..link_ids.len())],
+            }
+        } else {
+            SimEvent::TileFail {
+                tile: tile_ids[fault_rng.random_range(0..tile_ids.len())],
+            }
+        };
+        queue.push(now + gap, event);
+    };
+    schedule_fault(&mut fault_rng, &mut queue, 0);
+    // Failure → injection instant, for recovery-time accounting.
+    let mut failed_at: BTreeMap<FailureEvent, SimTime> = BTreeMap::new();
 
     let mut end_time: SimTime = 0;
     while let Some((now, event)) = queue.pop() {
@@ -231,6 +311,12 @@ pub fn run_sim<A: MappingAlgorithm>(
                 // Arrivals are chained: processing one schedules the next.
                 schedule_arrival(&mut rng, &mut queue, &mut scheduled_arrivals, now);
                 metrics.record_arrival();
+                // Which operating regime this arrival lands in: degraded
+                // while any resource is quarantined.
+                let degraded = config.faults.is_some() && manager.state().any_failed();
+                if config.faults.is_some() {
+                    metrics.record_window_arrival(degraded);
+                }
                 let entry = &catalog.entries()[catalog_index];
                 match try_admit(&mut manager, &mut wall, entry.spec.clone())? {
                     Admission::Admitted {
@@ -265,6 +351,9 @@ pub fn run_sim<A: MappingAlgorithm>(
                             );
                         } else {
                             metrics.record_blocked(kind, attempts);
+                            if config.faults.is_some() {
+                                metrics.record_window_blocked(degraded);
+                            }
                         }
                     }
                 }
@@ -317,6 +406,11 @@ pub fn run_sim<A: MappingAlgorithm>(
                             failure.migrations_attempted,
                             failure.plans_refused,
                         );
+                        // The retry ran at the arrival's own virtual
+                        // instant, so its regime is the arrival's.
+                        if config.faults.is_some() {
+                            metrics.record_window_blocked(manager.state().any_failed());
+                        }
                     }
                 }
             }
@@ -393,6 +487,56 @@ pub fn run_sim<A: MappingAlgorithm>(
                             }
                         }
                     }
+                }
+            }
+            ev @ (SimEvent::TileFail { .. } | SimEvent::LinkFail { .. }) => {
+                // Faults are chained like arrivals, but the chain stops
+                // with the arrival process so the queue can drain.
+                if scheduled_arrivals < config.arrivals {
+                    schedule_fault(&mut fault_rng, &mut queue, now);
+                }
+                let failure = match ev {
+                    SimEvent::TileFail { tile } => FailureEvent::Tile(tile),
+                    SimEvent::LinkFail { link } => FailureEvent::Link(link),
+                    _ => unreachable!("the outer pattern admits only failures"),
+                };
+                if manager.is_failed(failure) {
+                    // Drawn for an already-quarantined resource: a repair
+                    // is pending; injecting again would double-repair.
+                    continue;
+                }
+                let faults = config
+                    .faults
+                    .as_ref()
+                    .expect("failure events are only scheduled with faults configured");
+                match failure {
+                    FailureEvent::Tile(_) => metrics.record_tile_failure(),
+                    FailureEvent::Link(_) => metrics.record_link_failure(),
+                }
+                let evacuation = manager.evacuate(failure, &faults.evacuation)?;
+                if !evacuation.evicted.is_empty() {
+                    // Evicted instances leave; their scheduled departures
+                    // (and mode switches) become stale and are ignored.
+                    let evicted: BTreeSet<AppHandle> = evacuation.evicted.iter().copied().collect();
+                    handles.retain(|_, h| !evicted.contains(h));
+                }
+                metrics.record_evacuation(
+                    evacuation.evacuated.len() as u64,
+                    evacuation.evicted.len() as u64,
+                    evacuation
+                        .evacuated
+                        .iter()
+                        .map(|e| e.processes_moved as u64)
+                        .sum(),
+                    evacuation.migration_energy_pj,
+                );
+                failed_at.insert(failure, now);
+                queue.push(now + faults.mttr, SimEvent::Repair { failure });
+            }
+            SimEvent::Repair { failure } => {
+                manager.repair(failure);
+                if let Some(injected_at) = failed_at.remove(&failure) {
+                    metrics.record_repair(now - injected_at);
                 }
             }
         }
@@ -511,6 +655,77 @@ mod tests {
             .report
         };
         assert_ne!(mk(1), mk(2), "distinct seeds should produce distinct runs");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_conserves_instances() {
+        let mk = || {
+            let config = SimConfig {
+                faults: Some(FaultConfig {
+                    mttf: 3_000,
+                    mttr: 2_000,
+                    evacuation: EvacuationPolicy::default(),
+                }),
+                ..small_config(2008)
+            };
+            run_sim(
+                &paper_platform(),
+                SpatialMapper::default(),
+                &Catalog::hiperlan2(),
+                &config,
+            )
+            .expect("fault recovery never breaks the ledger")
+            .report
+        };
+        let report = mk();
+        assert_eq!(report, mk(), "same seed, same fault-injected report");
+        let s = report.survivability.as_ref().expect("faults were enabled");
+        assert!(
+            s.tile_failures + s.link_failures > 0,
+            "an MTTF far below the run length injects failures"
+        );
+        assert_eq!(
+            s.repairs,
+            s.tile_failures + s.link_failures,
+            "every injected failure is repaired before the queue drains"
+        );
+        assert_eq!(s.mean_recovery_ticks, 2_000, "repair time is fixed");
+        assert_eq!(
+            s.degraded_arrivals + s.healthy_arrivals,
+            report.arrivals,
+            "every arrival is classified into exactly one regime"
+        );
+        assert_eq!(
+            s.degraded_blocked + s.healthy_blocked,
+            report.blocked,
+            "every definitive blocking is classified too"
+        );
+        // Instance conservation with the new terminal outcome: admitted
+        // instances depart, leave at a blocked mode switch, or are
+        // evicted by an evacuation that could not re-place them.
+        assert_eq!(
+            report.departures + report.mode_switch_blocked + s.apps_evicted,
+            report.admitted
+        );
+        assert_eq!(report.final_running, 0);
+        assert!(
+            report.ledger_idle_at_end,
+            "failure/repair cycles leak no slots or bandwidth"
+        );
+    }
+
+    #[test]
+    fn faults_disabled_reports_never_mention_survivability() {
+        let run = run_sim(
+            &paper_platform(),
+            SpatialMapper::default(),
+            &Catalog::hiperlan2(),
+            &small_config(2008),
+        )
+        .unwrap();
+        assert!(run.report.survivability.is_none());
+        let json = serde_json::to_string(&run.report).expect("serialize");
+        assert!(!json.contains("survivability"));
     }
 
     #[test]

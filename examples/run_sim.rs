@@ -28,6 +28,7 @@ fn main() {
         horizon: None,
         reconfiguration: None,
         track_fragmentation: false,
+        faults: None,
     };
 
     let run = run_sim(

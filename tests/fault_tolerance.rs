@@ -1,0 +1,286 @@
+//! Fault-tolerance properties of the health layer and the evacuation
+//! path: any seeded interleaving of admissions, failures, evacuations,
+//! repairs, and departures leaves the shared ledger byte-identical to a
+//! from-scratch replay of the surviving mappings; survivors never occupy
+//! a quarantined resource; and with faults disabled the simulator's
+//! seed-2008 reports are byte-identical to the pre-fault-injection
+//! fixtures for all five algorithms.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtsm::baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm::core::{
+    AppHandle, EvacuationPolicy, FailureEvent, MapperConfig, MappingAlgorithm, RouteBinding,
+    RunningApp, RuntimeManager, SpatialMapper,
+};
+use rtsm::platform::paper::paper_platform;
+use rtsm::platform::{LinkId, Platform, PlatformState, TileId, TileKind};
+use rtsm::sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig};
+use rtsm::workloads::mesh_platform;
+
+/// The mixed-DSP mesh `simulate --catalog mixed` uses (platform seed 42).
+fn mixed_platform() -> Platform {
+    mesh_platform(
+        42,
+        4,
+        4,
+        &[
+            (TileKind::Montium, 4),
+            (TileKind::Arm, 4),
+            (TileKind::Dsp, 2),
+        ],
+    )
+}
+
+/// Rebuilds the ledger from scratch: every surviving mapping committed
+/// onto a fresh state, then the currently-open failures quarantined. If
+/// the incremental ledger is correct, this replay is byte-identical.
+fn replay_from_scratch<'a>(
+    platform: &Platform,
+    running: impl Iterator<Item = (AppHandle, &'a RunningApp)>,
+    failed: &[FailureEvent],
+) -> PlatformState {
+    let mut state = platform.initial_state();
+    for (_, app) in running {
+        app.outcome
+            .commit(&app.spec, platform, &mut state)
+            .expect("a surviving mapping must re-commit onto a fresh ledger");
+    }
+    for failure in failed {
+        match *failure {
+            FailureEvent::Tile(tile) => state.fail_tile(tile),
+            FailureEvent::Link(link) => state.fail_link(link),
+        };
+    }
+    state
+}
+
+/// Asserts no surviving application touches a quarantined resource:
+/// process assignments, buffer tiles, and every link (and endpoint) of
+/// every routed channel must be healthy.
+fn check_survivors(manager: &RuntimeManager<impl MappingAlgorithm>) {
+    let state = manager.state();
+    for (handle, app) in manager.running() {
+        for (_, assignment) in app.outcome.mapping.assignments() {
+            assert!(
+                !state.is_tile_failed(assignment.tile),
+                "app {handle:?} assigned to a failed tile"
+            );
+        }
+        for buffer in &app.outcome.buffers {
+            assert!(
+                !state.is_tile_failed(buffer.tile),
+                "app {handle:?} buffers on a failed tile"
+            );
+        }
+        for (_, route) in app.outcome.mapping.routes() {
+            if let RouteBinding::Path(path) = route {
+                assert!(
+                    !state.is_tile_failed(path.from) && !state.is_tile_failed(path.to),
+                    "app {handle:?} routes from/to a failed tile"
+                );
+                for link in &path.links {
+                    assert!(
+                        !state.is_link_failed(*link),
+                        "app {handle:?} routes through a failed link"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case drives a full manager through ~40 operations including
+    // evacuations; 8 cases keep dev-profile CI time reasonable.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seeded interleaving of start / stop / fail+evacuate /
+    /// repair, the incrementally-maintained ledger stays byte-identical
+    /// to a from-scratch replay of the surviving mappings, and after
+    /// stopping everything and repairing every failure it drains back to
+    /// the pristine initial state.
+    #[test]
+    fn ledger_matches_replay_under_fault_interleavings(seed in 0u64..500) {
+        let platform = mixed_platform();
+        let catalog = Catalog::mixed_dsp();
+        let mut manager = RuntimeManager::new(platform.clone(), SpatialMapper::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tiles: Vec<TileId> = platform.tiles().map(|(id, _)| id).collect();
+        let links: Vec<LinkId> = platform.links().map(|(id, _)| id).collect();
+        let policy = EvacuationPolicy::default();
+        let mut handles: Vec<AppHandle> = Vec::new();
+        let mut failed: Vec<FailureEvent> = Vec::new();
+
+        for _ in 0..40 {
+            match rng.random_range(0usize..8) {
+                // Weighted towards admissions so the platform fills up
+                // and failures actually hit running applications.
+                0..=3 => {
+                    let entry = &catalog.entries()[rng.random_range(0usize..catalog.len())];
+                    if let Ok(handle) = manager.start(entry.spec.clone()) {
+                        handles.push(handle);
+                    }
+                }
+                4 => {
+                    if !handles.is_empty() {
+                        let handle = handles.swap_remove(rng.random_range(0usize..handles.len()));
+                        manager.stop(handle).expect("running handles stop cleanly");
+                    }
+                }
+                5..=6 => {
+                    let failure = if rng.random_bool(0.5) {
+                        FailureEvent::Tile(tiles[rng.random_range(0usize..tiles.len())])
+                    } else {
+                        FailureEvent::Link(links[rng.random_range(0usize..links.len())])
+                    };
+                    if manager.is_failed(failure) {
+                        continue;
+                    }
+                    let evacuation = manager
+                        .evacuate(failure, &policy)
+                        .expect("evacuation never corrupts the ledger");
+                    handles.retain(|h| !evacuation.evicted.contains(h));
+                    failed.push(failure);
+                    check_survivors(&manager);
+                }
+                _ => {
+                    if !failed.is_empty() {
+                        let failure = failed.swap_remove(rng.random_range(0usize..failed.len()));
+                        prop_assert!(manager.repair(failure));
+                    }
+                }
+            }
+            let replay = replay_from_scratch(&platform, manager.running(), &failed);
+            prop_assert!(
+                manager.state() == &replay,
+                "ledger diverged from from-scratch replay (seed {seed})"
+            );
+            let real_json = serde_json::to_string(manager.state()).expect("serialize");
+            let replay_json = serde_json::to_string(&replay).expect("serialize");
+            prop_assert_eq!(real_json, replay_json, "ledger bytes diverged (seed {})", seed);
+        }
+
+        // Drain: stop the survivors, repair the open failures — the
+        // ledger must be exactly the pristine initial state again.
+        for handle in handles.drain(..) {
+            manager.stop(handle).expect("running handles stop cleanly");
+        }
+        for failure in failed.drain(..) {
+            prop_assert!(manager.repair(failure));
+        }
+        prop_assert!(
+            manager.state() == &platform.initial_state(),
+            "ledger must drain to pristine after stop-all + repair-all (seed {seed})"
+        );
+    }
+
+    /// After any single failure and evacuation, no surviving mapping
+    /// touches the quarantined resource — assignments, buffers, route
+    /// endpoints, and every traversed link are all healthy.
+    #[test]
+    fn evacuated_mappings_avoid_failed_resources(seed in 0u64..500) {
+        let platform = paper_platform();
+        let catalog = Catalog::hiperlan2();
+        let mut manager = RuntimeManager::new(platform.clone(), SpatialMapper::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Fill the platform until admission blocks, so the failure has
+        // victims to hit.
+        loop {
+            let entry = &catalog.entries()[rng.random_range(0usize..catalog.len())];
+            if manager.start(entry.spec.clone()).is_err() {
+                break;
+            }
+        }
+        prop_assert!(manager.n_running() > 0);
+
+        let tiles: Vec<TileId> = platform.tiles().map(|(id, _)| id).collect();
+        let links: Vec<LinkId> = platform.links().map(|(id, _)| id).collect();
+        let failure = if rng.random_bool(0.5) {
+            FailureEvent::Tile(tiles[rng.random_range(0usize..tiles.len())])
+        } else {
+            FailureEvent::Link(links[rng.random_range(0usize..links.len())])
+        };
+        let evacuation = manager
+            .evacuate(failure, &EvacuationPolicy::default())
+            .expect("evacuation never corrupts the ledger");
+        prop_assert_eq!(
+            evacuation.evacuated.len() + evacuation.evicted.len(),
+            evacuation.victims.len(),
+            "victims partition into evacuated and evicted"
+        );
+        check_survivors(&manager);
+
+        // Utilization must report the quarantine.
+        let utilization = manager.utilization();
+        match failure {
+            FailureEvent::Tile(_) => prop_assert_eq!(utilization.failed_tiles, 1),
+            FailureEvent::Link(_) => prop_assert_eq!(utilization.failed_tiles, 0),
+        }
+        prop_assert!(manager.repair(failure));
+        prop_assert_eq!(manager.utilization().failed_tiles, 0);
+    }
+}
+
+/// With faults disabled, the simulator's seed-2008 reports are
+/// byte-identical to the fixtures captured before fault injection was
+/// merged — for all five algorithms on both the paper platform and the
+/// mixed-DSP mesh. This is the "faults off ⇒ nothing changed" gate.
+#[test]
+fn faults_off_seed2008_reports_match_pre_fault_fixtures() {
+    // `simulate`'s defaults with `--arrivals 500` — exactly how the
+    // fixtures under tests/golden/ were generated.
+    let config = SimConfig {
+        seed: 2008,
+        arrivals: 500,
+        arrival_process: ArrivalProcess::Poisson { mean_gap: 500 },
+        holding: HoldingTime::Exponential { mean: 2000 },
+        mode_switch_probability: 0.10,
+        sample_interval: 10_000,
+        horizon: None,
+        reconfiguration: None,
+        track_fragmentation: false,
+        faults: None,
+    };
+    type MakeAlgorithm = fn() -> Box<dyn MappingAlgorithm>;
+    let algorithms: Vec<MakeAlgorithm> = vec![
+        || {
+            Box::new(SpatialMapper::new(
+                MapperConfig::default().without_capture(),
+            ))
+        },
+        || Box::new(GreedyMapper),
+        || Box::new(RandomMapper::default()),
+        || Box::new(AnnealingMapper::default()),
+        || Box::new(ExhaustiveMapper::default()),
+    ];
+    let fixtures = [
+        (
+            paper_platform(),
+            Catalog::hiperlan2(),
+            include_str!("golden/seed2008_hiperlan2_prepr.jsonl"),
+        ),
+        (
+            mixed_platform(),
+            Catalog::mixed_dsp(),
+            include_str!("golden/seed2008_mixed_prepr.jsonl"),
+        ),
+    ];
+    for (platform, catalog, fixture) in fixtures {
+        let expected: Vec<&str> = fixture.lines().collect();
+        assert_eq!(expected.len(), algorithms.len());
+        for (make, want) in algorithms.iter().zip(expected) {
+            let report = run_sim(&platform, make(), &catalog, &config)
+                .expect("the simulation never breaks its own ledger")
+                .report;
+            let got = serde_json::to_string(&report).expect("serialize");
+            assert_eq!(
+                got, want,
+                "faults-off report for `{}` drifted from the pre-fault fixture",
+                report.algorithm
+            );
+        }
+    }
+}

@@ -21,6 +21,7 @@ fn config(seed: u64, arrivals: u64) -> SimConfig {
         horizon: None,
         reconfiguration: None,
         track_fragmentation: false,
+        faults: None,
     }
 }
 
