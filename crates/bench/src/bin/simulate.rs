@@ -12,7 +12,17 @@
 //!          [--policy always|energy-budget|amortized-payback]
 //!          [--lambda PERMILLE] [--budget-pj N] [--payback N]
 //!          [--faults] [--mttf N] [--mttr N]
+//!          [--templates] [--template-cap N]
 //! ```
+//!
+//! `--templates` wraps every algorithm in a `TemplatedMapper`: admissions
+//! first try to instantiate a cached mapping shape (microsecond hit path)
+//! and fall back to the full algorithm on miss, learning the result. The
+//! report gains a `templates` section (hits, misses, hit rate, shapes
+//! cached), and the run **asserts** templated determinism: each algorithm
+//! is simulated twice from a freshly reset library and the serialized
+//! reports byte-compared. `--template-cap N` bounds the cached shapes per
+//! application spec (default 8); it requires `--templates`.
 //!
 //! `--faults` enables the seeded fault process: tile/link failures with
 //! exponential inter-failure times (mean `--mttf`, default 50 000 ticks)
@@ -75,12 +85,14 @@
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
 use rtsm_core::{
     AdmissionPolicy, MapperConfig, MappingAlgorithm, ReconfigurationObjective,
-    ReconfigurationPolicy, SpatialMapper,
+    ReconfigurationPolicy, SpatialMapper, TemplatedMapper,
 };
 use rtsm_obs::{self as obs, FlightRecorder};
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::TileKind;
-use rtsm_sim::{run_sim, ArrivalProcess, Catalog, FaultConfig, HoldingTime, SimConfig, SimRun};
+use rtsm_sim::{
+    run_sim, ArrivalProcess, Catalog, FaultConfig, HoldingTime, SimConfig, SimRun, TemplateReport,
+};
 use rtsm_workloads::{defrag_platform, mesh_platform};
 
 fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
@@ -115,7 +127,7 @@ fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
 }
 
 /// Flags that take a value, in usage order.
-const VALUE_FLAGS: [&str; 22] = [
+const VALUE_FLAGS: [&str; 23] = [
     "--seed",
     "--arrivals",
     "--algorithm",
@@ -138,6 +150,7 @@ const VALUE_FLAGS: [&str; 22] = [
     "--payback",
     "--mttf",
     "--mttr",
+    "--template-cap",
 ];
 
 /// Rejects unknown flags, `--flag=value` syntax, and value flags missing
@@ -151,7 +164,11 @@ fn validate_args(args: &[String]) {
                 usage_error(&format!("{arg} expects a value"));
             }
             i += 2;
-        } else if arg == "--json" || arg == "--reconfigure" || arg == "--faults" {
+        } else if arg == "--json"
+            || arg == "--reconfigure"
+            || arg == "--faults"
+            || arg == "--templates"
+        {
             i += 1;
         } else {
             usage_error(&format!("unknown argument `{arg}`"));
@@ -177,7 +194,8 @@ fn usage_error(message: &str) -> ! {
          [--horizon N] [--json] [--out PATH] [--trace-out PATH] [--reconfigure] \
          [--max-migrations N] \
          [--max-plans N] [--policy always|energy-budget|amortized-payback] \
-         [--lambda PERMILLE] [--budget-pj N] [--payback N] [--faults] [--mttf N] [--mttr N]"
+         [--lambda PERMILLE] [--budget-pj N] [--payback N] [--faults] [--mttf N] [--mttr N] \
+         [--templates] [--template-cap N]"
     );
     std::process::exit(2);
 }
@@ -232,6 +250,18 @@ fn main() {
     let mttr = parse_u64(&args, "--mttr", 5_000);
     if faults && mttf == 0 {
         one_line_error("--mttf is 0, must be ≥ 1 tick");
+    }
+    let templates = args.iter().any(|a| a == "--templates");
+    if !templates && parse_flag(&args, "--template-cap").is_some() {
+        one_line_error("--template-cap requires --templates");
+    }
+    let template_cap = parse_u64(
+        &args,
+        "--template-cap",
+        rtsm_core::template::DEFAULT_SHAPE_CAP as u64,
+    ) as usize;
+    if templates && template_cap == 0 {
+        one_line_error("--template-cap is 0, must be ≥ 1 shape per spec");
     }
     let flash_crowd = parse_flag(&args, "--flash-crowd").map(|v| {
         v.parse::<u32>().unwrap_or_else(|_| {
@@ -400,26 +430,46 @@ fn main() {
     let mut baseline_recovered = 0u64;
     let mut baseline_migration_energy = 0u64;
     for algorithm in algorithms {
+        // `--templates` wraps the boxed algorithm; the untemplated path
+        // keeps the bare box so existing reports stay byte-identical.
+        let mut templated: Option<TemplatedMapper<Box<dyn MappingAlgorithm>>> = None;
+        let runner: &dyn MappingAlgorithm = if templates {
+            templated = Some(TemplatedMapper::with_cap(algorithm, template_cap));
+            templated.as_ref().expect("just wrapped")
+        } else {
+            &algorithm
+        };
+        let template_report = |t: &TemplatedMapper<Box<dyn MappingAlgorithm>>| {
+            TemplateReport::from_stats(t.stats(), template_cap)
+        };
         // The probe stays installed only for the primary run; the
         // determinism rerun and the always-admit baseline run bare, so
         // the byte-compare below doubles as an observer-effect gate.
-        let run = {
+        let mut run = {
             let _probe = recorder
                 .as_ref()
                 .map(|r| obs::install(r.clone() as std::rc::Rc<dyn obs::Probe>));
-            run_sim(&platform, &algorithm, &catalog, &config)
+            run_sim(&platform, runner, &catalog, &config)
                 .expect("the simulation never breaks its own ledger")
         };
-        if reconfigure || faults {
-            // Determinism gate for the reconfiguration and fault-injection
-            // paths: a second run must serialize byte-identically.
-            let rerun = run_sim(&platform, &algorithm, &catalog, &config)
+        run.report.templates = templated.as_ref().map(template_report);
+        if reconfigure || faults || templates {
+            // Determinism gate for the reconfiguration, fault-injection
+            // and template paths: a second run must serialize
+            // byte-identically. Templated reruns start from a freshly
+            // reset library so the learn/hit history replays exactly.
+            if let Some(t) = &templated {
+                t.reset();
+            }
+            let mut rerun = run_sim(&platform, runner, &catalog, &config)
                 .expect("the simulation never breaks its own ledger");
+            rerun.report.templates = templated.as_ref().map(template_report);
             let a = serde_json::to_string(&run.report).expect("reports serialize");
             let b = serde_json::to_string(&rerun.report).expect("reports serialize");
             assert_eq!(
                 a, b,
-                "fixed-seed reconfiguration/fault-injection reports must be byte-identical"
+                "fixed-seed reconfiguration/fault-injection/template reports must be \
+                 byte-identical"
             );
         }
         if let Some(s) = &run.report.survivability {
@@ -441,7 +491,7 @@ fn main() {
             );
         }
         if let Some(baseline) = &baseline_config {
-            let always = run_sim(&platform, &algorithm, &catalog, baseline)
+            let always = run_sim(&platform, runner, &catalog, baseline)
                 .expect("the simulation never breaks its own ledger");
             if let Some(r) = &always.report.reconfiguration {
                 baseline_recovered += r.admissions_recovered;
@@ -512,6 +562,26 @@ fn main() {
                 "reconfiguration must recover at least one admission on this workload"
             );
         }
+    }
+    if templates {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut shapes = 0u64;
+        for run in &runs {
+            let t = run
+                .report
+                .templates
+                .as_ref()
+                .expect("templates were enabled");
+            hits += t.hits;
+            misses += t.misses;
+            shapes += t.shapes_cached;
+        }
+        let permille = (hits * 1000).checked_div(hits + misses).unwrap_or(0);
+        println!(
+            "templates (all algorithms): {hits} hits / {misses} misses ({permille}‰ hit rate), \
+             {shapes} shapes cached, cap {template_cap} per spec"
+        );
     }
     if faults {
         let mut failures = 0u64;

@@ -1,0 +1,99 @@
+//! The templates-off regression gate: with the template library disabled,
+//! the fixed-seed 2008 reports of **all five** mapping algorithms must
+//! stay byte-identical to the golden fixtures recorded before the
+//! template work landed (`tests/golden/seed2008_*_prepr.jsonl`). This is
+//! the same guarantee the CI `template-smoke` job checks through the
+//! `simulate` binary, enforced here at `cargo test` granularity so a
+//! regression names the exact algorithm and catalog that drifted.
+
+use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
+use rtsm_platform::paper::paper_platform;
+use rtsm_platform::{Platform, TileKind};
+use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig};
+use rtsm_workloads::mesh_platform;
+
+/// The five algorithms in the `simulate` CLI's emission order — golden
+/// fixture lines are matched positionally.
+fn algorithms() -> Vec<Box<dyn MappingAlgorithm>> {
+    vec![
+        Box::new(SpatialMapper::new(
+            MapperConfig::default().without_capture(),
+        )),
+        Box::new(GreedyMapper),
+        Box::new(RandomMapper::default()),
+        Box::new(AnnealingMapper::default()),
+        Box::new(ExhaustiveMapper::default()),
+    ]
+}
+
+/// The exact configuration the fixtures were recorded with: the
+/// `simulate` CLI defaults at `--seed 2008 --arrivals 500`.
+fn fixture_config() -> SimConfig {
+    SimConfig {
+        seed: 2008,
+        arrivals: 500,
+        arrival_process: ArrivalProcess::Poisson { mean_gap: 500 },
+        holding: HoldingTime::Exponential { mean: 2000 },
+        mode_switch_probability: 0.1,
+        sample_interval: 10_000,
+        horizon: None,
+        reconfiguration: None,
+        track_fragmentation: false,
+        faults: None,
+    }
+}
+
+fn assert_matches_fixture(platform: &Platform, catalog: &Catalog, fixture: &str) {
+    let path = format!(
+        "{}/../../tests/golden/{fixture}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read_to_string(&path).expect("golden fixture readable");
+    let golden: Vec<&str> = golden.lines().collect();
+    let config = fixture_config();
+    let algorithms = algorithms();
+    assert_eq!(
+        golden.len(),
+        algorithms.len(),
+        "{fixture} must hold one line per algorithm"
+    );
+    for (algorithm, expected) in algorithms.into_iter().zip(golden) {
+        let run = run_sim(platform, &algorithm, catalog, &config)
+            .expect("the simulation never breaks its own ledger");
+        let line = serde_json::to_string(&run.report).expect("reports serialize");
+        assert_eq!(
+            line, expected,
+            "`{}` drifted from {fixture} with templates off",
+            run.report.algorithm
+        );
+    }
+}
+
+#[test]
+fn seed2008_hiperlan2_reports_match_the_golden_fixture() {
+    assert_matches_fixture(
+        &paper_platform(),
+        &Catalog::hiperlan2(),
+        "seed2008_hiperlan2_prepr.jsonl",
+    );
+}
+
+#[test]
+fn seed2008_mixed_reports_match_the_golden_fixture() {
+    let platform = mesh_platform(
+        42,
+        4,
+        4,
+        &[
+            (TileKind::Montium, 4),
+            (TileKind::Arm, 4),
+            (TileKind::Dsp, 2),
+        ],
+    );
+    assert_matches_fixture(
+        &platform,
+        &Catalog::mixed_dsp(),
+        "seed2008_mixed_prepr.jsonl",
+    );
+}

@@ -71,6 +71,7 @@ pub mod step1;
 pub mod step2;
 pub mod step3;
 pub mod step4;
+pub mod template;
 pub mod trace;
 
 pub use algorithm::{MappingAlgorithm, MappingOutcome};
@@ -85,4 +86,7 @@ pub use runtime::{
     EvacuationPolicy, FailureEvent, Migration, Reconfiguration, ReconfigurationFailure,
     ReconfigurationObjective, ReconfigurationPolicy, RunningApp, RuntimeError, RuntimeErrorKind,
     RuntimeManager, StopAllError, Utilization,
+};
+pub use template::{
+    spec_fingerprint, MappingShape, TemplateLibrary, TemplateStats, TemplatedMapper,
 };

@@ -1,0 +1,860 @@
+//! Design-time template library with run-time shape instantiation —
+//! microsecond admission for recurring applications.
+//!
+//! The four-step heuristic re-derives everything from scratch on every
+//! arrival, and its step 4 (CSDF composition + buffer sizing) dominates the
+//! ~1.2 ms map time. Production run-time mappers split that work instead
+//! (Weichslgartner et al., *A Design-Time/Run-Time Application Mapping
+//! Methodology*, 2017): explore mappings once per application *class* at
+//! design time, then instantiate a precomputed mapping "shape" in
+//! microseconds at run time.
+//!
+//! [`TemplateLibrary`] caches, per application spec (keyed by a structural
+//! [`spec_fingerprint`]), a bounded set of [`MappingShape`]s: tile-*type*-
+//! relative placements (process → offset from an anchor tile) plus the
+//! route skeleton (per-channel router counts and demands) and the
+//! already-verified buffer sizing, achieved period, latency, and energy of
+//! the mapping they were canonicalised from.
+//!
+//! At admission, [`TemplatedMapper`] matches shapes against the current
+//! platform: candidate anchors come from
+//! [`PlatformState::free_anchor_tiles`] (the same free-capacity notion as
+//! `fragmentation()`, with failed tiles excluded), each shape is translated
+//! to every anchor under the mesh's four rotations, quick-rejected on tile
+//! kind / clock / health / [`MappingConstraints`], and then fit-checked by
+//! staging the *exact* claims `MappingOutcome::stage_commit` would make
+//! (tile reservations, buffer memory, routed paths with NI bandwidth)
+//! against a scratch copy of the ledger. Channels are re-routed fresh —
+//! stream endpoints (A/D, Sink) are fixed tiles, so recorded paths do not
+//! translate — and a candidate is accepted only if every re-routed channel
+//! traverses **exactly as many routers as the recorded route**.
+//!
+//! That router-count equality is what makes skipping step 4 sound: the
+//! composed CSDF graph of Figure 3 depends only on the spec, the chosen
+//! implementations, each assigned tile's clock, and the per-channel router
+//! counts (router actors all share the NoC clock). Equal counts on
+//! equal-clock tiles give an isomorphic graph, so the recorded buffer
+//! sizing, achieved period, and latency transfer unchanged — the hit path
+//! performs *no* dataflow analysis at all, which is why it runs in tens of
+//! microseconds instead of ~1.2 ms. The property-based twin-feasibility
+//! tests re-run the full step-4 check on template-admitted mappings to
+//! validate exactly this argument.
+//!
+//! On a miss the wrapped algorithm runs as usual and its outcome is
+//! *learned* back into the library (deduplicated, bounded per spec with
+//! deterministic lowest-hits-then-oldest eviction), so steady-state traffic
+//! converges onto the hit path. With no `TemplatedMapper` in the loop,
+//! nothing here runs and fixed-seed reports are byte-for-byte unchanged.
+
+use crate::algorithm::{MappingAlgorithm, MappingOutcome};
+use crate::claims::{claim_for, reservation_of};
+use crate::constraints::MappingConstraints;
+use crate::error::MapError;
+use crate::mapping::{Mapping, RouteBinding};
+use crate::step4::ChannelBuffer;
+use rtsm_app::{ApplicationSpec, Endpoint, KpnChannelId, ProcessId};
+use rtsm_obs as obs;
+use rtsm_platform::routing::route_with;
+use rtsm_platform::{
+    Coord, Platform, PlatformState, PlatformTransaction, RouteScratch, TileClaim, TileId, TileKind,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Default bound on cached shapes per application spec.
+pub const DEFAULT_SHAPE_CAP: usize = 8;
+
+/// FNV-1a, used for the structural spec fingerprint: deterministic across
+/// runs and platforms, unlike `DefaultHasher`.
+struct Fnv64(u64);
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+fn endpoint_code(endpoint: Endpoint) -> (u8, usize) {
+    match endpoint {
+        Endpoint::Process(p) => (0, p.index()),
+        Endpoint::StreamInput => (1, 0),
+        Endpoint::StreamOutput => (2, 0),
+    }
+}
+
+/// A deterministic 64-bit structural fingerprint of an application spec —
+/// the [`TemplateLibrary`] key. Two specs share a fingerprint exactly when
+/// they are structurally identical (name, QoS, process network, and every
+/// implementation's rates, WCET, memory, and energy), so repeated arrivals
+/// of the same catalog entry hit the same shape list.
+pub fn spec_fingerprint(spec: &ApplicationSpec) -> u64 {
+    let mut h = Fnv64(0xcbf2_9ce4_8422_2325);
+    spec.name.hash(&mut h);
+    spec.qos.period_ps.hash(&mut h);
+    spec.qos.max_latency_ps.hash(&mut h);
+    spec.graph.n_processes().hash(&mut h);
+    spec.graph.n_channels().hash(&mut h);
+    for (pid, process) in spec.graph.processes() {
+        process.name.hash(&mut h);
+        for implementation in spec.library.impls_for(pid) {
+            implementation.name.hash(&mut h);
+            implementation.tile_kind.hash(&mut h);
+            implementation.wcet.hash(&mut h);
+            implementation.inputs.hash(&mut h);
+            implementation.outputs.hash(&mut h);
+            implementation.energy_pj_per_period.hash(&mut h);
+            implementation.memory_bytes.hash(&mut h);
+        }
+    }
+    for (_, ch) in spec.graph.channels() {
+        endpoint_code(ch.src).hash(&mut h);
+        endpoint_code(ch.dst).hash(&mut h);
+        ch.tokens_per_period.hash(&mut h);
+        ch.is_control.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// One process's slot in a shape: which implementation, the tile offset
+/// from the anchor, and the tile kind/clock the offset was recorded on
+/// (clock equality is required for the CSDF-isomorphism argument).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShapeAssignment {
+    process: ProcessId,
+    impl_index: usize,
+    dx: i32,
+    dy: i32,
+    kind: TileKind,
+    clock_mhz: u32,
+}
+
+/// One channel's recorded route skeleton: same-tile or a path of exactly
+/// `router_count` routers at `demand` words/second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShapeRoute {
+    channel: KpnChannelId,
+    same_tile: bool,
+    router_count: u32,
+    demand: u64,
+}
+
+/// One already-verified tile-side buffer (`B_i`); its tile is re-derived
+/// from the consumer's placement at instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShapeBuffer {
+    channel: KpnChannelId,
+    capacity_words: u64,
+}
+
+/// A canonicalised, position-independent mapping: relative placements, the
+/// route skeleton, and the verified QoS results of the mapping it came
+/// from. Produced by [`MappingShape::canonicalise`], instantiated by the
+/// [`TemplateLibrary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingShape {
+    assignments: Vec<ShapeAssignment>,
+    routes: Vec<ShapeRoute>,
+    buffers: Vec<ShapeBuffer>,
+    energy_pj: u64,
+    achieved_period: (u64, u64),
+    latency_ps: Option<u64>,
+}
+
+impl MappingShape {
+    /// Canonicalises a feasible outcome into a tile-type-relative shape:
+    /// the first assignment (process-id order) becomes the anchor at offset
+    /// `(0, 0)`. Returns `None` for outcomes with no assignments.
+    pub fn canonicalise(outcome: &MappingOutcome, platform: &Platform) -> Option<MappingShape> {
+        let (_, first) = outcome.mapping.assignments().next()?;
+        let anchor = platform.tile(first.tile).position;
+        let assignments = outcome
+            .mapping
+            .assignments()
+            .map(|(pid, a)| {
+                let tile = platform.tile(a.tile);
+                ShapeAssignment {
+                    process: pid,
+                    impl_index: a.impl_index,
+                    dx: i32::from(tile.position.x) - i32::from(anchor.x),
+                    dy: i32::from(tile.position.y) - i32::from(anchor.y),
+                    kind: tile.kind,
+                    clock_mhz: tile.clock_mhz,
+                }
+            })
+            .collect();
+        let routes = outcome
+            .mapping
+            .routes()
+            .map(|(cid, route)| match route {
+                RouteBinding::SameTile => ShapeRoute {
+                    channel: cid,
+                    same_tile: true,
+                    router_count: 0,
+                    demand: 0,
+                },
+                RouteBinding::Path(path) => ShapeRoute {
+                    channel: cid,
+                    same_tile: false,
+                    router_count: path.router_count(),
+                    demand: path.demand,
+                },
+            })
+            .collect();
+        let buffers = outcome
+            .buffers
+            .iter()
+            .map(|b| ShapeBuffer {
+                channel: b.channel,
+                capacity_words: b.capacity_words,
+            })
+            .collect();
+        Some(MappingShape {
+            assignments,
+            routes,
+            buffers,
+            energy_pj: outcome.energy_pj,
+            achieved_period: outcome.achieved_period,
+            latency_ps: outcome.latency_ps,
+        })
+    }
+
+    /// The four mesh rotations of the offset vector, deduplicated (a
+    /// single-tile shape has one distinct rotation, not four).
+    fn rotations(&self) -> Vec<Vec<(i32, i32)>> {
+        let rotate = |k: u8, (dx, dy): (i32, i32)| match k {
+            0 => (dx, dy),
+            1 => (dy, -dx),
+            2 => (-dx, -dy),
+            _ => (-dy, dx),
+        };
+        let mut out: Vec<Vec<(i32, i32)>> = Vec::with_capacity(4);
+        for k in 0..4 {
+            let offsets: Vec<(i32, i32)> = self
+                .assignments
+                .iter()
+                .map(|a| rotate(k, (a.dx, a.dy)))
+                .collect();
+            if !out.contains(&offsets) {
+                out.push(offsets);
+            }
+        }
+        out
+    }
+
+    /// Shape indices within spec bounds? Guards the (astronomically
+    /// unlikely) fingerprint collision and stale libraries.
+    fn indexes_into(&self, spec: &ApplicationSpec) -> bool {
+        self.assignments.iter().all(|a| {
+            a.process.index() < spec.graph.n_processes()
+                && a.impl_index < spec.library.impls_for(a.process).len()
+        }) && self
+            .routes
+            .iter()
+            .map(|r| r.channel)
+            .chain(self.buffers.iter().map(|b| b.channel))
+            .all(|c| c.index() < spec.graph.n_channels())
+    }
+}
+
+/// Attempts to place `shape` with `offsets` (one rotation) at `anchor`:
+/// quick tile-skeleton rejects first, then the full transactional fit check
+/// against a scratch copy of `base`, staging exactly what
+/// `MappingOutcome::stage_commit` would claim. Returns the instantiated
+/// outcome on success; `base` is never mutated.
+#[allow(clippy::too_many_arguments)]
+fn try_candidate(
+    shape: &MappingShape,
+    offsets: &[(i32, i32)],
+    anchor: TileId,
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    base: &PlatformState,
+    constraints: &MappingConstraints,
+    scratch: &mut RouteScratch,
+) -> Option<MappingOutcome> {
+    let anchor_pos = platform.tile(anchor).position;
+    let mut mapping = Mapping::new();
+    for (sa, &(dx, dy)) in shape.assignments.iter().zip(offsets) {
+        let x = i32::from(anchor_pos.x) + dx;
+        let y = i32::from(anchor_pos.y) + dy;
+        if x < 0 || y < 0 || x >= i32::from(platform.width()) || y >= i32::from(platform.height()) {
+            return None;
+        }
+        let tid = platform.tile_at(Coord {
+            x: x as u16,
+            y: y as u16,
+        })?;
+        let tile = platform.tile(tid);
+        if tile.kind != sa.kind
+            || tile.clock_mhz != sa.clock_mhz
+            || base.is_tile_failed(tid)
+            || !constraints.allows(sa.process, tid)
+        {
+            return None;
+        }
+        mapping.assign(sa.process, sa.impl_index, tid);
+    }
+
+    // Transactional fit check on a scratch ledger: the same claims, in
+    // kind, that committing the outcome will make. Process reservations
+    // first, then fresh routes (allocated as they are found, so channels
+    // of this application contend with each other exactly as in step 3),
+    // then buffer memory on the consumer tiles.
+    let mut probe = base.clone();
+    for sa in &shape.assignments {
+        let tile = mapping.assignment(sa.process).expect("assigned above").tile;
+        let implementation = &spec.library.impls_for(sa.process)[sa.impl_index];
+        let claim = reservation_of(&claim_for(spec, sa.process, implementation));
+        probe.claim_tile(platform, tile, &claim).ok()?;
+    }
+    for sr in &shape.routes {
+        let ch = spec.graph.channel(sr.channel);
+        let from = mapping.endpoint_tile(platform, ch.src)?;
+        let to = mapping.endpoint_tile(platform, ch.dst)?;
+        if from == to {
+            if !sr.same_tile {
+                return None;
+            }
+            mapping.bind_route(sr.channel, RouteBinding::SameTile);
+            continue;
+        }
+        if sr.same_tile {
+            return None;
+        }
+        let path = route_with(platform, &probe, from, to, sr.demand, scratch).ok()?;
+        // Router-count equality keeps the composed CSDF isomorphic to the
+        // recorded one, so the cached sizing/period/latency stay valid.
+        if path.router_count() != sr.router_count {
+            return None;
+        }
+        let path = path.clone();
+        {
+            let mut tx = PlatformTransaction::begin(platform, &mut probe);
+            tx.allocate_path(&path).ok()?;
+            tx.commit();
+        }
+        mapping.bind_route(sr.channel, RouteBinding::Path(path));
+    }
+    let mut buffers = Vec::with_capacity(shape.buffers.len());
+    for sb in &shape.buffers {
+        let ch = spec.graph.channel(sb.channel);
+        let tile = mapping.endpoint_tile(platform, ch.dst)?;
+        let claim = TileClaim {
+            slots: 0,
+            memory_bytes: sb.capacity_words * 4,
+            cycles_per_second: 0,
+            injection: 0,
+            ejection: 0,
+        };
+        probe.claim_tile(platform, tile, &claim).ok()?;
+        buffers.push(ChannelBuffer {
+            channel: sb.channel,
+            capacity_words: sb.capacity_words,
+            tile,
+        });
+    }
+
+    let communication_hops = mapping.communication_hops(spec, platform);
+    Some(MappingOutcome {
+        mapping,
+        buffers,
+        csdf: None,
+        energy_pj: shape.energy_pj,
+        communication_hops,
+        feasible: true,
+        evaluated: 0, // candidate count filled in by the caller
+        attempts: 1,
+        achieved_period: shape.achieved_period,
+        latency_ps: shape.latency_ps,
+        trace: None,
+    })
+}
+
+/// Tries every (rotation, anchor) placement of `shape` in deterministic
+/// order, counting candidates into `tried`.
+fn instantiate_shape(
+    shape: &MappingShape,
+    spec: &ApplicationSpec,
+    platform: &Platform,
+    base: &PlatformState,
+    constraints: &MappingConstraints,
+    scratch: &mut RouteScratch,
+    tried: &mut u64,
+) -> Option<MappingOutcome> {
+    if shape.assignments.is_empty() || !shape.indexes_into(spec) {
+        return None;
+    }
+    let anchors = base.free_anchor_tiles(platform, shape.assignments[0].kind);
+    for offsets in shape.rotations() {
+        for &anchor in &anchors {
+            *tried += 1;
+            if let Some(outcome) = try_candidate(
+                shape,
+                &offsets,
+                anchor,
+                spec,
+                platform,
+                base,
+                constraints,
+                scratch,
+            ) {
+                return Some(outcome);
+            }
+        }
+    }
+    None
+}
+
+/// A snapshot of the library's lifetime statistics — what the simulator
+/// and benchmarks report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// Admissions served by instantiating a cached shape.
+    pub hits: u64,
+    /// Admissions that fell back to the wrapped algorithm.
+    pub misses: u64,
+    /// Shapes learned from the design-time seeding pass (first arrival of
+    /// each spec, mapped on an empty platform).
+    pub seeded: u64,
+    /// Shapes currently cached, over all specs.
+    pub shapes_cached: u64,
+    /// Shapes evicted by the per-spec cap.
+    pub evictions: u64,
+    /// Shapes removed by [`TemplateLibrary::prune_unfit`] because they no
+    /// longer fit a (typically degraded) platform.
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct ShapeEntry {
+    shape: MappingShape,
+    hits: u64,
+    seq: u64,
+}
+
+/// The per-spec shape cache (see the [module docs](self)): bounded,
+/// deterministic, and usable through any [`MappingAlgorithm`] via
+/// [`TemplatedMapper`].
+#[derive(Debug, Default)]
+pub struct TemplateLibrary {
+    specs: HashMap<u64, Vec<ShapeEntry>>,
+    cap: usize,
+    seq: u64,
+    hits: u64,
+    misses: u64,
+    seeded: u64,
+    evictions: u64,
+    invalidations: u64,
+    scratch: RouteScratch,
+}
+
+impl TemplateLibrary {
+    /// An empty library keeping at most `cap` shapes per spec.
+    pub fn new(cap: usize) -> Self {
+        TemplateLibrary {
+            cap,
+            ..TemplateLibrary::default()
+        }
+    }
+
+    /// True once `key` has been seen (even if seeding produced no shape).
+    pub fn contains(&self, key: u64) -> bool {
+        self.specs.contains_key(&key)
+    }
+
+    /// Marks `key` as seen, so seeding runs once per spec.
+    pub fn register(&mut self, key: u64) {
+        self.specs.entry(key).or_default();
+    }
+
+    /// Learns `shape` for `key`: deduplicated against cached shapes, and
+    /// bounded by the per-spec cap with deterministic eviction of the
+    /// lowest-hit (then oldest) entry. Returns whether the shape was
+    /// stored.
+    pub fn learn(&mut self, key: u64, shape: MappingShape) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let shapes = self.specs.entry(key).or_default();
+        if shapes.iter().any(|s| s.shape == shape) {
+            return false;
+        }
+        if shapes.len() >= self.cap {
+            let victim = shapes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (s.hits, s.seq))
+                .map(|(i, _)| i)
+                .expect("cap >= 1 and the list is full");
+            shapes.remove(victim);
+            self.evictions += 1;
+        }
+        shapes.push(ShapeEntry {
+            shape,
+            hits: 0,
+            seq,
+        });
+        true
+    }
+
+    /// Attempts to admit `spec` from the cached shapes of `key`: each shape
+    /// in insertion order, over every rotation and free anchor, with the
+    /// full transactional fit check. Emits [`obs::Span::TemplateMatch`]
+    /// around the whole lookup. Returns `None` on miss (the caller falls
+    /// back to its wrapped algorithm).
+    pub fn instantiate(
+        &mut self,
+        key: u64,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+        constraints: &MappingConstraints,
+    ) -> Option<MappingOutcome> {
+        let _span = obs::span(obs::Span::TemplateMatch);
+        let shapes = self.specs.get_mut(&key)?;
+        let scratch = &mut self.scratch;
+        let mut tried = 0u64;
+        for entry in shapes.iter_mut() {
+            if let Some(mut outcome) = instantiate_shape(
+                &entry.shape,
+                spec,
+                platform,
+                base,
+                constraints,
+                scratch,
+                &mut tried,
+            ) {
+                entry.hits += 1;
+                outcome.evaluated = tried;
+                return Some(outcome);
+            }
+        }
+        None
+    }
+
+    /// Drops every cached shape of `spec` that can no longer be
+    /// instantiated anywhere on (`platform`, `state`) — the invalidation
+    /// hook for degraded platforms (failed tiles/links, heavy occupancy).
+    /// Returns how many shapes were removed; they are counted as
+    /// `invalidations` in [`TemplateStats`].
+    pub fn prune_unfit(
+        &mut self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &PlatformState,
+    ) -> usize {
+        let key = spec_fingerprint(spec);
+        let Some(shapes) = self.specs.get_mut(&key) else {
+            return 0;
+        };
+        let scratch = &mut self.scratch;
+        let before = shapes.len();
+        shapes.retain(|entry| {
+            let mut tried = 0u64;
+            instantiate_shape(
+                &entry.shape,
+                spec,
+                platform,
+                state,
+                &MappingConstraints::none(),
+                scratch,
+                &mut tried,
+            )
+            .is_some()
+        });
+        let removed = before - shapes.len();
+        self.invalidations += removed as u64;
+        removed
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> TemplateStats {
+        TemplateStats {
+            hits: self.hits,
+            misses: self.misses,
+            seeded: self.seeded,
+            shapes_cached: self.specs.values().map(|s| s.len() as u64).sum(),
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+        }
+    }
+
+    /// Number of shapes cached for `key`.
+    pub fn shapes_for(&self, key: u64) -> usize {
+        self.specs.get(&key).map_or(0, Vec::len)
+    }
+
+    fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    fn note_seeded(&mut self) {
+        self.seeded += 1;
+    }
+}
+
+/// A [`MappingAlgorithm`] adaptor that front-runs its wrapped algorithm
+/// with the [`TemplateLibrary`] (see the [module docs](self)): hits are
+/// admitted in tens of microseconds, misses run the wrapped algorithm and
+/// are learned. `name()` delegates to the inner algorithm, so reports stay
+/// comparable across templated and untemplated runs.
+#[derive(Debug)]
+pub struct TemplatedMapper<A> {
+    inner: A,
+    library: RefCell<TemplateLibrary>,
+}
+
+impl<A: MappingAlgorithm> TemplatedMapper<A> {
+    /// Wraps `inner` with an empty library at [`DEFAULT_SHAPE_CAP`].
+    pub fn new(inner: A) -> Self {
+        TemplatedMapper::with_cap(inner, DEFAULT_SHAPE_CAP)
+    }
+
+    /// Wraps `inner` with an empty library keeping at most `cap` shapes
+    /// per spec (`--template-cap`).
+    pub fn with_cap(inner: A, cap: usize) -> Self {
+        TemplatedMapper {
+            inner,
+            library: RefCell::new(TemplateLibrary::new(cap)),
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Current library statistics.
+    pub fn stats(&self) -> TemplateStats {
+        self.library.borrow().stats()
+    }
+
+    /// Clears the library (shapes *and* statistics) back to empty, keeping
+    /// the inner algorithm. Determinism reruns use this so both executions
+    /// start from the same cold library.
+    pub fn reset(&self) {
+        let cap = self.library.borrow().cap;
+        *self.library.borrow_mut() = TemplateLibrary::new(cap);
+    }
+
+    /// [`TemplateLibrary::prune_unfit`] against the wrapped library.
+    pub fn prune_unfit(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        state: &PlatformState,
+    ) -> usize {
+        self.library.borrow_mut().prune_unfit(spec, platform, state)
+    }
+}
+
+impl<A: MappingAlgorithm> MappingAlgorithm for TemplatedMapper<A> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn map_constrained(
+        &self,
+        spec: &ApplicationSpec,
+        platform: &Platform,
+        base: &PlatformState,
+        constraints: &MappingConstraints,
+    ) -> Result<MappingOutcome, MapError> {
+        let key = spec_fingerprint(spec);
+
+        // Design-time seeding, lazily on the first arrival of each spec:
+        // one unconstrained map on an *empty* platform gives the canonical
+        // uncongested shape. Runs at most once per spec, even if it fails.
+        if !self.library.borrow().contains(key) {
+            self.library.borrow_mut().register(key);
+            if let Ok(seeded) = self.inner.map_constrained(
+                spec,
+                platform,
+                &platform.initial_state(),
+                &MappingConstraints::none(),
+            ) {
+                if let Some(shape) = MappingShape::canonicalise(&seeded, platform) {
+                    let mut library = self.library.borrow_mut();
+                    if library.learn(key, shape) {
+                        library.note_seeded();
+                    }
+                }
+            }
+        }
+
+        let attempt = self
+            .library
+            .borrow_mut()
+            .instantiate(key, spec, platform, base, constraints);
+        if let Some(outcome) = attempt {
+            obs::count(obs::Counter::TemplateHit, 1);
+            self.library.borrow_mut().note_hit();
+            return Ok(outcome);
+        }
+        obs::count(obs::Counter::TemplateMiss, 1);
+        self.library.borrow_mut().note_miss();
+
+        let outcome = self
+            .inner
+            .map_constrained(spec, platform, base, constraints)?;
+        if let Some(shape) = MappingShape::canonicalise(&outcome, platform) {
+            self.library.borrow_mut().learn(key, shape);
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{MapperConfig, SpatialMapper};
+    use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
+    use rtsm_platform::paper::paper_platform;
+
+    fn mapper() -> TemplatedMapper<SpatialMapper> {
+        TemplatedMapper::new(SpatialMapper::new(MapperConfig::default()))
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let a = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let b = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&b));
+        let c = hiperlan2_receiver(Hiperlan2Mode::Qam16R34);
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&c));
+    }
+
+    #[test]
+    fn first_arrival_seeds_then_hits() {
+        let tm = mapper();
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        let outcome = tm.map(&spec, &platform, &state).unwrap();
+        let stats = tm.stats();
+        assert_eq!(stats.seeded, 1, "first arrival seeds the library");
+        assert_eq!(stats.hits, 1, "the seeded shape instantiates immediately");
+        assert_eq!(stats.misses, 0);
+        assert!(outcome.feasible);
+        assert!(outcome.csdf.is_none(), "hit path skips step 4");
+        // The instantiated mapping commits cleanly.
+        let mut committed = state.clone();
+        outcome.commit(&spec, &platform, &mut committed).unwrap();
+    }
+
+    #[test]
+    fn hit_matches_heuristic_qos_results() {
+        let tm = mapper();
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        let templated = tm.map(&spec, &platform, &state).unwrap();
+        let heuristic = tm.inner().map(&spec, &platform, &state).unwrap();
+        assert_eq!(templated.achieved_period, heuristic.achieved_period);
+        assert_eq!(templated.buffers.len(), heuristic.buffers.len());
+        assert_eq!(templated.energy_pj, heuristic.energy_pj);
+    }
+
+    #[test]
+    fn repeated_arrivals_hit_until_capacity_runs_out() {
+        let tm = mapper();
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut state = platform.initial_state();
+        // The paper platform fits one receiver; the first admission must be
+        // a hit and the second (no free anchors/capacity) a miss that also
+        // fails in the inner heuristic.
+        let first = tm.map(&spec, &platform, &state).unwrap();
+        first.commit(&spec, &platform, &mut state).unwrap();
+        assert_eq!(tm.stats().hits, 1);
+        assert!(tm.map(&spec, &platform, &state).is_err());
+        assert_eq!(tm.stats().misses, 1, "fallback ran and also failed");
+    }
+
+    #[test]
+    fn constraints_are_honoured_on_the_hit_path() {
+        let tm = mapper();
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        // Warm the library.
+        tm.map(&spec, &platform, &state).unwrap();
+        let pid = spec.graph.process_by_name("Inverse OFDM").unwrap();
+        let montium2 = platform.tile_by_name("MONTIUM2").unwrap();
+        let constraints = MappingConstraints::none().pin(pid, montium2);
+        let outcome = tm
+            .map_constrained(&spec, &platform, &state, &constraints)
+            .unwrap();
+        assert!(constraints.satisfied_by(&outcome.mapping));
+    }
+
+    #[test]
+    fn failed_tiles_invalidate_cached_shapes() {
+        let tm = mapper();
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let mut state = platform.initial_state();
+        tm.map(&spec, &platform, &state).unwrap();
+        assert!(tm.stats().shapes_cached >= 1);
+        // Kill both MONTIUMs: no shape can place Inverse OFDM any more.
+        state.fail_tile(platform.tile_by_name("MONTIUM1").unwrap());
+        state.fail_tile(platform.tile_by_name("MONTIUM2").unwrap());
+        // Admission on the degraded platform is a miss (no crash), and the
+        // inner heuristic cannot map it either.
+        assert!(tm.map(&spec, &platform, &state).is_err());
+        assert_eq!(tm.stats().misses, 1);
+        // Pruning removes the now-unfit shapes and counts invalidations.
+        let removed = tm.prune_unfit(&spec, &platform, &state);
+        assert!(removed >= 1);
+        let stats = tm.stats();
+        assert_eq!(stats.invalidations, removed as u64);
+        assert_eq!(stats.shapes_cached, 0);
+    }
+
+    #[test]
+    fn cap_evicts_deterministically() {
+        let mut library = TemplateLibrary::new(1);
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        let key = spec_fingerprint(&spec);
+        let outcome = SpatialMapper::new(MapperConfig::default())
+            .map(&spec, &platform, &state)
+            .unwrap();
+        let shape = MappingShape::canonicalise(&outcome, &platform).unwrap();
+        assert!(library.learn(key, shape.clone()));
+        assert!(!library.learn(key, shape.clone()), "duplicates are dropped");
+        // A distinct shape evicts the old one at cap 1.
+        let mut other = shape;
+        other.energy_pj += 1;
+        assert!(library.learn(key, other));
+        let stats = library.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(library.shapes_for(key), 1);
+    }
+
+    #[test]
+    fn reset_clears_shapes_and_stats() {
+        let tm = mapper();
+        let spec = hiperlan2_receiver(Hiperlan2Mode::Qpsk34);
+        let platform = paper_platform();
+        let state = platform.initial_state();
+        tm.map(&spec, &platform, &state).unwrap();
+        assert_ne!(tm.stats(), TemplateStats::default());
+        tm.reset();
+        assert_eq!(tm.stats(), TemplateStats::default());
+    }
+}

@@ -399,6 +399,10 @@ mod tests {
             migration_energy_pj: 0,
             plans_refused: 0,
             mode_switches_survived: 0,
+            template_hits: None,
+            template_misses: None,
+            template_hit_permille: None,
+            template_shapes_cached: None,
             ledger_idle_at_end: true,
         }
     }

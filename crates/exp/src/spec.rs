@@ -81,6 +81,14 @@ pub struct PolicySpec {
     /// wall time per arrival, so sweeps typically give `none` more
     /// arrivals than the reconfiguring points.
     pub arrivals: Option<u64>,
+    /// Run this policy point with the design-time template library:
+    /// admissions try the microsecond shape-instantiation hit path first
+    /// and fall back to the full algorithm on miss (default off).
+    pub templates: Option<bool>,
+    /// Cached shapes per application spec when `templates` is on
+    /// (default 8). Setting it without `templates: true` is a
+    /// validation error.
+    pub template_cap: Option<u64>,
 }
 
 /// The policy kinds [`PolicySpec::kind`] accepts, in display order.
@@ -97,6 +105,8 @@ impl PolicySpec {
             max_migrations: None,
             max_plans: None,
             arrivals: None,
+            templates: None,
+            template_cap: None,
         }
     }
 
@@ -104,11 +114,22 @@ impl PolicySpec {
         self.lambda_permille.unwrap_or(1000)
     }
 
+    /// Whether this policy point runs with the template library enabled.
+    pub fn templates(&self) -> bool {
+        self.templates.unwrap_or(false)
+    }
+
+    /// Shape cap per application spec with the default applied.
+    pub fn template_cap(&self) -> u64 {
+        self.template_cap
+            .unwrap_or(rtsm_core::template::DEFAULT_SHAPE_CAP as u64)
+    }
+
     /// A stable, human-readable label — the grouping key in reports.
     /// Distinct policy points always label differently (enforced by
     /// [`ExperimentSpec::validate`]).
     pub fn label(&self) -> String {
-        match self.kind.as_str() {
+        let base = match self.kind.as_str() {
             "none" => "none".to_string(),
             "always" => format!("always-admit/l{}", self.lambda()),
             "energy-budget" => format!(
@@ -122,6 +143,13 @@ impl PolicySpec {
                 self.lambda()
             ),
             other => format!("invalid({other})"),
+        };
+        if self.templates() {
+            // Templated and untemplated variants of the same point are
+            // distinct sweep cells; the suffix keeps their labels apart.
+            format!("{base}+tpl{}", self.template_cap())
+        } else {
+            base
         }
     }
 
@@ -233,6 +261,18 @@ impl ExperimentSpec {
             if policy.arrivals == Some(0) {
                 return Err(format!(
                     "policy `{}` overrides arrivals to 0",
+                    policy.label()
+                ));
+            }
+            if policy.template_cap.is_some() && !policy.templates() {
+                return Err(format!(
+                    "policy `{}` sets template_cap without templates: true",
+                    policy.label()
+                ));
+            }
+            if policy.templates() && policy.template_cap() == 0 {
+                return Err(format!(
+                    "policy `{}` sets template_cap to 0, must be ≥ 1 shape",
                     policy.label()
                 ));
             }
@@ -351,12 +391,7 @@ mod tests {
             arrivals: Some(10),
             ..PolicySpec {
                 kind: "always".to_string(),
-                lambda_permille: None,
-                budget_pj: None,
-                payback_periods: None,
-                max_migrations: None,
-                max_plans: None,
-                arrivals: None,
+                ..PolicySpec::none()
             }
         });
         // 16 trials at 100 arrivals plus 16 `always` trials at 10.
@@ -420,6 +455,31 @@ mod tests {
         assert_eq!(PolicySpec::none().label(), "none");
         assert!(PolicySpec::none().to_policy().is_none());
         assert!(budget.to_policy().is_some());
+    }
+
+    #[test]
+    fn template_policy_points_label_and_validate() {
+        // A templated twin of an existing point is a distinct sweep cell.
+        let mut spec = small_spec();
+        spec.policies.push(PolicySpec {
+            templates: Some(true),
+            ..PolicySpec::none()
+        });
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.policies[1].label(), "none+tpl8");
+        spec.policies[1].template_cap = Some(4);
+        assert_eq!(spec.policies[1].label(), "none+tpl4");
+
+        let mut spec = small_spec();
+        spec.policies[0].template_cap = Some(4);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("template_cap without templates"), "{err}");
+
+        let mut spec = small_spec();
+        spec.policies[0].templates = Some(true);
+        spec.policies[0].template_cap = Some(0);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("must be ≥ 1"), "{err}");
     }
 
     #[test]

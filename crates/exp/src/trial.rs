@@ -10,11 +10,11 @@
 use crate::spec::{PolicySpec, SpecTemplate};
 use crate::stats::percentile;
 use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
-use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
+use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper, TemplatedMapper};
 use rtsm_obs::LatencyHistogram;
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::{Platform, TileKind};
-use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig};
+use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, TemplateReport};
 use rtsm_workloads::{defrag_platform, mesh_platform};
 use serde::{Deserialize, Serialize};
 
@@ -188,6 +188,15 @@ pub struct TrialRecord {
     pub plans_refused: u64,
     /// Blocked mode switches whose instance kept running.
     pub mode_switches_survived: u64,
+    /// Template-library hits (admissions served from a cached shape);
+    /// `None` when templates were off for this policy point.
+    pub template_hits: Option<u64>,
+    /// Template-library misses (full-algorithm fallback); `None` when off.
+    pub template_misses: Option<u64>,
+    /// Template hit rate over hits + misses, permille; `None` when off.
+    pub template_hit_permille: Option<u64>,
+    /// Shapes cached when the run sealed; `None` when templates were off.
+    pub template_shapes_cached: Option<u64>,
     /// Whether the resource ledger was idle after teardown.
     pub ledger_idle_at_end: bool,
 }
@@ -237,8 +246,18 @@ pub fn run_trial_timed(
     };
     let algorithm =
         make_algorithm(&trial.algorithm).expect("trial algorithms are validated before expansion");
-    let run = run_sim(&resolved.platform, &algorithm, &resolved.catalog, &config)
-        .expect("the simulation never breaks its own ledger");
+    let (run, templates) = if trial.policy.templates() {
+        let cap = trial.policy.template_cap() as usize;
+        let mapper = TemplatedMapper::with_cap(algorithm, cap);
+        let run = run_sim(&resolved.platform, &mapper, &resolved.catalog, &config)
+            .expect("the simulation never breaks its own ledger");
+        let stats = TemplateReport::from_stats(mapper.stats(), cap);
+        (run, Some(stats))
+    } else {
+        let run = run_sim(&resolved.platform, &algorithm, &resolved.catalog, &config)
+            .expect("the simulation never breaks its own ledger");
+        (run, None)
+    };
     let report = run.report;
 
     let frag = report.frag_permille_sorted();
@@ -284,6 +303,10 @@ pub fn run_trial_timed(
         migration_energy_pj: reconfiguration.migration_energy_pj,
         plans_refused: reconfiguration.plans_refused,
         mode_switches_survived: reconfiguration.mode_switches_survived,
+        template_hits: templates.as_ref().map(|t| t.hits),
+        template_misses: templates.as_ref().map(|t| t.misses),
+        template_hit_permille: templates.as_ref().map(|t| t.hit_permille),
+        template_shapes_cached: templates.as_ref().map(|t| t.shapes_cached),
         ledger_idle_at_end: report.ledger_idle_at_end,
     };
     (record, run.wall)
@@ -359,6 +382,28 @@ mod tests {
             a.frag_max_permille.unwrap(),
         );
         assert!(p50 <= p90 && p90 <= max);
+    }
+
+    #[test]
+    fn templated_trials_hit_and_stay_deterministic() {
+        let resolved = resolve_catalog("hiperlan2", 42).unwrap();
+        let mut t = trial();
+        t.policy.templates = Some(true);
+        let a = run_trial(&t, &resolved, &template());
+        let b = run_trial(&t, &resolved, &template());
+        assert_eq!(a, b, "templated trials must replay byte-identically");
+        let (hits, misses) = (a.template_hits.unwrap(), a.template_misses.unwrap());
+        assert!(hits > 0, "a 40-arrival HIPERLAN/2 run must reuse shapes");
+        assert_eq!(
+            a.template_hit_permille.unwrap(),
+            hits * 1000 / (hits + misses)
+        );
+        assert!(a.template_shapes_cached.unwrap() > 0);
+        assert!(a.ledger_idle_at_end);
+        // The untemplated twin leaves the whole section null.
+        let plain = run_trial(&trial(), &resolved, &template());
+        assert_eq!(plain.template_hits, None);
+        assert_eq!(plain.template_shapes_cached, None);
     }
 
     #[test]

@@ -14,10 +14,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Number of distinct [`Span`] kinds, for fixed-size per-span tables.
-pub const N_SPANS: usize = 11;
+pub const N_SPANS: usize = 12;
 
 /// Number of distinct [`Counter`] kinds, for fixed-size tables.
-pub const N_COUNTERS: usize = 4;
+pub const N_COUNTERS: usize = 6;
 
 /// The instrumented regions of the admission path. Span begin/end events
 /// always come in balanced, properly nested pairs per thread.
@@ -52,6 +52,11 @@ pub enum Span {
     /// (victim identification, constrained re-maps, evictions). Opens a
     /// new trace lane.
     Evacuate,
+    /// One template-library lookup: matching cached mapping shapes
+    /// against the current platform state (anchor enumeration,
+    /// translation/rotation, transactional fit check). Covers only the
+    /// instantiation attempt, not the full-heuristic fallback.
+    TemplateMatch,
 }
 
 impl Span {
@@ -68,6 +73,7 @@ impl Span {
         Span::Step4,
         Span::BufferSizing,
         Span::Evacuate,
+        Span::TemplateMatch,
     ];
 
     /// Dense index of this span, `0..N_SPANS`.
@@ -89,6 +95,7 @@ impl Span {
             Span::Step4 => "step4",
             Span::BufferSizing => "buffer_sizing",
             Span::Evacuate => "evacuate",
+            Span::TemplateMatch => "template_match",
         }
     }
 
@@ -114,6 +121,12 @@ pub enum Counter {
     TxCommit,
     /// A `PlatformTransaction` aborted (explicitly or by drop).
     TxAbort,
+    /// An admission served by instantiating a cached mapping shape — the
+    /// template hit path, which skips the four-step heuristic entirely.
+    TemplateHit,
+    /// An admission that found no instantiable shape and fell back to
+    /// the full heuristic (whose result is learned into the library).
+    TemplateMiss,
 }
 
 impl Counter {
@@ -123,6 +136,8 @@ impl Counter {
         Counter::BufferMemoHit,
         Counter::TxCommit,
         Counter::TxAbort,
+        Counter::TemplateHit,
+        Counter::TemplateMiss,
     ];
 
     /// Dense index of this counter, `0..N_COUNTERS`.
@@ -137,6 +152,8 @@ impl Counter {
             Counter::BufferMemoHit => "buffer_memo_hit",
             Counter::TxCommit => "tx_commit",
             Counter::TxAbort => "tx_abort",
+            Counter::TemplateHit => "template_hit",
+            Counter::TemplateMiss => "template_miss",
         }
     }
 }

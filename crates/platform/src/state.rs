@@ -8,7 +8,7 @@
 //! mapping requests.
 
 use crate::error::PlatformError;
-use crate::tile::TileId;
+use crate::tile::{TileId, TileKind};
 use crate::topology::{LinkId, Platform};
 use serde::{Deserialize, Serialize};
 
@@ -414,6 +414,22 @@ impl PlatformState {
                 .map_or(0, |share| 1000 - share),
             free_slot_gini_permille: gini_permille,
         }
+    }
+
+    /// Healthy tiles of `kind` with at least one free compute slot, in id
+    /// order — the candidate *anchor* positions a cached mapping shape can
+    /// be translated to. The same free-capacity notion as
+    /// [`PlatformState::fragmentation`] (failed tiles contribute nothing),
+    /// exposed per kind so a template match only visits placements whose
+    /// anchor could possibly host its process.
+    pub fn free_anchor_tiles(&self, platform: &Platform, kind: TileKind) -> Vec<TileId> {
+        platform
+            .tiles_of_kind(kind)
+            .filter(|(id, tile)| {
+                !self.failed_tiles[id.index()] && tile.compute_slots > self.used_slots[id.index()]
+            })
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 

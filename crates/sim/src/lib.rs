@@ -64,7 +64,8 @@ pub mod workload;
 
 pub use event::{EventQueue, InstanceId, SimEvent, SimTime};
 pub use metrics::{
-    MetricsCollector, ReconfigurationReport, SimReport, SurvivabilityReport, UtilizationSample,
+    MetricsCollector, ReconfigurationReport, SimReport, SurvivabilityReport, TemplateReport,
+    UtilizationSample,
 };
 pub use rtsm_obs::LatencyHistogram;
 pub use sim::{run_sim, FaultConfig, SimConfig, SimRun};

@@ -188,14 +188,58 @@ pub struct SurvivabilityReport {
     pub healthy_blocked: u64,
 }
 
+/// Template-library counters of one simulation run — present in the
+/// [`SimReport`] only when the run admitted through a
+/// [`TemplatedMapper`](rtsm_core::TemplatedMapper), so untemplated runs
+/// serialize byte-identically to pre-template reports. All figures derive
+/// from virtual-time admission decisions, never from wall-clock timing, so
+/// they are as deterministic as the rest of the report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateReport {
+    /// Configured per-spec shape cap (`--template-cap`).
+    pub cap: u64,
+    /// Admissions served by instantiating a cached shape.
+    pub hits: u64,
+    /// Admissions that fell back to the full heuristic.
+    pub misses: u64,
+    /// hits ÷ (hits + misses), in permille (0 when nothing was attempted).
+    pub hit_permille: u64,
+    /// Shapes cached across all specs at the end of the run.
+    pub shapes_cached: u64,
+    /// Shapes learned by design-time seeding (first arrival per spec).
+    pub seeded: u64,
+    /// Shapes evicted by the per-spec cap.
+    pub evictions: u64,
+    /// Shapes invalidated because they stopped fitting the platform.
+    pub invalidations: u64,
+}
+
+impl TemplateReport {
+    /// Builds the report section from the mapper's lifetime statistics.
+    pub fn from_stats(stats: rtsm_core::TemplateStats, cap: usize) -> Self {
+        let attempts = stats.hits + stats.misses;
+        TemplateReport {
+            cap: cap as u64,
+            hits: stats.hits,
+            misses: stats.misses,
+            hit_permille: (stats.hits * 1000).checked_div(attempts).unwrap_or(0),
+            shapes_cached: stats.shapes_cached,
+            seeded: stats.seeded,
+            evictions: stats.evictions,
+            invalidations: stats.invalidations,
+        }
+    }
+}
+
 /// The deterministic result of one simulation run: same seed, same
 /// platform, same algorithm ⇒ byte-identical serialized report.
 ///
 /// Serialization is hand-written: the optional
-/// [`reconfiguration`](SimReport::reconfiguration) and
-/// [`survivability`](SimReport::survivability) sections are omitted —
+/// [`reconfiguration`](SimReport::reconfiguration),
+/// [`survivability`](SimReport::survivability), and
+/// [`templates`](SimReport::templates) sections are omitted —
 /// not `null` — when absent, keeping plain runs byte-identical to reports
-/// from before reconfiguration or fault injection existed.
+/// from before reconfiguration, fault injection, or templates existed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Name of the mapping algorithm that admitted applications.
@@ -251,6 +295,11 @@ pub struct SimReport {
     /// Survivability counters; `Some` exactly when the run injected
     /// faults.
     pub survivability: Option<SurvivabilityReport>,
+    /// Template-library counters; `Some` exactly when the run admitted
+    /// through a [`TemplatedMapper`](rtsm_core::TemplatedMapper). Attached
+    /// by the caller after the run (the event loop itself is
+    /// template-agnostic).
+    pub templates: Option<TemplateReport>,
 }
 
 impl Serialize for SimReport {
@@ -313,6 +362,9 @@ impl Serialize for SimReport {
         if let Some(survivability) = &self.survivability {
             entries.push(("survivability".to_string(), survivability.to_value()));
         }
+        if let Some(templates) = &self.templates {
+            entries.push(("templates".to_string(), templates.to_value()));
+        }
         serde::Value::Map(entries)
     }
 }
@@ -342,6 +394,7 @@ impl Deserialize for SimReport {
             ledger_idle_at_end: serde::de::field(value, "ledger_idle_at_end")?,
             reconfiguration: serde::de::field(value, "reconfiguration")?,
             survivability: serde::de::field(value, "survivability")?,
+            templates: serde::de::field(value, "templates")?,
         })
     }
 }
@@ -748,6 +801,7 @@ impl MetricsCollector {
             ledger_idle_at_end,
             reconfiguration: self.reconfiguration,
             survivability,
+            templates: None,
         }
     }
 }
