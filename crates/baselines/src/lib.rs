@@ -13,6 +13,15 @@
 //!   floor.
 //! * [`GreedyMapper`] — the paper's step 1 only (no local search): the
 //!   ablation for step 2.
+//! * [`SpiralMapper`] — spiral / region-growing placement around the
+//!   heaviest communicator (after Benhaoua et al., arXiv:1312.5764).
+//! * [`GeneticMapper`] — seeded bias-elitist genetic search (after Quan
+//!   & Pimentel, arXiv:1406.7539), its population seeded with the
+//!   greedy and spiral solutions.
+//! * [`PortfolioMapper`] — not a search of its own: runs a member
+//!   portfolio cheapest-first under a modeled per-admission latency
+//!   budget (optionally raced across threads) and returns the best
+//!   feasible outcome.
 //!
 //! Every baseline implements the workspace-wide
 //! [`MappingAlgorithm`] trait (the paper's
@@ -32,14 +41,20 @@
 pub mod annealing;
 pub mod common;
 pub mod exhaustive;
+pub mod genetic;
 pub mod greedy;
+pub mod portfolio;
 pub mod random;
+pub mod spiral;
 
 pub use annealing::AnnealingMapper;
 pub use common::finalize_assignment;
 pub use exhaustive::ExhaustiveMapper;
+pub use genetic::GeneticMapper;
 pub use greedy::GreedyMapper;
+pub use portfolio::{default_members, PortfolioMapper, PortfolioMember, DEFAULT_BUDGET_US};
 pub use random::RandomMapper;
+pub use spiral::SpiralMapper;
 
 // The unified interface lives in `rtsm_core`; re-exported here so baseline
 // users need a single import.

@@ -11,8 +11,9 @@
 //!   `map()` median with a no-op probe installed must stay within 3% of
 //!   the bare median (interleaved samples, asserted);
 //! * synthetic-chain scaling (map latency vs. application size);
-//! * simulated events/second for all five mapping algorithms under a
-//!   fixed-seed stochastic workload;
+//! * simulated events/second for every algorithm in the
+//!   `rtsm_exp::ALGORITHMS` registry under a fixed-seed stochastic
+//!   workload;
 //! * the energy-aware reconfiguration **Pareto front** (`pareto` section):
 //!   blocking ‰ vs. total migration energy for a sweep of the objective
 //!   weight λ and the admission-policy set on the defrag workload, with
@@ -35,6 +36,15 @@
 //!   miss p50, asserted) and the deterministic steady-state hit-rate
 //!   floor (≥ 500‰ on the mixed catalog, asserted) plus events/second
 //!   with templates on vs off;
+//! * the budget-raced algorithm portfolio (`portfolio` section, new in
+//!   schema 8): blocking ‰ of the default `PortfolioMapper` next to its
+//!   best standalone member on every registered catalog, with the
+//!   **portfolio-beats-members gate** (per-admission: every arrival the
+//!   portfolio blocks is replayed through all members on the identical
+//!   platform state and must be unmappable by each — asserted zero
+//!   recoverable blocks per catalog) and the racing-determinism gate
+//!   (the fixed-seed mixed-catalog report byte-identical at 1 vs 4
+//!   racing workers, asserted);
 //! * worker-pool **scaling** (`scaling` section): events/second of one
 //!   fixed experiment spec run through `rtsm_exp` at 1, 2, and 4 workers.
 //!   The sealed reports are asserted byte-identical across worker counts;
@@ -56,7 +66,7 @@
 //! instrumentation regression can trip it.
 
 use rtsm_app::hiperlan2::{hiperlan2_receiver, Hiperlan2Mode};
-use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm_baselines::PortfolioMapper;
 use rtsm_bench::alloc_track::PeakAlloc;
 use rtsm_core::{
     AdmissionPolicy, MapperConfig, MappingAlgorithm, ReconfigurationObjective,
@@ -221,6 +231,81 @@ struct Templates {
     mean_map_us_templates_off: u64,
 }
 
+/// One catalog of the portfolio-vs-members comparison: the budget-raced
+/// `PortfolioMapper` against its best standalone member at the same
+/// modeled per-admission latency budget.
+#[derive(Serialize)]
+struct PortfolioPoint {
+    catalog: String,
+    portfolio_blocking_permille: u64,
+    best_member: String,
+    best_member_blocking_permille: u64,
+    /// Arrivals the portfolio blocked that some standalone member could
+    /// have mapped on the identical platform state. Asserted zero — this
+    /// is the per-admission "portfolio blocks no more than its best
+    /// member" gate, checked where the comparison is actually like for
+    /// like.
+    recoverable_blocks: u64,
+    portfolio_mean_map_us: u64,
+    best_member_mean_map_us: u64,
+}
+
+/// The algorithm-portfolio benchmark (new in schema 8). Two hard gates:
+/// per-admission, the portfolio never blocks an arrival any single
+/// member could have mapped on the same platform state
+/// (`recoverable_blocks == 0` per catalog — the ROADMAP acceptance
+/// bar), and fixed-seed portfolio reports must be byte-identical at
+/// 1 vs 4 racing workers.
+#[derive(Serialize)]
+struct Portfolio {
+    arrivals: u64,
+    budget_us: u64,
+    members: Vec<String>,
+    /// Fixed-seed mixed-catalog reports byte-identical at 1 vs 4 workers.
+    reports_identical_across_workers: bool,
+    points: Vec<PortfolioPoint>,
+}
+
+/// Replays every portfolio member on each admission the portfolio
+/// blocks, counting the blocks a standalone member could have recovered
+/// on the identical platform state. Delegates mapping to the wrapped
+/// portfolio, so the simulated trajectory is exactly the portfolio's.
+struct MemberCoverage<'a> {
+    portfolio: PortfolioMapper,
+    members: &'a [rtsm_baselines::PortfolioMember],
+    recoverable_blocks: std::cell::Cell<u64>,
+}
+
+impl MappingAlgorithm for MemberCoverage<'_> {
+    fn name(&self) -> &str {
+        self.portfolio.name()
+    }
+
+    fn map_constrained(
+        &self,
+        spec: &rtsm_app::ApplicationSpec,
+        platform: &rtsm_platform::Platform,
+        base: &rtsm_platform::PlatformState,
+        constraints: &rtsm_core::MappingConstraints,
+    ) -> Result<rtsm_core::MappingOutcome, rtsm_core::MapError> {
+        let result = self
+            .portfolio
+            .map_constrained(spec, platform, base, constraints);
+        if result.is_err() {
+            let recovered = self.members.iter().any(|member| {
+                (member.build)()
+                    .map_constrained(spec, platform, base, constraints)
+                    .is_ok()
+            });
+            if recovered {
+                self.recoverable_blocks
+                    .set(self.recoverable_blocks.get() + 1);
+            }
+        }
+        result
+    }
+}
+
 /// Throughput of the sharded experiment harness at one worker count.
 #[derive(Serialize)]
 struct ScalingPoint {
@@ -302,6 +387,7 @@ struct BenchReport {
     pareto: Vec<ParetoPoint>,
     resilience: Resilience,
     templates: Templates,
+    portfolio: Portfolio,
     scaling: Scaling,
     sanity_checks_passed: bool,
 }
@@ -685,19 +771,11 @@ fn main() {
         }
     }
 
-    // --- Simulated events/second, all five algorithms ---------------------
-    let algorithms: Vec<(&str, Box<dyn MappingAlgorithm>)> = vec![
-        (
-            "paper",
-            Box::new(SpatialMapper::new(
-                MapperConfig::default().without_capture(),
-            )),
-        ),
-        ("greedy", Box::new(GreedyMapper)),
-        ("random", Box::new(RandomMapper::default())),
-        ("annealing", Box::new(AnnealingMapper::default())),
-        ("exhaustive", Box::new(ExhaustiveMapper::default())),
-    ];
+    // --- Simulated events/second, every registered algorithm --------------
+    let algorithms: Vec<(&str, Box<dyn MappingAlgorithm>)> = rtsm_exp::ALGORITHMS
+        .iter()
+        .map(|entry| (entry.name, (entry.build)()))
+        .collect();
     let catalog = Catalog::hiperlan2();
     let sim_config = SimConfig {
         seed,
@@ -983,6 +1061,110 @@ fn main() {
         templates.mean_map_us_templates_off,
     );
 
+    // --- Portfolio vs its members, every catalog --------------------------
+    // The **portfolio-beats-members gate**: at an equal modeled
+    // per-admission latency budget, the portfolio's per-admission
+    // blocking must be ≤ every member's — i.e. every arrival the
+    // portfolio blocks is unmappable by *every* standalone member on the
+    // exact platform state the portfolio saw. The `MemberCoverage`
+    // wrapper replays all members at each blocked admission to check
+    // this. (Whole-trajectory blocking of standalone members is reported
+    // next to the portfolio's for context but never gated: once one
+    // admission differs the platform states diverge and the trajectories
+    // are no longer comparing like with like.)
+    let portfolio_arrivals = sim_arrivals.clamp(100, 500);
+    let portfolio_members = rtsm_baselines::default_members();
+    let mut portfolio_points = Vec::new();
+    for catalog_name in rtsm_exp::VALID_CATALOGS {
+        let resolved = rtsm_exp::resolve_catalog(catalog_name, 42).expect("registered catalog");
+        let config = SimConfig {
+            seed,
+            arrivals: portfolio_arrivals,
+            ..SimConfig::default()
+        };
+        let run_one = |algorithm: &dyn MappingAlgorithm| {
+            run_sim(&resolved.platform, algorithm, &resolved.catalog, &config)
+                .expect("the simulation never breaks its own ledger")
+        };
+        let gated = MemberCoverage {
+            portfolio: PortfolioMapper::default(),
+            members: &portfolio_members,
+            recoverable_blocks: std::cell::Cell::new(0),
+        };
+        let portfolio_run = run_one(&gated);
+        assert_eq!(
+            gated.recoverable_blocks.get(),
+            0,
+            "on `{catalog_name}` the portfolio blocked an arrival a standalone member \
+             could have mapped on the same platform state"
+        );
+        let member_runs: Vec<(&str, rtsm_sim::SimRun)> = portfolio_members
+            .iter()
+            .map(|m| (m.name, run_one((m.build)().as_ref())))
+            .collect();
+        let (best_member, best_run) = member_runs
+            .iter()
+            .min_by_key(|(_, run)| run.report.blocking_permille)
+            .map(|(name, run)| (*name, run))
+            .expect("the portfolio has members");
+        let point = PortfolioPoint {
+            catalog: catalog_name.to_string(),
+            portfolio_blocking_permille: portfolio_run.report.blocking_permille,
+            best_member: best_member.to_string(),
+            best_member_blocking_permille: best_run.report.blocking_permille,
+            recoverable_blocks: gated.recoverable_blocks.get(),
+            portfolio_mean_map_us: portfolio_run.wall.mean_ns() / 1000,
+            best_member_mean_map_us: best_run.wall.mean_ns() / 1000,
+        };
+        println!(
+            "portfolio/{catalog_name}: {}‰ blocking ({} recoverable blocks) vs {}‰ \
+             best standalone member (`{}`), mean map {} µs vs {} µs",
+            point.portfolio_blocking_permille,
+            point.recoverable_blocks,
+            point.best_member_blocking_permille,
+            point.best_member,
+            point.portfolio_mean_map_us,
+            point.best_member_mean_map_us,
+        );
+        portfolio_points.push(point);
+    }
+    // Racing determinism: the same mixed-catalog run at 1 and 4 workers
+    // must serialize byte-identically — worker count is pure wall-clock.
+    let portfolio_race_reports: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&workers| {
+            let resolved = rtsm_exp::resolve_catalog("mixed", 42).expect("registered catalog");
+            let config = SimConfig {
+                seed,
+                arrivals: portfolio_arrivals,
+                ..SimConfig::default()
+            };
+            let run = run_sim(
+                &resolved.platform,
+                PortfolioMapper::with_workers(workers),
+                &resolved.catalog,
+                &config,
+            )
+            .expect("the simulation never breaks its own ledger");
+            serde_json::to_string(&run.report).expect("reports serialize")
+        })
+        .collect();
+    let portfolio_reports_identical = portfolio_race_reports[0] == portfolio_race_reports[1];
+    assert!(
+        portfolio_reports_identical,
+        "fixed-seed portfolio reports must be byte-identical at 1 vs 4 racing workers"
+    );
+    let portfolio = Portfolio {
+        arrivals: portfolio_arrivals,
+        budget_us: rtsm_baselines::DEFAULT_BUDGET_US,
+        members: portfolio_members
+            .iter()
+            .map(|m| m.name.to_string())
+            .collect(),
+        reports_identical_across_workers: portfolio_reports_identical,
+        points: portfolio_points,
+    };
+
     // --- Worker-pool scaling: events/s vs workers -------------------------
     // One fixed 8-trial spec through the experiment harness at 1, 2, and
     // 4 workers. The sealed reports must be byte-identical (hard gate);
@@ -1058,7 +1240,7 @@ fn main() {
     };
 
     let report = BenchReport {
-        schema: "rtsm-bench-map/7".into(),
+        schema: "rtsm-bench-map/8".into(),
         seed,
         baseline: Baseline {
             commit: "c9eb51b".into(),
@@ -1080,6 +1262,7 @@ fn main() {
         pareto,
         resilience,
         templates,
+        portfolio,
         scaling,
         sanity_checks_passed: true,
     };

@@ -1,6 +1,6 @@
 //! `simulate` — long-horizon admission experiments: a seeded stochastic
-//! workload driven through the `RuntimeManager`, compared across all five
-//! mapping algorithms.
+//! workload driven through the `RuntimeManager`, compared across every
+//! mapping algorithm registered in `rtsm_exp::ALGORITHMS`.
 //!
 //! ```text
 //! simulate [--seed N] [--arrivals N] [--algorithm NAME|all]
@@ -12,8 +12,17 @@
 //!          [--policy always|energy-budget|amortized-payback]
 //!          [--lambda PERMILLE] [--budget-pj N] [--payback N]
 //!          [--faults] [--mttf N] [--mttr N]
-//!          [--templates] [--template-cap N]
+//!          [--templates] [--template-cap N] [--portfolio-workers N]
 //! ```
+//!
+//! Algorithm and catalog names (including the `--algorithm` error text
+//! below) come from the `rtsm_exp` registry — the same lists `experiment`
+//! specs validate against — so the two CLIs cannot drift apart.
+//!
+//! `--portfolio-workers N` races the `portfolio` algorithm's members
+//! across N threads instead of evaluating them sequentially. Reports are
+//! byte-identical for any N (the CI portfolio smoke diffs 1 vs 4); the
+//! flag only changes wall-clock.
 //!
 //! `--templates` wraps every algorithm in a `TemplatedMapper`: admissions
 //! first try to instantiate a cached mapping shape (microsecond hit path)
@@ -82,52 +91,41 @@
 //! same seed always yields byte-identical serialized reports; wall-clock
 //! mapping latency is printed separately because it cannot be.
 
-use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm_baselines::PortfolioMapper;
 use rtsm_core::{
-    AdmissionPolicy, MapperConfig, MappingAlgorithm, ReconfigurationObjective,
-    ReconfigurationPolicy, SpatialMapper, TemplatedMapper,
+    AdmissionPolicy, MappingAlgorithm, ReconfigurationObjective, ReconfigurationPolicy,
+    TemplatedMapper,
 };
 use rtsm_obs::{self as obs, FlightRecorder};
-use rtsm_platform::paper::paper_platform;
-use rtsm_platform::TileKind;
 use rtsm_sim::{
-    run_sim, ArrivalProcess, Catalog, FaultConfig, HoldingTime, SimConfig, SimRun, TemplateReport,
+    run_sim, ArrivalProcess, FaultConfig, HoldingTime, SimConfig, SimRun, TemplateReport,
 };
-use rtsm_workloads::{defrag_platform, mesh_platform};
 
-fn algorithms(which: &str) -> Vec<Box<dyn MappingAlgorithm>> {
-    let all = which == "all";
-    let mut algorithms: Vec<Box<dyn MappingAlgorithm>> = Vec::new();
-    if all || which == "paper" {
-        // Hot path: traces are never read here, so skip capturing them.
-        // Decisions and the evaluated/attempts counters are unaffected.
-        algorithms.push(Box::new(SpatialMapper::new(
-            MapperConfig::default().without_capture(),
-        )));
+/// The requested algorithm set, straight from the `rtsm_exp` registry —
+/// `all` expands it in display order. Only `portfolio` takes a CLI
+/// override (racing workers, which cannot change report bytes).
+fn algorithms(which: &str, portfolio_workers: usize) -> Vec<Box<dyn MappingAlgorithm>> {
+    let build = |entry: &rtsm_exp::AlgorithmEntry| -> Box<dyn MappingAlgorithm> {
+        if entry.name == "portfolio" && portfolio_workers > 1 {
+            Box::new(PortfolioMapper::with_workers(portfolio_workers))
+        } else {
+            (entry.build)()
+        }
+    };
+    if which == "all" {
+        return rtsm_exp::ALGORITHMS.iter().map(build).collect();
     }
-    if all || which == "greedy" {
-        algorithms.push(Box::new(GreedyMapper));
-    }
-    if all || which == "random" {
-        algorithms.push(Box::new(RandomMapper::default()));
-    }
-    if all || which == "annealing" {
-        algorithms.push(Box::new(AnnealingMapper::default()));
-    }
-    if all || which == "exhaustive" {
-        algorithms.push(Box::new(ExhaustiveMapper::default()));
-    }
-    if algorithms.is_empty() {
-        one_line_error(&format!(
+    match rtsm_exp::ALGORITHMS.iter().find(|e| e.name == which) {
+        Some(entry) => vec![build(entry)],
+        None => one_line_error(&format!(
             "unknown algorithm `{which}` (valid: all, {})",
             rtsm_exp::VALID_ALGORITHMS.join(", ")
-        ));
+        )),
     }
-    algorithms
 }
 
 /// Flags that take a value, in usage order.
-const VALUE_FLAGS: [&str; 23] = [
+const VALUE_FLAGS: [&str; 24] = [
     "--seed",
     "--arrivals",
     "--algorithm",
@@ -151,6 +149,7 @@ const VALUE_FLAGS: [&str; 23] = [
     "--mttf",
     "--mttr",
     "--template-cap",
+    "--portfolio-workers",
 ];
 
 /// Rejects unknown flags, `--flag=value` syntax, and value flags missing
@@ -186,16 +185,21 @@ fn one_line_error(message: &str) -> ! {
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
+    // The name lists are derived from the registry, never retyped: the
+    // help text cannot desync from what the parser accepts.
     eprintln!(
-        "usage: simulate [--seed N] [--arrivals N] [--algorithm all|paper|greedy|random|\
-         annealing|exhaustive] [--catalog hiperlan2|mixed|synthetic|defrag] [--platform-seed N] \
+        "usage: simulate [--seed N] [--arrivals N] [--algorithm all|{algorithms}] \
+         [--catalog {catalogs}] [--platform-seed N] \
          [--mean-gap N] [--mean-hold N] [--switch-prob PCT] \
          [--holding exponential|fixed|pareto] [--flash-crowd BURST] [--sample-interval N] \
          [--horizon N] [--json] [--out PATH] [--trace-out PATH] [--reconfigure] \
          [--max-migrations N] \
-         [--max-plans N] [--policy always|energy-budget|amortized-payback] \
+         [--max-plans N] [--policy {policies}] \
          [--lambda PERMILLE] [--budget-pj N] [--payback N] [--faults] [--mttf N] [--mttr N] \
-         [--templates] [--template-cap N]"
+         [--templates] [--template-cap N] [--portfolio-workers N]",
+        algorithms = rtsm_exp::VALID_ALGORITHMS.join("|"),
+        catalogs = rtsm_exp::VALID_CATALOGS.join("|"),
+        policies = rtsm_exp::VALID_POLICY_KINDS[1..].join("|"),
     );
     std::process::exit(2);
 }
@@ -273,59 +277,36 @@ fn main() {
     }
     let holding_name = parse_flag(&args, "--holding").unwrap_or_else(|| "exponential".into());
     let policy_name = parse_flag(&args, "--policy").unwrap_or_else(|| "always".into());
-    let admission = match policy_name.as_str() {
-        "always" => AdmissionPolicy::AlwaysAdmit,
-        "energy-budget" => AdmissionPolicy::EnergyBudget {
-            max_transfer_pj: budget_pj,
-        },
-        "amortized-payback" => AdmissionPolicy::AmortizedPayback {
-            horizon_periods: payback,
-        },
-        other => one_line_error(&format!(
-            "unknown admission policy `{other}` (valid: always, energy-budget, \
-             amortized-payback)"
-        )),
-    };
+    // `none` is a spec-file concept (a policy *axis* point meaning "no
+    // reconfiguration"); here that is spelled by omitting --reconfigure.
+    let admission: AdmissionPolicy = rtsm_exp::admission_policy(&policy_name, budget_pj, payback)
+        .unwrap_or_else(|| {
+            one_line_error(&format!(
+                "unknown admission policy `{policy_name}` (valid: {})",
+                rtsm_exp::VALID_POLICY_KINDS[1..].join(", ")
+            ))
+        });
     if switch_pct > 100 {
         one_line_error(&format!("--switch-prob is {switch_pct}%, must be 0–100"));
     }
+    let portfolio_workers = parse_u64(&args, "--portfolio-workers", 1) as usize;
+    if portfolio_workers == 0 {
+        one_line_error("--portfolio-workers is 0, must be ≥ 1");
+    }
     // Resolve the algorithm set before any output, so a bad name fails
     // with just the one-line error.
-    let algorithms = algorithms(&which);
+    let algorithms = algorithms(&which, portfolio_workers);
 
-    // The paper's 3×3 platform carries the HIPERLAN/2 catalog; the bigger
-    // catalogs need a platform with DSPs and more tiles; the defrag strip
-    // is the engineered fragmentation workload.
-    let (platform, catalog) = match catalog_name.as_str() {
-        "hiperlan2" => (paper_platform(), Catalog::hiperlan2()),
-        "mixed" => (
-            mesh_platform(
-                platform_seed,
-                4,
-                4,
-                &[
-                    (TileKind::Montium, 4),
-                    (TileKind::Arm, 4),
-                    (TileKind::Dsp, 2),
-                ],
-            ),
-            Catalog::mixed_dsp(),
-        ),
-        "synthetic" => (
-            mesh_platform(
-                platform_seed,
-                4,
-                4,
-                &[(TileKind::Montium, 6), (TileKind::Arm, 4)],
-            ),
-            Catalog::synthetic(platform_seed, 6),
-        ),
-        "defrag" => (defrag_platform(4), Catalog::defrag()),
-        other => one_line_error(&format!(
-            "unknown catalog `{other}` (valid: {})",
+    // Catalog resolution is shared with the experiment harness
+    // (`rtsm_exp::resolve_catalog`), so the two CLIs agree on every
+    // platform/population pair.
+    let resolved = rtsm_exp::resolve_catalog(&catalog_name, platform_seed).unwrap_or_else(|| {
+        one_line_error(&format!(
+            "unknown catalog `{catalog_name}` (valid: {})",
             rtsm_exp::VALID_CATALOGS.join(", ")
-        )),
-    };
+        ))
+    });
+    let (platform, catalog) = (resolved.platform, resolved.catalog);
 
     let reconfiguration_policy = |admission: AdmissionPolicy| ReconfigurationPolicy {
         max_migrations: max_migrations as usize,

@@ -1,30 +1,22 @@
 //! The templates-off regression gate: with the template library disabled,
-//! the fixed-seed 2008 reports of **all five** mapping algorithms must
-//! stay byte-identical to the golden fixtures recorded before the
-//! template work landed (`tests/golden/seed2008_*_prepr.jsonl`). This is
-//! the same guarantee the CI `template-smoke` job checks through the
-//! `simulate` binary, enforced here at `cargo test` granularity so a
-//! regression names the exact algorithm and catalog that drifted.
+//! the fixed-seed 2008 reports of **every registered** mapping algorithm
+//! must stay byte-identical to the golden fixtures
+//! (`tests/golden/seed2008_*_prepr.jsonl`). This is the same guarantee
+//! the CI `template-smoke` job checks through the `simulate` binary,
+//! enforced here at `cargo test` granularity so a regression names the
+//! exact algorithm and catalog that drifted.
 
-use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
-use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper};
+use rtsm_core::MappingAlgorithm;
 use rtsm_platform::paper::paper_platform;
 use rtsm_platform::{Platform, TileKind};
 use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig};
 use rtsm_workloads::mesh_platform;
 
-/// The five algorithms in the `simulate` CLI's emission order — golden
-/// fixture lines are matched positionally.
+/// The registered algorithms in the `simulate` CLI's emission order —
+/// golden fixture lines are matched positionally, so the fixture grows by
+/// exactly one line whenever `rtsm_exp::ALGORITHMS` gains an entry.
 fn algorithms() -> Vec<Box<dyn MappingAlgorithm>> {
-    vec![
-        Box::new(SpatialMapper::new(
-            MapperConfig::default().without_capture(),
-        )),
-        Box::new(GreedyMapper),
-        Box::new(RandomMapper::default()),
-        Box::new(AnnealingMapper::default()),
-        Box::new(ExhaustiveMapper::default()),
-    ]
+    rtsm_exp::ALGORITHMS.iter().map(|e| (e.build)()).collect()
 }
 
 /// The exact configuration the fixtures were recorded with: the

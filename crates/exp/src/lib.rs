@@ -21,6 +21,39 @@
 //! Everything in a record or report is an integer; wall-clock lives
 //! only in [`ExperimentRun`]. Same spec ⇒ byte-identical report,
 //! whether it ran on 1 worker or 16.
+//!
+//! # Example
+//!
+//! ```
+//! use rtsm_exp::{run_experiment, ExperimentSpec, PolicySpec, SpecTemplate};
+//!
+//! let spec = ExperimentSpec {
+//!     schema: None,
+//!     name: "doctest".to_string(),
+//!     template: SpecTemplate {
+//!         arrivals: 20,
+//!         mean_hold: None,
+//!         switch_prob_pct: None,
+//!         sample_interval: None,
+//!         horizon: None,
+//!         platform_seed: None,
+//!     },
+//!     algorithms: vec!["greedy".to_string(), "portfolio".to_string()],
+//!     catalogs: vec!["hiperlan2".to_string()],
+//!     mean_gaps: vec![500],
+//!     policies: vec![PolicySpec::none()],
+//!     seeds: vec![7],
+//!     repeats: None,
+//! };
+//! spec.validate().expect("axes name registered algorithms and catalogs");
+//! let single = run_experiment(&spec, 1, |_, _| {}).expect("the sweep runs");
+//! let raced = run_experiment(&spec, 4, |_, _| {}).expect("the sweep runs");
+//! // The sealed report is byte-identical regardless of worker count.
+//! assert_eq!(
+//!     serde_json::to_string(&single.report).unwrap(),
+//!     serde_json::to_string(&raced.report).unwrap(),
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,9 +72,9 @@ pub use report::{
     AggregateRow, CatalogFront, ExperimentReport, FrontPoint, WallRow, WallSection, REPORT_SCHEMA,
 };
 pub use runner::{run_experiment, ExpError, ExperimentRun};
-pub use spec::{ExperimentSpec, PolicySpec, SpecTemplate, VALID_POLICY_KINDS};
+pub use spec::{admission_policy, ExperimentSpec, PolicySpec, SpecTemplate, VALID_POLICY_KINDS};
 pub use stats::StatSummary;
 pub use trial::{
-    make_algorithm, resolve_catalog, run_trial, run_trial_timed, ResolvedCatalog, Trial,
-    TrialRecord, VALID_ALGORITHMS, VALID_CATALOGS,
+    make_algorithm, resolve_catalog, run_trial, run_trial_timed, AlgorithmEntry, ResolvedCatalog,
+    Trial, TrialRecord, ALGORITHMS, VALID_ALGORITHMS, VALID_CATALOGS,
 };

@@ -92,7 +92,32 @@ pub struct PolicySpec {
 }
 
 /// The policy kinds [`PolicySpec::kind`] accepts, in display order.
+/// `none` means "no reconfiguration at all"; the other three name the
+/// [`AdmissionPolicy`] reconfiguration runs under
+/// ([`admission_policy`] resolves them).
 pub const VALID_POLICY_KINDS: [&str; 4] = ["none", "always", "energy-budget", "amortized-payback"];
+
+/// Resolves an admission-policy kind name to the [`AdmissionPolicy`] it
+/// denotes — the single name-to-policy mapping shared by [`PolicySpec`]
+/// and the `simulate` CLI, so their accepted names cannot drift apart.
+/// Returns `None` for unknown kinds and for `none` (which is not an
+/// admission policy but the absence of reconfiguration).
+pub fn admission_policy(
+    kind: &str,
+    budget_pj: u64,
+    payback_periods: u64,
+) -> Option<AdmissionPolicy> {
+    match kind {
+        "always" => Some(AdmissionPolicy::AlwaysAdmit),
+        "energy-budget" => Some(AdmissionPolicy::EnergyBudget {
+            max_transfer_pj: budget_pj,
+        }),
+        "amortized-payback" => Some(AdmissionPolicy::AmortizedPayback {
+            horizon_periods: payback_periods,
+        }),
+        _ => None,
+    }
+}
 
 impl PolicySpec {
     /// A plain-run policy point (no reconfiguration).
@@ -156,17 +181,15 @@ impl PolicySpec {
     /// The [`ReconfigurationPolicy`] this point runs under; `None` for
     /// plain runs.
     pub fn to_policy(&self) -> Option<ReconfigurationPolicy> {
-        let admission = match self.kind.as_str() {
-            "none" => return None,
-            "always" => AdmissionPolicy::AlwaysAdmit,
-            "energy-budget" => AdmissionPolicy::EnergyBudget {
-                max_transfer_pj: self.budget_pj.unwrap_or(500_000),
-            },
-            "amortized-payback" => AdmissionPolicy::AmortizedPayback {
-                horizon_periods: self.payback_periods.unwrap_or(64),
-            },
-            other => panic!("unvalidated policy kind `{other}`"),
-        };
+        if self.kind == "none" {
+            return None;
+        }
+        let admission = admission_policy(
+            &self.kind,
+            self.budget_pj.unwrap_or(500_000),
+            self.payback_periods.unwrap_or(64),
+        )
+        .unwrap_or_else(|| panic!("unvalidated policy kind `{}`", self.kind));
         Some(ReconfigurationPolicy {
             max_migrations: self.max_migrations.unwrap_or(2) as usize,
             max_plans: self.max_plans.unwrap_or(8) as usize,

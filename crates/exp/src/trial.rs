@@ -9,7 +9,10 @@
 
 use crate::spec::{PolicySpec, SpecTemplate};
 use crate::stats::percentile;
-use rtsm_baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
+use rtsm_baselines::{
+    AnnealingMapper, ExhaustiveMapper, GeneticMapper, GreedyMapper, PortfolioMapper, RandomMapper,
+    SpiralMapper,
+};
 use rtsm_core::{MapperConfig, MappingAlgorithm, SpatialMapper, TemplatedMapper};
 use rtsm_obs::LatencyHistogram;
 use rtsm_platform::paper::paper_platform;
@@ -18,8 +21,73 @@ use rtsm_sim::{run_sim, ArrivalProcess, Catalog, HoldingTime, SimConfig, Templat
 use rtsm_workloads::{defrag_platform, mesh_platform};
 use serde::{Deserialize, Serialize};
 
-/// The mapping-algorithm short names a spec may list, in display order.
-pub const VALID_ALGORITHMS: [&str; 5] = ["paper", "greedy", "random", "annealing", "exhaustive"];
+/// One registered mapping algorithm: the short name specs and CLIs use,
+/// plus a constructor. The registry ([`ALGORITHMS`]) is the single source
+/// of truth for algorithm names — spec validation, `simulate`'s and
+/// `experiment`'s help text, and fixture emission order all derive from
+/// it, so adding an algorithm here cannot desync any of them.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmEntry {
+    /// Short name (`paper`, `greedy`, …) used in specs and CLI flags.
+    pub name: &'static str,
+    /// Builds a fresh instance — workers never share algorithm state.
+    pub build: fn() -> Box<dyn MappingAlgorithm>,
+}
+
+/// Every mapping algorithm the harness can run, in display order. New
+/// algorithms are appended, never inserted: positional consumers (the
+/// golden fixtures' line order) rely on the existing prefix staying put.
+pub const ALGORITHMS: [AlgorithmEntry; 8] = [
+    AlgorithmEntry {
+        name: "paper",
+        // Traces are never read by the harness, so skip capturing them.
+        build: || {
+            Box::new(SpatialMapper::new(
+                MapperConfig::default().without_capture(),
+            ))
+        },
+    },
+    AlgorithmEntry {
+        name: "greedy",
+        build: || Box::new(GreedyMapper),
+    },
+    AlgorithmEntry {
+        name: "random",
+        build: || Box::new(RandomMapper::default()),
+    },
+    AlgorithmEntry {
+        name: "annealing",
+        build: || Box::new(AnnealingMapper::default()),
+    },
+    AlgorithmEntry {
+        name: "exhaustive",
+        build: || Box::new(ExhaustiveMapper::default()),
+    },
+    AlgorithmEntry {
+        name: "spiral",
+        build: || Box::new(SpiralMapper::default()),
+    },
+    AlgorithmEntry {
+        name: "genetic",
+        build: || Box::new(GeneticMapper::default()),
+    },
+    AlgorithmEntry {
+        name: "portfolio",
+        build: || Box::new(PortfolioMapper::default()),
+    },
+];
+
+/// The mapping-algorithm short names a spec may list, in display order —
+/// derived from [`ALGORITHMS`] at compile time.
+pub const VALID_ALGORITHMS: [&str; ALGORITHMS.len()] = {
+    let mut names = [""; ALGORITHMS.len()];
+    let mut i = 0;
+    while i < ALGORITHMS.len() {
+        names[i] = ALGORITHMS[i].name;
+        i += 1;
+    }
+    names
+};
 
 /// The catalog names a spec may list, in display order.
 pub const VALID_CATALOGS: [&str; 4] = ["hiperlan2", "mixed", "synthetic", "defrag"];
@@ -104,17 +172,10 @@ pub fn resolve_catalog(name: &str, platform_seed: u64) -> Option<ResolvedCatalog
 /// names. Each call returns a fresh instance — workers never share
 /// algorithm state.
 pub fn make_algorithm(name: &str) -> Option<Box<dyn MappingAlgorithm>> {
-    Some(match name {
-        // Traces are never read by the harness, so skip capturing them.
-        "paper" => Box::new(SpatialMapper::new(
-            MapperConfig::default().without_capture(),
-        )),
-        "greedy" => Box::new(GreedyMapper),
-        "random" => Box::new(RandomMapper::default()),
-        "annealing" => Box::new(AnnealingMapper::default()),
-        "exhaustive" => Box::new(ExhaustiveMapper::default()),
-        _ => return None,
-    })
+    ALGORITHMS
+        .iter()
+        .find(|entry| entry.name == name)
+        .map(|entry| (entry.build)())
 }
 
 /// The flattened, all-integer result of one trial — one JSONL row.

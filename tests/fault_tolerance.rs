@@ -3,16 +3,15 @@
 //! repairs, and departures leaves the shared ledger byte-identical to a
 //! from-scratch replay of the surviving mappings; survivors never occupy
 //! a quarantined resource; and with faults disabled the simulator's
-//! seed-2008 reports are byte-identical to the pre-fault-injection
-//! fixtures for all five algorithms.
+//! seed-2008 reports are byte-identical to the golden fixtures for
+//! every registered algorithm.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rtsm::baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
 use rtsm::core::{
-    AppHandle, EvacuationPolicy, FailureEvent, MapperConfig, MappingAlgorithm, RouteBinding,
-    RunningApp, RuntimeManager, SpatialMapper,
+    AppHandle, EvacuationPolicy, FailureEvent, MappingAlgorithm, RouteBinding, RunningApp,
+    RuntimeManager, SpatialMapper,
 };
 use rtsm::platform::paper::paper_platform;
 use rtsm::platform::{LinkId, Platform, PlatformState, TileId, TileKind};
@@ -225,9 +224,9 @@ proptest! {
 }
 
 /// With faults disabled, the simulator's seed-2008 reports are
-/// byte-identical to the fixtures captured before fault injection was
-/// merged — for all five algorithms on both the paper platform and the
-/// mixed-DSP mesh. This is the "faults off ⇒ nothing changed" gate.
+/// byte-identical to the golden fixtures — for every registered
+/// algorithm on both the paper platform and the mixed-DSP mesh. This is
+/// the "faults off ⇒ nothing changed" gate.
 #[test]
 fn faults_off_seed2008_reports_match_pre_fault_fixtures() {
     // `simulate`'s defaults with `--arrivals 500` — exactly how the
@@ -244,18 +243,8 @@ fn faults_off_seed2008_reports_match_pre_fault_fixtures() {
         track_fragmentation: false,
         faults: None,
     };
-    type MakeAlgorithm = fn() -> Box<dyn MappingAlgorithm>;
-    let algorithms: Vec<MakeAlgorithm> = vec![
-        || {
-            Box::new(SpatialMapper::new(
-                MapperConfig::default().without_capture(),
-            ))
-        },
-        || Box::new(GreedyMapper),
-        || Box::new(RandomMapper::default()),
-        || Box::new(AnnealingMapper::default()),
-        || Box::new(ExhaustiveMapper::default()),
-    ];
+    let algorithms: Vec<fn() -> Box<dyn MappingAlgorithm>> =
+        rtsm::exp::ALGORITHMS.iter().map(|e| e.build).collect();
     let fixtures = [
         (
             paper_platform(),

@@ -6,7 +6,6 @@
 //! latency histograms merge exactly.
 
 use proptest::prelude::*;
-use rtsm::baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
 use rtsm::core::{MappingAlgorithm, SpatialMapper};
 use rtsm::obs::{self, FlightRecorder, LatencyHistogram, SpanLatencyProbe};
 use rtsm::platform::paper::paper_platform;
@@ -30,14 +29,12 @@ fn config(seed: u64, arrivals: u64) -> SimConfig {
 
 type MakeAlgorithm = fn() -> Box<dyn MappingAlgorithm>;
 
+/// Every registered algorithm, straight from the registry the CLIs use.
 fn all_algorithms() -> Vec<(&'static str, MakeAlgorithm)> {
-    vec![
-        ("paper", || Box::new(SpatialMapper::default())),
-        ("greedy", || Box::new(GreedyMapper)),
-        ("random", || Box::new(RandomMapper::default())),
-        ("annealing", || Box::new(AnnealingMapper::default())),
-        ("exhaustive", || Box::new(ExhaustiveMapper::default())),
-    ]
+    rtsm::exp::ALGORITHMS
+        .iter()
+        .map(|entry| (entry.name, entry.build))
+        .collect()
 }
 
 /// Serialized report for one run; when `probe` is given it observes the
@@ -55,13 +52,13 @@ fn report_json(make: MakeAlgorithm, seed: u64, probe: Option<Rc<dyn obs::Probe>>
 }
 
 proptest! {
-    // Each case runs ten full 40-arrival simulations (five algorithms,
-    // probed and bare), so keep the case count small.
+    // Each case runs two full 40-arrival simulations per registered
+    // algorithm (probed and bare), so keep the case count small.
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// The cardinal invariant: a recording probe on the hot path leaves
-    /// every deterministic report byte for byte unchanged, for all five
-    /// algorithms.
+    /// every deterministic report byte for byte unchanged, for every
+    /// registered algorithm.
     #[test]
     fn recording_probe_never_changes_the_report(seed in 0u64..1000) {
         for (label, make) in all_algorithms() {

@@ -3,7 +3,6 @@
 //! departures, and the shared ledger always drains back to empty.
 
 use proptest::prelude::*;
-use rtsm::baselines::{AnnealingMapper, ExhaustiveMapper, GreedyMapper, RandomMapper};
 use rtsm::core::{MappingAlgorithm, SpatialMapper};
 use rtsm::platform::paper::paper_platform;
 use rtsm::platform::TileKind;
@@ -70,20 +69,14 @@ proptest! {
     }
 }
 
-/// The acceptance scenario in miniature: one seed, all five algorithms,
-/// identical bytes on re-run, and a report with blocking probability,
-/// utilization-over-time, and energy totals for each.
+/// The acceptance scenario in miniature: one seed, every algorithm in
+/// the `rtsm::exp::ALGORITHMS` registry, identical bytes on re-run, and
+/// a report with blocking probability, utilization-over-time, and energy
+/// totals for each.
 #[test]
-fn all_five_algorithms_run_deterministically() {
-    type MakeAlgorithm = fn() -> Box<dyn MappingAlgorithm>;
-    let algorithms: Vec<(&str, MakeAlgorithm)> = vec![
-        ("paper", || Box::new(SpatialMapper::default())),
-        ("greedy", || Box::new(GreedyMapper)),
-        ("random", || Box::new(RandomMapper::default())),
-        ("annealing", || Box::new(AnnealingMapper::default())),
-        ("exhaustive", || Box::new(ExhaustiveMapper::default())),
-    ];
-    for (label, make) in algorithms {
+fn all_registered_algorithms_run_deterministically() {
+    for entry in &rtsm::exp::ALGORITHMS {
+        let (label, make) = (entry.name, entry.build);
         let run = |algorithm: Box<dyn MappingAlgorithm>| {
             run_sim(
                 &paper_platform(),
